@@ -1,0 +1,58 @@
+"""Shared infrastructure for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only            # reduced workloads
+    REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only   # paper scale
+
+Every exhibit bench renders its reproduction (tables / ASCII figures,
+side by side with the paper's reported values where available) into
+``benchmarks/results/<exhibit>.txt`` and attaches the headline numbers
+to the pytest-benchmark record via ``extra_info``.  The wall time that
+pytest-benchmark measures is the harness cost; the *simulated* hardware
+seconds inside the result files are the quantities that reproduce the
+paper.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_mode() -> bool:
+    """Whether paper-scale workloads were requested (REPRO_BENCH_FULL=1)."""
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def full() -> bool:
+    return full_mode()
+
+
+@pytest.fixture
+def save_report(results_dir, full):
+    """Writer: ``save_report(name, text)`` -> benchmarks/results/.
+
+    Full-mode runs own the canonical ``<name>.txt`` artifacts (the ones
+    EXPERIMENTS.md quotes); reduced runs write ``<name>-reduced.txt``
+    so a quick check never clobbers the paper-scale results.
+    """
+
+    def _save(name: str, text: str) -> Path:
+        suffix = "" if full else "-reduced"
+        path = results_dir / f"{name}{suffix}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,34 @@
+"""Probe census bench — the §IV-A methodology observation, quantified.
+
+Output: ``benchmarks/results/census.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import census
+from repro.analysis.report import render_table
+
+
+@pytest.mark.benchmark(group="census")
+def test_probe_census(benchmark, full, save_report):
+    population = 60 if full else 20
+
+    result = benchmark.pedantic(
+        census.run, kwargs=dict(population=population), rounds=1, iterations=1
+    )
+    text = render_table(
+        result.rows,
+        columns=[
+            "instance", "jobs", "machines", "probes",
+            "distinct_sizes", "min_size", "max_size", "min_dims", "max_dims",
+        ],
+        title=result.description,
+    )
+    save_report("census", text + "\n\n" + "\n".join(result.notes))
+
+    # The observation itself: single instances span many table sizes
+    # and the dimensionality varies with T.
+    assert any(r["distinct_sizes"] >= 4 for r in result.rows)
+    assert any(r["max_dims"] - r["min_dims"] >= 2 for r in result.rows)

@@ -1,0 +1,100 @@
+"""Fig. 3 — average running time vs DP-table size (all three panels).
+
+Regenerates the paper's central comparison: OMP16/OMP28 vs the
+partitioned GPU settings across harvested DP-tables in the paper's
+three size groups.  Reduced mode covers groups (a) and (b) with a
+representative dim subset; full mode covers all three groups with
+GPU-DIM3..9 (minutes of wall time).
+
+Output: ``benchmarks/results/fig3.txt`` — one ASCII log-log panel per
+group plus the measured crossover size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import fig3
+from repro.analysis.paper_data import FIG3_GROUPS, GPU_DIMS
+from repro.analysis.report import ascii_plot, render_table
+from repro.analysis.workloads import harvest_tables
+
+
+def _workload(full: bool):
+    if full:
+        groups = FIG3_GROUPS
+        per_group, dims = 12, tuple(GPU_DIMS)
+        pool = 12000
+    else:
+        groups = [(100, 10_000), (20_000, 100_000)]
+        per_group, dims = 4, (3, 6, 9)
+        pool = 4000
+    tables = harvest_tables(groups, per_group, seed=2018, pool_size=pool)
+    return groups, dims, tables
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_runtime_vs_table_size(benchmark, full, save_report):
+    groups, dims, tables = _workload(full)
+
+    result = benchmark.pedantic(
+        fig3.run, kwargs=dict(dims=dims, tables=tables), rounds=1, iterations=1
+    )
+
+    sections = [result.description, ""]
+    for i, (lo, hi) in enumerate(groups):
+        panel = chr(ord("a") + i)
+        rows = [r for r in result.rows if r["group"] == panel]
+        if not rows:
+            continue
+        series: dict[str, list[tuple[float, float]]] = {}
+        for r in rows:
+            series.setdefault(r["engine"], []).append(
+                (float(r["table_size"]), float(r["simulated_s"]))
+            )
+        sections.append(
+            ascii_plot(
+                series,
+                title=f"Fig. 3({panel}): table sizes {lo}..{hi}",
+                xlabel="DP-table size",
+                ylabel="simulated seconds",
+            )
+        )
+        sections.append("")
+        sections.append(
+            render_table(
+                sorted(rows, key=lambda r: (r["table_size"], r["engine"])),
+                columns=["table_size", "dims", "engine", "simulated_s"],
+            )
+        )
+        sections.append("")
+
+    crossover = fig3.crossover_size(result)
+    sections.append(f"measured GPU/OpenMP crossover size: {crossover}")
+    sections.append("paper: GPU faster above ~30000 (Fig. 3b discussion)")
+    save_report("fig3", "\n".join(sections))
+
+    benchmark.extra_info["tables"] = len(tables)
+    benchmark.extra_info["crossover_size"] = crossover
+
+    # Reproduction assertions (the paper's shapes), compared per table
+    # (comparing minima across *different* tables would mix sizes).
+    by_size: dict[int, dict[str, float]] = {}
+    for r in result.rows:
+        by_size.setdefault(r["table_size"], {})[r["engine"]] = r["simulated_s"]
+
+    def best_gpu(times: dict[str, float]) -> float:
+        return min(t for e, t in times.items() if e.startswith("gpu"))
+
+    small_sizes = [s_ for s_ in by_size if s_ <= 10_000]
+    assert small_sizes, "panel (a) must have tables"
+    omp_wins_small = sum(
+        1 for s_ in small_sizes if by_size[s_]["omp28"] < best_gpu(by_size[s_])
+    )
+    assert omp_wins_small >= len(small_sizes) - 1, "OpenMP must win panel (a)"
+
+    large_sizes = [s_ for s_ in by_size if s_ >= 100_000]
+    for s_ in large_sizes:
+        assert best_gpu(by_size[s_]) < by_size[s_]["omp28"], (
+            f"GPU must win the large panel at size {s_}"
+        )

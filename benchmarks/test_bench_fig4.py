@@ -1,0 +1,74 @@
+"""Fig. 4 — number of non-zero dimensions vs GPU performance.
+
+For the paper's six showcased table sizes (shapes straight from
+Tables I–VI), run every GPU-DIM3..9 setting and chart simulated time
+against the partition-dimension setting, one series per table
+dimensionality.  Reduced mode runs the three small sizes; full mode all
+six (the 362880/403200 shapes cost minutes).
+
+Output: ``benchmarks/results/fig4.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import fig4
+from repro.analysis.paper_data import FIG4_SIZES, GPU_DIMS, TABLES_I_TO_VI
+from repro.analysis.report import ascii_plot, render_table
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_dimensionality_effect(benchmark, full, save_report):
+    sizes = tuple(FIG4_SIZES) if full else (3456, 8640, 12960)
+
+    result = benchmark.pedantic(
+        fig4.run,
+        kwargs=dict(sizes=sizes, dims_settings=tuple(GPU_DIMS)),
+        rounds=1,
+        iterations=1,
+    )
+
+    sections = [result.description, ""]
+    best_dims: list[tuple[int, int]] = []  # (n_dims, best setting)
+    for size in sizes:
+        rows = [r for r in result.rows if r["table_size"] == size]
+        series: dict[str, list[tuple[float, float]]] = {}
+        for r in rows:
+            series.setdefault(f"{r['n_dims']}dims", []).append(
+                (float(r["partition_dim"]), float(r["simulated_s"]))
+            )
+        sections.append(
+            ascii_plot(
+                series,
+                title=f"Fig. 4, table size {size}",
+                xlabel="partitioned dimensions (GPU-DIMx)",
+                ylabel="simulated seconds",
+                logx=False,
+            )
+        )
+        sections.append("")
+        for paper_row in TABLES_I_TO_VI[size]:
+            best = fig4.best_partition_dim(result, size, paper_row.n_dims)
+            best_dims.append((paper_row.n_dims, best))
+            sections.append(
+                f"size {size}, {paper_row.n_dims} non-zero dims: best GPU-DIM{best} "
+                f"(paper best column: GPU-DIM{paper_row.best_dim})"
+            )
+        sections.append("")
+    sections.append(
+        "paper: best performance obtained when partitioning along 5-7 "
+        "dimensions; GPU-DIM3 the weakest setting"
+    )
+    save_report("fig4", "\n".join(sections))
+
+    benchmark.extra_info["best_dims"] = best_dims
+
+    # Shape assertions: for genuinely high-dimensional tables (>= 5
+    # non-zero dims) the optimum is interior (4-7) and never DIM3; a
+    # 4-dim table has nothing to gain beyond DIM4, so all settings
+    # coincide there (the paper notes such low-dim exceptions).
+    high = [(n, b) for n, b in best_dims if n >= 5]
+    assert all(b != 3 for _, b in high), f"GPU-DIM3 best on a high-dim shape: {high}"
+    interior = sum(1 for _, b in high if 4 <= b <= 7)
+    assert interior >= len(high) - 1, "optimum must sit at 4-7 dims"

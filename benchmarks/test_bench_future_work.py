@@ -1,0 +1,141 @@
+"""Benches for the paper's §V future-work directions, implemented here.
+
+* the data-partitioning scheme applied to a multidimensional knapsack
+  (generality of the technique);
+* block-residency memory management (device-memory reduction vs the
+  whole-table residency of the published implementation).
+
+Output: ``benchmarks/results/future_knapsack.txt``,
+``benchmarks/results/future_residency.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.analysis.synthetic import synthetic_probe
+from repro.core.configs import enumerate_configurations
+from repro.dptable.partition import BlockPartition, compute_divisor
+from repro.dptable.table import TableGeometry
+from repro.engines.gpu_partitioned import GpuPartitionedEngine
+from repro.extensions.knapsack import (
+    KnapsackGpuEngine,
+    knapsack_dp,
+    knapsack_greedy,
+    random_knapsack,
+)
+from repro.extensions.residency import BlockResidency
+
+
+@pytest.mark.benchmark(group="future-work")
+def test_knapsack_partitioning(benchmark, full, save_report):
+    capacity = (30, 24, 24) if full else (20, 16, 16)
+    inst = random_knapsack(60, capacity=capacity, max_weight=6, seed=6)
+
+    def sweep():
+        rows = []
+        for dim in (1, 2, 3):
+            run = KnapsackGpuEngine(dim=dim).run(inst)
+            rows.append(
+                {
+                    "partition_dims": dim,
+                    "blocks": run.metrics["num_blocks"],
+                    "simulated_s": run.simulated_s,
+                    "best_value": run.best_value,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    optimal = int(knapsack_dp(inst)[tuple(inst.capacity)])
+    greedy = knapsack_greedy(inst)
+    header = (
+        f"multidimensional knapsack, {inst.n_items} items, capacity "
+        f"{inst.capacity} ({inst.table_size} cells); greedy {greedy}, "
+        f"optimal {optimal}"
+    )
+    save_report("future_knapsack", header + "\n\n" + render_table(rows))
+
+    assert all(r["best_value"] == optimal for r in rows)
+    assert greedy <= optimal
+
+
+@pytest.mark.benchmark(group="future-work")
+def test_block_residency_savings(benchmark, full, save_report):
+    shapes = [
+        ((12, 12, 12, 8), (4, 4, 4, 2)),
+        ((16, 16, 16), (4, 4, 4)),
+        ((9, 9, 9, 9), (3, 3, 3, 3)),
+    ]
+    if full:
+        shapes.append(((24, 24, 24, 6), (8, 8, 8, 3)))
+
+    def analyse():
+        rows = []
+        for shape, divisor in shapes:
+            probe = synthetic_probe(shape)
+            partition = BlockPartition(TableGeometry(shape), divisor)
+            configs = enumerate_configurations(
+                probe.class_sizes, probe.counts, probe.target
+            )
+            res = BlockResidency(partition, configs)
+            rows.append(
+                {
+                    "shape": shape,
+                    "blocks": partition.num_blocks,
+                    "span": res.dependency_span,
+                    "peak_blocks": res.peak_resident_blocks,
+                    "full_bytes": res.full_table_bytes(),
+                    "peak_bytes": res.peak_resident_bytes(),
+                    "savings": res.savings_ratio(),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    save_report(
+        "future_residency",
+        render_table(rows, title="block-residency device-memory savings"),
+    )
+
+    # On these fine partitions the plan must save real memory.
+    assert all(r["savings"] > 0.05 for r in rows)
+    benchmark.extra_info["savings"] = [round(r["savings"], 3) for r in rows]
+
+
+@pytest.mark.benchmark(group="future-work")
+def test_residency_inside_engine(benchmark, save_report):
+    probe = synthetic_probe((12, 12, 12, 4))
+
+    def run_both():
+        base = GpuPartitionedEngine(dim=4).run(
+            probe.counts, probe.class_sizes, probe.target
+        )
+        managed = GpuPartitionedEngine(dim=4, block_residency=True).run(
+            probe.counts, probe.class_sizes, probe.target
+        )
+        return base, managed
+
+    base, managed = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    text = render_table(
+        [
+            {
+                "mode": "whole table (paper)",
+                "table_resident_bytes": base.metrics["table_resident_bytes"],
+                "simulated_s": base.simulated_s,
+            },
+            {
+                "mode": "block residency (future work)",
+                "table_resident_bytes": managed.metrics["table_resident_bytes"],
+                "simulated_s": managed.simulated_s,
+            },
+        ],
+        title="partitioned engine with and without residency management",
+    )
+    save_report("future_residency_engine", text)
+
+    assert managed.metrics["table_resident_bytes"] < base.metrics[
+        "table_resident_bytes"
+    ]
+    assert (managed.dp_result.table == base.dp_result.table).all()

@@ -1,0 +1,57 @@
+"""Device-sensitivity bench — beyond the paper's single-GPU evaluation.
+
+Reruns the CPU-vs-GPU comparison across three device models (K20, the
+paper's K40, and a hypothetical modern datacenter GPU in the same cost
+model), reporting each device's crossover table size.
+
+Output: ``benchmarks/results/sensitivity.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import sensitivity
+from repro.analysis.report import render_table
+from repro.analysis.workloads import harvest_tables
+from repro.gpusim.spec import KEPLER_K40, MODERN_DATACENTER
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_device_sensitivity(benchmark, full, save_report):
+    groups = (
+        [(500, 8_000), (8_001, 60_000), (60_001, 200_000)]
+        if full
+        else [(500, 8_000), (8_001, 60_000)]
+    )
+    tables = harvest_tables(groups, per_group=3, seed=77, pool_size=4000)
+
+    result = benchmark.pedantic(
+        sensitivity.run, kwargs=dict(tables=tables), rounds=1, iterations=1
+    )
+
+    crossovers = sensitivity.crossover_per_device(result)
+    text = render_table(
+        sorted(result.rows, key=lambda r: (r["device"], r["table_size"])),
+        columns=["device", "table_size", "omp28_s", "gpu_s", "gpu_wins"],
+        title=result.description,
+    )
+    text += "\n\ncrossover (smallest winning table size) per device:\n"
+    for device, size in sorted(crossovers.items()):
+        text += f"  {device}: {size}\n"
+    save_report("sensitivity", text)
+
+    benchmark.extra_info["crossovers"] = {
+        k.split(" (")[0]: v for k, v in crossovers.items()
+    }
+
+    modern = crossovers[MODERN_DATACENTER.name]
+    k40 = crossovers[KEPLER_K40.name]
+    assert modern is not None, "the modern device must win somewhere"
+    if k40 is not None:
+        assert modern <= k40, "newer hardware must move the crossover down"
+    # The small-table CPU regime persists on every device.
+    smallest = min(r["table_size"] for r in result.rows)
+    assert all(
+        not r["gpu_wins"] for r in result.rows if r["table_size"] == smallest
+    )

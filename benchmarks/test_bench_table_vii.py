@@ -1,0 +1,56 @@
+"""Table VII — quarter split vs OpenMP bisection on full PTAS runs.
+
+For each designated DP-table size, find an instance producing such a
+table, run the complete PTAS under both drivers, and report iteration
+counts and simulated runtimes next to the paper's milliseconds.
+Reduced mode runs the three smaller sizes; full mode adds 30240 and the
+heavyweight 403200 row.
+
+Output: ``benchmarks/results/table_vii.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import table7
+from repro.analysis.report import render_table
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table_vii_quarter_split(benchmark, full, save_report):
+    sizes = (12960, 20736, 27360, 30240, 403200) if full else (12960, 20736, 27360)
+
+    result = benchmark.pedantic(
+        table7.run, kwargs=dict(sizes=sizes), rounds=1, iterations=1
+    )
+
+    text = render_table(
+        result.rows,
+        columns=[
+            "table_size", "actual_max_table",
+            "gpu_itr", "omp_itr", "paper_gpu_itr", "paper_omp_itr",
+            "gpu_ms", "omp_ms", "paper_gpu_ms", "paper_omp_ms",
+        ],
+        title=result.description,
+    )
+    save_report("table_vii", text + "\n\n" + "\n".join(result.notes))
+
+    # Reproduction shapes.
+    for row in result.rows:
+        assert row["gpu_itr"] < row["omp_itr"], (
+            "quarter split must need fewer iterations"
+        )
+    # The largest measured size must favour the GPU decisively; at
+    # 12960 the engines should be within an order of magnitude
+    # (the paper's values are 13.2s GPU vs 11.2s OpenMP).
+    biggest = max(result.rows, key=lambda r: r["table_size"])
+    smallest = min(result.rows, key=lambda r: r["table_size"])
+    if biggest["table_size"] >= 27360:
+        assert biggest["gpu_ms"] < biggest["omp_ms"]
+    assert smallest["gpu_ms"] < 20 * smallest["omp_ms"]
+
+    benchmark.extra_info["rows"] = [
+        {k: row[k] for k in ("table_size", "gpu_itr", "omp_itr")}
+        for row in result.rows
+    ]

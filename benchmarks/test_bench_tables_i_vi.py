@@ -1,0 +1,61 @@
+"""Tables I–VI — block dimensional sizes, ours vs the paper's columns.
+
+Pure geometry (no simulation): Algorithm 4's divisor under GPU-DIM3 and
+under each table's best setting, compared row by row against the
+paper's printed block shapes.  Also regenerates Fig. 2's decomposition.
+
+Output: ``benchmarks/results/tables_i_vi.txt``,
+``benchmarks/results/fig2.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import fig1, fig2, tables_i_vi
+from repro.analysis.report import render_table
+
+
+@pytest.mark.benchmark(group="tables")
+def test_tables_i_vi_block_shapes(benchmark, save_report):
+    result = benchmark.pedantic(tables_i_vi.run, rounds=1, iterations=1)
+
+    text = render_table(
+        result.rows,
+        columns=[
+            "table_size", "n_dims", "shape",
+            "ours_dim3", "paper_dim3", "match_dim3",
+            "best_dim", "ours_best", "paper_best", "match_best",
+        ],
+        title=result.description,
+    )
+    save_report("tables_i_vi", text + "\n\n" + "\n".join(result.notes))
+
+    both = sum(1 for r in result.rows if r["match_dim3"] and r["match_best"])
+    dim3 = sum(1 for r in result.rows if r["match_dim3"])
+    benchmark.extra_info["verbatim_rows"] = f"{both}/{len(result.rows)}"
+    benchmark.extra_info["dim3_verbatim"] = f"{dim3}/{len(result.rows)}"
+    assert both >= 12 and dim3 >= 15
+
+
+@pytest.mark.benchmark(group="tables")
+def test_fig1_wavefront_example(benchmark, save_report):
+    result = benchmark.pedantic(fig1.run, rounds=1, iterations=1)
+    text = render_table(
+        result.rows, columns=["cell", "level", "core"], title=result.description
+    )
+    save_report("fig1", text + "\n\n" + "\n".join(result.notes))
+    assert len(result.rows) == 12  # 3x4 table
+    assert max(r["level"] for r in result.rows) == 5
+
+
+@pytest.mark.benchmark(group="tables")
+def test_fig2_partition_example(benchmark, save_report):
+    result = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
+    text = render_table(
+        result.rows,
+        columns=["block", "block_level", "stream", "cells", "inblock_levels"],
+        title=result.description,
+    )
+    save_report("fig2", text + "\n\n" + "\n".join(result.notes))
+    assert len(result.rows) == 27

@@ -1,0 +1,72 @@
+"""When does the GPU DP pay off?  A capacity-planning study.
+
+Reproduces the paper's engineering question for a new workload: given a
+stream of scheduling problems, should the high-dimensional DP run on
+the multicore host (OpenMP-style) or on the GPU with the
+data-partitioning scheme — and with how many partitioned dimensions?
+
+The script harvests DP-tables of increasing size from random instances,
+runs each on the simulated dual-Xeon and K40 engines, prints the
+crossover, and shows the diagnostic metrics (utilisation, bus
+efficiency, scan scope) that explain *why* each side wins — the same
+analysis as the paper's §IV-B, packaged as a reusable decision aid.
+
+Usage:  python examples/gpu_vs_cpu_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.analysis.workloads import harvest_tables
+from repro.engines import GpuPartitionedEngine, OpenMPEngine
+
+
+def main() -> None:
+    tables = harvest_tables(
+        groups=[(500, 8_000), (8_001, 60_000), (60_001, 250_000)],
+        per_group=3,
+        seed=7,
+        pool_size=4000,
+    )
+
+    rows = []
+    for t in tables:
+        omp = OpenMPEngine(threads=28).run(t.counts, t.class_sizes, t.target)
+        best_gpu = None
+        best_dim = None
+        for dim in (3, 5, 6, 7):
+            gpu = GpuPartitionedEngine(dim=dim).run(
+                t.counts, t.class_sizes, t.target
+            )
+            if best_gpu is None or gpu.simulated_s < best_gpu.simulated_s:
+                best_gpu, best_dim = gpu, dim
+        winner = "GPU" if best_gpu.simulated_s < omp.simulated_s else "CPU"
+        rows.append(
+            {
+                "table_size": t.table_size,
+                "dims": t.dims,
+                "cpu_s": omp.simulated_s,
+                "gpu_s": best_gpu.simulated_s,
+                "best_dim": best_dim,
+                "winner": winner,
+                "gpu_util": best_gpu.metrics["utilization"],
+                "scan_scope": best_gpu.metrics["scan_scope"],
+            }
+        )
+
+    print(render_table(rows, title="CPU (OMP28) vs best GPU setting per DP-table"))
+    print()
+
+    crossers = [r["table_size"] for r in rows if r["winner"] == "GPU"]
+    if crossers:
+        print(f"GPU wins from table size ~{min(crossers)} upward.")
+    print(
+        "Why: small tables leave the GPU underutilised (see gpu_util) "
+        "and pay kernel-launch/sync overheads; large tables amortise "
+        "them while the CPU's whole-table sub-configuration scans "
+        "(cost ~ size^2) explode."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Run the wavefront DP in parallel on *this machine's* cores — and measure.
+
+The simulators model the paper's hardware; this example exercises the
+real thing: ``repro.parallel.parallel_wavefront_dp`` executes the
+anti-diagonal wavefront across OS processes over a shared-memory
+DP-table — the same parallel structure as the paper's OpenMP baseline,
+on whatever cores you have.
+
+It solves one probe serially and in parallel, verifies bit-identical
+tables, and reports the wall-clock comparison.  Expect an honest
+result: at PTAS-realistic configuration counts the vectorized numpy
+wavefront is *memory-bandwidth-bound*, so extra processes often do not
+help — the "no optimization without measuring" lesson, and the reason
+the paper needed a GPU (not more CPU threads) once its per-cell work
+exploded with the whole-table sub-configuration searches.  The OpenMP
+baseline it reproduces has per-cell costs thousands of times larger
+than one numpy gather, which is where the level parallelism pays.
+
+Usage:  python examples/host_parallel_solver.py [workers]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis.synthetic import synthetic_probe
+from repro.parallel import parallel_wavefront_dp
+
+
+def timed(label: str, fn):
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    print(f"{label:<28} {elapsed:8.2f} s")
+    return result, elapsed
+
+
+def main() -> None:
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else min(4, os.cpu_count() or 1)
+
+    # A 5-dimensional, ~538k-cell probe (the paper's Fig. 3c territory).
+    probe = synthetic_probe((14, 14, 14, 14, 14))
+    configs = probe.configs()
+    print(
+        f"DP-table: shape {probe.table_shape}, {probe.table_size} cells, "
+        f"{configs.shape[0]} machine configurations"
+    )
+    print()
+
+    serial, t1 = timed(
+        "1 worker (serial)",
+        lambda: parallel_wavefront_dp(
+            probe.counts, probe.class_sizes, probe.target, configs, workers=1
+        ),
+    )
+    parallel, tn = timed(
+        f"{workers} workers",
+        lambda: parallel_wavefront_dp(
+            probe.counts,
+            probe.class_sizes,
+            probe.target,
+            configs,
+            workers=workers,
+            min_parallel_level=2048,
+        ),
+    )
+
+    assert np.array_equal(serial.table, parallel.table), "results must be identical"
+    print()
+    print(f"identical tables, OPT(N) = {serial.opt}")
+    speedup = t1 / tn if tn > 0 else float("inf")
+    print(f"wall-clock ratio: {speedup:.2f}x on {workers} workers")
+    print()
+    if speedup < 1.3:
+        print(
+            "As measured: little or no speedup.  The per-level numpy "
+            "gathers are already memory-bandwidth-bound, so the level "
+            "parallelism has nothing to feed the extra cores — exactly "
+            "why 'vectorize first, parallelize second' is the rule, and "
+            "why the paper's OpenMP baseline (whose per-cell work is "
+            "thousands of ops, not one gather) does profit from its "
+            "anti-diagonal parallel-for while this numpy kernel does not."
+        )
+    else:
+        print(
+            "This machine shows a real speedup: its core count and "
+            "memory system leave headroom beyond one numpy stream.  "
+            "The wavefront still caps scaling — early/late levels are "
+            "too narrow to feed every core (the paper's §III-E "
+            "concurrency loss)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Calibration sweep: simulated engine times across DP-table sizes.
+
+Not part of the library — a development tool that reports the shape
+targets from the paper so the constants in
+:mod:`repro.engines.costmodel`, :mod:`repro.gpusim.spec`, and
+:mod:`repro.cpusim.spec` can be frozen.  Run:  python scripts/calibrate.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import uniform_instance
+from repro.core.rounding import round_instance
+from repro.engines import (
+    GpuNaiveEngine,
+    GpuPartitionedEngine,
+    OpenMPEngine,
+)
+
+
+def probe_for_size(target_size: int, seed: int):
+    """Find a rounded instance whose table size is near target_size."""
+    rng = np.random.default_rng(seed)
+    best = None
+    for _ in range(200):
+        n = int(rng.integers(20, 120))
+        m = int(rng.integers(4, 24))
+        inst = uniform_instance(n, m, low=5, high=100, seed=int(rng.integers(1 << 31)))
+        from repro.core.bounds import makespan_bounds
+
+        b = makespan_bounds(inst)
+        t = int(rng.integers(b.lower, b.upper + 1))
+        r = round_instance(inst, t, 0.3)
+        if r.dims == 0:
+            continue
+        err = abs(r.table_size - target_size) / target_size
+        if best is None or err < best[0]:
+            best = (err, r)
+        if err < 0.15:
+            break
+    return best[1]
+
+
+def main():
+    sizes = [500, 2000, 8000, 15000, 30000, 60000, 120000, 250000, 450000]
+    engines = {
+        "omp16": lambda: OpenMPEngine(16),
+        "omp28": lambda: OpenMPEngine(28),
+        "dim3": lambda: GpuPartitionedEngine(dim=3),
+        "dim6": lambda: GpuPartitionedEngine(dim=6),
+        "dim9": lambda: GpuPartitionedEngine(dim=9),
+        "naive": lambda: GpuNaiveEngine(check_memory=False),
+    }
+    header = f"{'size':>8} {'dims':>4} " + " ".join(f"{k:>12}" for k in engines)
+    print(header)
+    for size in sizes:
+        r = probe_for_size(size, seed=size)
+        row = [f"{r.table_size:>8} {r.dims:>4}"]
+        for key, make in engines.items():
+            if key == "naive" and r.table_size > 150000:
+                row.append(f"{'skip':>12}")
+                continue
+            eng = make()
+            run = eng.run(r.counts, r.class_sizes, r.target)
+            row.append(f"{run.simulated_s:>12.4f}")
+        print(" ".join(row), flush=True)
+
+
+if __name__ == "__main__":
+    main()

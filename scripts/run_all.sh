@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full verification pipeline for the reproduction.
+#
+#   scripts/run_all.sh           # tests + reduced benches (~5 min)
+#   scripts/run_all.sh --full    # tests + paper-scale benches (~1 h)
+#
+# Artifacts: test_output.txt, bench_output.txt at the repo root, and
+# the regenerated exhibits under benchmarks/results/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL=""
+if [[ "${1:-}" == "--full" ]]; then
+    FULL=1
+fi
+
+echo "== installing (editable) =="
+pip install -e . --no-build-isolation -q || python setup.py develop
+
+echo "== unit / integration / property tests =="
+python -m pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== benchmark harness (exhibit regeneration) =="
+if [[ -n "$FULL" ]]; then
+    REPRO_BENCH_FULL=1 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+else
+    python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+fi
+
+echo "== exhibits written to benchmarks/results/ =="
+echo "   (reduced runs write <name>-reduced.txt; full runs own <name>.txt)"
+ls benchmarks/results/

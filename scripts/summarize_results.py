@@ -1,0 +1,114 @@
+"""Summarise benchmarks/results/*.txt into the EXPERIMENTS.md headlines.
+
+Development tool: after a full bench run, prints the handful of numbers
+EXPERIMENTS.md quotes (crossover, large-table factors, Fig. 4 best
+dims, Table VII rows, naive slowdowns) so the document can be checked
+against the artifacts at a glance.  Run:  python scripts/summarize_results.py
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+RESULTS = Path(__file__).parent.parent / "benchmarks" / "results"
+
+
+def _read(name: str) -> str | None:
+    path = RESULTS / name
+    return path.read_text() if path.exists() else None
+
+
+def fig3() -> None:
+    text = _read("fig3.txt")
+    if not text:
+        return
+    print("== fig3 ==")
+    match = re.search(r"crossover size: (\S+)", text)
+    if match:
+        print(f"  crossover: {match.group(1)}")
+    # Per-size best GPU vs OMP28 for the largest sizes.
+    rows: dict[int, dict[str, float]] = {}
+    for m in re.finditer(
+        r"^\s*(\d+)\s+\d+\s+(\S+)\s+([\d.e+-]+)\s*$", text, re.MULTILINE
+    ):
+        size, engine, sim = int(m.group(1)), m.group(2), float(m.group(3))
+        rows.setdefault(size, {})[engine] = sim
+    for size in sorted(rows)[-6:]:
+        times = rows[size]
+        if "omp28" not in times:
+            continue
+        gpu_best = min(
+            ((t, e) for e, t in times.items() if e.startswith("gpu")), default=None
+        )
+        if gpu_best:
+            t, e = gpu_best
+            dim = e.replace("gpu-dim", "DIM")
+            size_str = f"{size:,}".replace(",", " ")
+            print(
+                f"  | {size_str} | {times['omp28']:.3g} | {t:.3g} ({dim}) | "
+                f"{times['omp28'] / t:.1f}x |"
+            )
+
+
+def fig4() -> None:
+    text = _read("fig4.txt")
+    if not text:
+        return
+    print("== fig4 best dims ==")
+    for m in re.finditer(
+        r"size (\d+), (\d+) non-zero dims: best GPU-DIM(\d+) "
+        r"\(paper best column: GPU-DIM(\d+)\)",
+        text,
+    ):
+        print(
+            f"  size {m.group(1)} dims {m.group(2)}: "
+            f"ours DIM{m.group(3)} vs paper DIM{m.group(4)}"
+        )
+
+
+def table7() -> None:
+    text = _read("table_vii.txt")
+    if not text:
+        return
+    print("== table VII ==")
+    for line in text.splitlines():
+        if re.match(r"^\s*\d+\s+\d+", line):
+            print("  " + line.strip())
+
+
+def ablation_naive() -> None:
+    text = _read("ablation_naive.txt")
+    if not text:
+        return
+    print("== naive slowdowns ==")
+    for m in re.finditer(r"([\d.]+)\s*$", text, re.MULTILINE):
+        pass
+    rows = [
+        line.strip().split()
+        for line in text.splitlines()
+        if re.match(r"^\s*\d+\s", line)
+    ]
+    for row in rows:
+        print(f"  size {row[0]}: {row[-1]}x")
+
+
+def tables_i_vi() -> None:
+    text = _read("tables_i_vi.txt")
+    if not text:
+        return
+    match = re.search(r"(\d+)/(\d+) rows reproduce", text)
+    if match:
+        print(f"== tables I-VI: {match.group(0)} ==")
+
+
+def main() -> None:
+    fig3()
+    fig4()
+    table7()
+    ablation_naive()
+    tables_i_vi()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .`` with build isolation)
+cannot build.  This shim lets ``python setup.py develop`` /
+``pip install -e . --no-build-isolation`` fall back to the legacy
+editable path.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""``python -m repro`` — dispatch to the CLI."""
+
+from repro.cli import main
+
+raise SystemExit(main())

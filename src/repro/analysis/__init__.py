@@ -1,0 +1,28 @@
+"""Experiment harness: workloads, sweeps, reporting, one module per exhibit.
+
+``repro.analysis.experiments`` contains a module per paper exhibit
+(Fig. 2, Fig. 3, Fig. 4, Tables I–VI, Table VII, plus the §III ablation
+claims); each exposes a ``run(...)`` returning an
+:class:`~repro.analysis.records.ExperimentResult` that the benchmark
+harness prints next to the paper's reported values.
+"""
+
+from repro.analysis.synthetic import synthetic_probe, SyntheticProbe
+from repro.analysis.workloads import harvest_tables, HarvestedTable
+from repro.analysis.records import ExperimentResult, Row
+from repro.analysis.report import render_table, ascii_plot
+from repro.analysis.stats import geometric_mean, speedups, summarize_speedup
+
+__all__ = [
+    "synthetic_probe",
+    "SyntheticProbe",
+    "harvest_tables",
+    "HarvestedTable",
+    "ExperimentResult",
+    "Row",
+    "render_table",
+    "ascii_plot",
+    "geometric_mean",
+    "speedups",
+    "summarize_speedup",
+]

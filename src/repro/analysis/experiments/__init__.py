@@ -1,0 +1,36 @@
+"""One module per paper exhibit; each exposes ``run(...) -> ExperimentResult``.
+
+* :mod:`~repro.analysis.experiments.fig1` — the OPT(2,3) wavefront on 4 cores.
+* :mod:`~repro.analysis.experiments.fig2` — the 6x6x6 partition example.
+* :mod:`~repro.analysis.experiments.fig3` — runtime vs DP-table size,
+  OMP16/OMP28 vs GPU-DIM3..9, three size groups.
+* :mod:`~repro.analysis.experiments.fig4` — effect of the number of
+  non-zero dimensions at fixed table size.
+* :mod:`~repro.analysis.experiments.tables_i_vi` — block dimensional
+  sizes under GPU-DIM3 vs the best GPU-DIMd.
+* :mod:`~repro.analysis.experiments.table7` — quarter-split iteration
+  counts and runtimes vs OpenMP bisection.
+* :mod:`~repro.analysis.experiments.ablations` — §III design-choice
+  sweeps (naive port, stream count, coalescing).
+* :mod:`~repro.analysis.experiments.sensitivity` — beyond the paper:
+  the CPU/GPU crossover across device generations.
+* :mod:`~repro.analysis.experiments.census` — the §IV-A observation
+  made quantitative: table sizes/dims encountered during bisection.
+"""
+
+from repro.analysis.experiments import (  # noqa: F401
+    ablations,
+    census,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    sensitivity,
+    table7,
+    tables_i_vi,
+)
+
+__all__ = [
+    "fig1", "fig2", "fig3", "fig4", "tables_i_vi", "table7", "ablations",
+    "sensitivity", "census",
+]

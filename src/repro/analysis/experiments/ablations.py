@@ -1,0 +1,106 @@
+"""§III design-choice ablations.
+
+Three claims the paper makes in prose get their own sweeps:
+
+* ``naive_port`` — "a direct GPU translation of the OpenMP
+  implementation is about a hundred times slower than the OpenMP
+  implementation" (§III intro);
+* ``stream_count`` — "applying four streams to each data set provides
+  the best performance for the majority of problem instances" (§III-E);
+* ``coalescing`` — the data-partitioning scheme's effective-bus-
+  utilization gain: strided whole-table scans vs block-contiguous scans
+  (§III-B/E), read off the engines' memory-model metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.records import ExperimentResult
+from repro.analysis.synthetic import synthetic_probe
+from repro.analysis.workloads import HarvestedTable, harvest_tables
+from repro.engines.gpu_naive import GpuNaiveEngine
+from repro.engines.gpu_partitioned import GpuPartitionedEngine
+from repro.engines.openmp_engine import OpenMPEngine
+
+
+def naive_port(
+    size_groups: Sequence[tuple[int, int]] = ((8_000, 30_000), (60_000, 160_000)),
+    seed: int = 99,
+) -> ExperimentResult:
+    """Naive GPU port vs OpenMP: the ~100x claim."""
+    tables = harvest_tables(list(size_groups), per_group=2, seed=seed)
+    result = ExperimentResult(
+        exhibit="ablation-naive",
+        description="direct GPU translation vs OpenMP (paper: ~100x slower)",
+    )
+    for t in tables:
+        omp = OpenMPEngine(threads=28).run(t.counts, t.class_sizes, t.target)
+        naive = GpuNaiveEngine(check_memory=False).run(t.counts, t.class_sizes, t.target)
+        result.rows.append(
+            {
+                "table_size": t.table_size,
+                "omp28_s": omp.simulated_s,
+                "naive_gpu_s": naive.simulated_s,
+                "slowdown": naive.simulated_s / omp.simulated_s,
+            }
+        )
+    return result
+
+
+def stream_count(
+    shape: tuple[int, ...] = (4, 4, 6, 6, 2, 3, 3, 2),
+    streams: Sequence[int] = (1, 2, 4, 8, 16),
+    dim: int = 6,
+) -> ExperimentResult:
+    """Sweep the per-segment stream count (paper fixes 4)."""
+    probe = synthetic_probe(shape)
+    configs = probe.configs()
+    result = ExperimentResult(
+        exhibit="ablation-streams",
+        description=f"stream-count sweep on shape {shape} (paper: 4 streams best)",
+    )
+    for s in streams:
+        engine = GpuPartitionedEngine(dim=dim, num_streams=s)
+        run_ = engine.run(probe.counts, probe.class_sizes, probe.target, configs)
+        result.rows.append(
+            {
+                "streams": s,
+                "simulated_s": run_.simulated_s,
+                "utilization": run_.metrics["utilization"],
+            }
+        )
+    return result
+
+
+def coalescing(
+    shape: tuple[int, ...] = (4, 4, 6, 6, 2, 3, 3, 2), dim: int = 6
+) -> ExperimentResult:
+    """Bus utilization and traffic: partitioned vs naive memory behaviour."""
+    probe = synthetic_probe(shape)
+    configs = probe.configs()
+    part = GpuPartitionedEngine(dim=dim).run(
+        probe.counts, probe.class_sizes, probe.target, configs
+    )
+    naive = GpuNaiveEngine(check_memory=False).run(
+        probe.counts, probe.class_sizes, probe.target, configs
+    )
+    result = ExperimentResult(
+        exhibit="ablation-coalescing",
+        description="memory-system effect of the data-partitioning scheme",
+    )
+    for run_ in (part, naive):
+        result.rows.append(
+            {
+                "engine": run_.engine,
+                "scan_scope": run_.metrics["scan_scope"],
+                "bus_utilization": run_.metrics["avg_bus_utilization"],
+                "bytes_moved": run_.metrics["mem_bytes_moved"],
+                "simulated_s": run_.simulated_s,
+            }
+        )
+    result.notes.append(
+        "partitioned scans are block-contiguous (high bus utilization, "
+        "small scope); the naive port's are table-wide and strided"
+    )
+    return result

@@ -1,0 +1,108 @@
+"""Fig. 3 — average running time vs DP-table size.
+
+The paper plots 36 DP-table sizes in three groups (100–10k, 20k–100k,
+110k–500k) for OMP16, OMP28, and GPU-DIM3..GPU-DIM9, averaging five
+runs.  Our engines are deterministic, so one run per probe suffices;
+the probes themselves are harvested from uniform-random instances with
+the paper's methodology (:func:`repro.analysis.workloads.harvest_tables`).
+
+Expected shapes (§IV-B): OpenMP wins on panel (a); the GPU overtakes
+above roughly the 20k–30k boundary; GPU-DIM3 is the weakest partition
+setting; panel (c)'s curves are smooth because large tables keep the
+device busy end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.analysis.paper_data import FIG3_GROUPS, FIG3_SIZES_PER_GROUP, GPU_DIMS
+from repro.analysis.records import ExperimentResult
+from repro.analysis.workloads import HarvestedTable, harvest_tables
+from repro.engines.gpu_partitioned import GpuPartitionedEngine
+from repro.engines.openmp_engine import OpenMPEngine
+
+
+def default_engines(dims: Sequence[int] = (3, 6, 9)) -> dict[str, Callable[[], object]]:
+    """Engine factories for the Fig. 3 lines.
+
+    ``dims`` defaults to a representative subset of GPU-DIM3..9 to keep
+    runtimes manageable; pass ``repro.analysis.paper_data.GPU_DIMS`` for
+    the paper's full seven settings.
+    """
+    engines: dict[str, Callable[[], object]] = {
+        "omp16": lambda: OpenMPEngine(threads=16),
+        "omp28": lambda: OpenMPEngine(threads=28),
+    }
+    for d in dims:
+        engines[f"gpu-dim{d}"] = lambda d=d: GpuPartitionedEngine(dim=d)
+    return engines
+
+
+def run(
+    groups: Sequence[tuple[int, int]] = tuple(FIG3_GROUPS),
+    per_group: int = FIG3_SIZES_PER_GROUP,
+    dims: Sequence[int] = (3, 6, 9),
+    seed: int = 2018,
+    tables: Sequence[HarvestedTable] | None = None,
+) -> ExperimentResult:
+    """Reproduce Fig. 3: one row per (table, engine).
+
+    ``tables`` overrides harvesting (tests pass small fixed probes).
+    """
+    if tables is None:
+        tables = harvest_tables(list(groups), per_group, seed=seed)
+    engines = default_engines(dims)
+
+    result = ExperimentResult(
+        exhibit="fig3",
+        description=(
+            "Average running time vs DP-table size "
+            f"({len(tables)} tables, engines: {', '.join(engines)})"
+        ),
+    )
+    for table in tables:
+        for name, make in engines.items():
+            engine = make()
+            run_ = engine.run(table.counts, table.class_sizes, table.target)
+            result.rows.append(
+                {
+                    "table_size": table.table_size,
+                    "dims": table.dims,
+                    "engine": name,
+                    "simulated_s": run_.simulated_s,
+                    "group": _group_of(table.table_size, groups),
+                }
+            )
+    result.notes.append(
+        "paper shapes: OpenMP fastest below ~10k; GPU fastest above ~30k; "
+        "GPU-DIM3 the weakest partition setting"
+    )
+    return result
+
+
+def _group_of(size: int, groups: Sequence[tuple[int, int]]) -> str:
+    """Panel label (a/b/c) for a table size."""
+    for i, (lo, hi) in enumerate(groups):
+        if lo <= size <= hi:
+            return chr(ord("a") + i)
+    return "?"
+
+
+def crossover_size(result: ExperimentResult, cpu: str = "omp28", gpu_prefix: str = "gpu-") -> int | None:
+    """Smallest table size where the best GPU setting beats ``cpu``.
+
+    The quantity §IV-B quotes as "larger than 30000".  ``None`` when the
+    GPU never wins in the measured range.
+    """
+    by_size: dict[int, dict[str, float]] = {}
+    for row in result.rows:
+        by_size.setdefault(row["table_size"], {})[row["engine"]] = row["simulated_s"]
+    for size in sorted(by_size):
+        times = by_size[size]
+        gpu_best = min(
+            (t for e, t in times.items() if e.startswith(gpu_prefix)), default=None
+        )
+        if gpu_best is not None and cpu in times and gpu_best < times[cpu]:
+            return size
+    return None

@@ -1,0 +1,74 @@
+"""Fig. 4 — how the number of non-zero dimensions shapes GPU performance.
+
+For each of the six showcased table sizes the paper compares DP-tables
+of *equal size but different dimensionality* (the exact shapes are the
+``dimension size`` columns of Tables I–VI), running each under
+GPU-DIM3..GPU-DIM9.  Expected shapes (§IV-B): the best setting
+partitions along roughly 5–7 dimensions; tables with more non-zero
+dimensions generally beat same-size tables with fewer (extra dimensions
+"scatter the high-density dimensions", improving block regularity) —
+with exceptions the paper itself notes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.paper_data import FIG4_SIZES, GPU_DIMS, TABLES_I_TO_VI
+from repro.analysis.records import ExperimentResult
+from repro.analysis.synthetic import synthetic_probe
+from repro.engines.gpu_partitioned import GpuPartitionedEngine
+
+
+def run(
+    sizes: Sequence[int] = tuple(FIG4_SIZES),
+    dims_settings: Sequence[int] = tuple(GPU_DIMS),
+) -> ExperimentResult:
+    """One row per (table size, table shape, partition setting)."""
+    result = ExperimentResult(
+        exhibit="fig4",
+        description=(
+            "GPU runtime vs number of partitioned dimensions, for "
+            "equal-size tables of different dimensionality (shapes from "
+            "Tables I-VI)"
+        ),
+    )
+    for size in sizes:
+        if size not in TABLES_I_TO_VI:
+            raise KeyError(f"no paper shapes recorded for table size {size}")
+        for paper_row in TABLES_I_TO_VI[size]:
+            probe = synthetic_probe(paper_row.dimension_sizes)
+            assert probe.table_size == size, (probe.table_size, size)
+            configs = probe.configs()
+            for dim in dims_settings:
+                engine = GpuPartitionedEngine(dim=dim)
+                run_ = engine.run(
+                    probe.counts, probe.class_sizes, probe.target, configs
+                )
+                result.rows.append(
+                    {
+                        "table_size": size,
+                        "n_dims": paper_row.n_dims,
+                        "partition_dim": dim,
+                        "simulated_s": run_.simulated_s,
+                        "block_shape": run_.metrics["block_shape"],
+                        "num_blocks": run_.metrics["num_blocks"],
+                    }
+                )
+    result.notes.append(
+        "paper shapes: best setting at 5-7 partitioned dimensions; "
+        "higher-dimensional tables of the same size are usually faster"
+    )
+    return result
+
+
+def best_partition_dim(result: ExperimentResult, table_size: int, n_dims: int) -> int:
+    """The partition setting with the lowest simulated time for one shape."""
+    rows = [
+        r
+        for r in result.rows
+        if r["table_size"] == table_size and r["n_dims"] == n_dims
+    ]
+    if not rows:
+        raise KeyError(f"no rows for size={table_size}, n_dims={n_dims}")
+    return min(rows, key=lambda r: r["simulated_s"])["partition_dim"]

@@ -1,0 +1,128 @@
+"""Table VII — quarter split vs OpenMP bisection: iterations and runtime.
+
+The paper picks "designated configurations" identified by their DP-table
+size and counts (a) the bisection iterations to the best makespan and
+(b) the total runtime, for the GPU quarter split and the OpenMP
+implementation.  Expected shapes: the quarter split needs roughly half
+the iterations; OpenMP remains competitive at the small sizes (12960,
+20736) and loses by an order of magnitude at 403200.
+
+We reproduce this per size by finding a uniform-random instance whose
+*first bisection probe* produces a DP-table near the requested size
+(the paper's sizes are themselves harvested from such runs), then
+running both full PTAS drivers on it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.records import ExperimentResult
+from repro.analysis.paper_data import TABLE_VII
+from repro.core.bounds import makespan_bounds
+from repro.core.instance import Instance, uniform_instance
+from repro.core.rounding import round_instance
+from repro.engines.runner import run_ptas_gpu, run_ptas_openmp
+from repro.errors import InvalidInstanceError
+from repro.util.rng import make_rng
+
+
+def find_instance_with_table_size(
+    target_size: int,
+    eps: float = 0.3,
+    seed: int = 0,
+    tolerance: float = 0.25,
+    attempts: int = 3000,
+) -> Instance:
+    """Instance whose first-probe DP-table is within ``tolerance`` of size.
+
+    Deterministic given ``seed``.  Raises when no instance lands inside
+    the tolerance after ``attempts`` draws (loosen it rather than
+    silently returning something far off).
+    """
+    rng = make_rng(seed)
+    best: tuple[float, Instance] | None = None
+    for _ in range(attempts):
+        n = int(rng.integers(20, 140))
+        m = int(rng.integers(4, 28))
+        inst = uniform_instance(n, m, low=5, high=100, seed=int(rng.integers(1 << 62)))
+        bounds = makespan_bounds(inst)
+        # The bisection probes several targets; the *largest* table it
+        # builds dominates the runtime, so that is the size by which
+        # the paper identifies its "designated configurations".  Sample
+        # the probe targets the searches actually visit.
+        lb, ub = bounds.lower, bounds.upper
+        probe_targets = {(lb + ub) // 2, (3 * lb + ub) // 4, lb + (ub - lb) // 8}
+        sizes = []
+        for t in probe_targets:
+            rounded = round_instance(inst, max(t, 1), eps)
+            if rounded.dims:
+                sizes.append(rounded.table_size)
+        if not sizes:
+            continue
+        err = abs(max(sizes) - target_size) / target_size
+        if best is None or err < best[0]:
+            best = (err, inst)
+        if err <= tolerance / 4:
+            break
+    if best is None or best[0] > tolerance:
+        raise InvalidInstanceError(
+            f"no instance within {tolerance:.0%} of table size {target_size} "
+            f"after {attempts} attempts (best: {best[0]:.0%} off)" if best else
+            f"no instance produced any DP-table in {attempts} attempts"
+        )
+    return best[1]
+
+
+def run(
+    sizes: Sequence[int] = (12960, 20736, 27360, 30240),
+    eps: float = 0.3,
+    dim: int = 6,
+    seed: int = 7,
+) -> ExperimentResult:
+    """One row per designated size; paper values attached for comparison.
+
+    The default omits the paper's 403200 row because it costs minutes of
+    wall time; pass ``sizes=(..., 403200)`` (the bench's full mode does)
+    to include it.
+    """
+    paper = {row.table_size: row for row in TABLE_VII}
+    result = ExperimentResult(
+        exhibit="table7",
+        description=(
+            "Iterations and simulated runtime: GPU quarter split vs "
+            "OpenMP bisection"
+        ),
+    )
+    for size in sizes:
+        inst = find_instance_with_table_size(size, eps=eps, seed=seed + size)
+        omp = run_ptas_openmp(inst, eps=eps)
+        gpu = run_ptas_gpu(inst, eps=eps, dim=dim)
+        if gpu.result.final_target != omp.result.final_target:
+            raise InvalidInstanceError(
+                f"search strategies disagree on the converged target at size {size}"
+            )
+        row: dict = {
+            "table_size": size,
+            "actual_max_table": max(max(omp.dp_table_sizes), max(gpu.dp_table_sizes)),
+            "gpu_itr": gpu.iterations,
+            "gpu_ms": gpu.simulated_s * 1e3,
+            "omp_itr": omp.iterations,
+            "omp_ms": omp.simulated_s * 1e3,
+            "makespan": gpu.makespan,
+        }
+        if size in paper:
+            ref = paper[size]
+            row.update(
+                paper_gpu_itr=ref.gpu_iterations,
+                paper_gpu_ms=ref.gpu_runtime_ms,
+                paper_omp_itr=ref.openmp_iterations,
+                paper_omp_ms=ref.openmp_runtime_ms,
+            )
+        result.rows.append(row)
+    result.notes.append(
+        "paper shapes: quarter split needs ~half the iterations; GPU and "
+        "OpenMP runtimes comparable at 12960-20736, GPU decisively ahead "
+        "from ~27360 and ~30x ahead at 403200"
+    )
+    return result

@@ -1,0 +1,60 @@
+"""Result records shared by all experiments.
+
+An experiment produces an :class:`ExperimentResult`: an exhibit id, a
+list of uniform :class:`Row` mappings, and free-form notes.  The
+benches print them (via :mod:`repro.analysis.report`) and the tests
+assert on them, so the schema stays deliberately plain (string keys,
+scalar values) rather than growing per-experiment classes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+Row = Mapping[str, Any]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one exhibit reproduction."""
+
+    exhibit: str  # e.g. "fig3a", "table7"
+    description: str
+    rows: list[Row] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def column(self, key: str) -> list[Any]:
+        """Values of one column across all rows (missing keys -> None)."""
+        return [row.get(key) for row in self.rows]
+
+    def filter(self, **conditions: Any) -> "ExperimentResult":
+        """Rows matching all equality conditions, as a new result."""
+        rows = [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in conditions.items())
+        ]
+        return ExperimentResult(
+            exhibit=self.exhibit, description=self.description, rows=rows,
+            notes=list(self.notes),
+        )
+
+    def to_json(self) -> str:
+        """Serialise for EXPERIMENTS.md regeneration and archiving."""
+        def _default(o: Any):
+            if hasattr(o, "tolist"):
+                return o.tolist()
+            return str(o)
+
+        return json.dumps(
+            {
+                "exhibit": self.exhibit,
+                "description": self.description,
+                "rows": [dict(r) for r in self.rows],
+                "notes": self.notes,
+            },
+            indent=2,
+            default=_default,
+        )

@@ -1,0 +1,105 @@
+"""Statistics helpers for performance comparisons.
+
+Speedup aggregation done right: speedups are ratios, so they aggregate
+by **geometric** mean (arithmetic means of ratios overweight outliers
+and are not reciprocal-consistent).  The bootstrap interval quantifies
+how stable a measured crossover or speedup is across the harvested
+workload sample — useful because the paper reports single runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.util.rng import SeedLike, make_rng
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the right mean for ratios)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("geometric mean of an empty sequence")
+    if (arr <= 0).any():
+        raise ReproError("geometric mean requires strictly positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def speedups(baseline: Sequence[float], contender: Sequence[float]) -> np.ndarray:
+    """Per-item speedup ``baseline / contender`` (>1 = contender faster)."""
+    a = np.asarray(baseline, dtype=np.float64)
+    b = np.asarray(contender, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ReproError("baseline and contender must have equal length")
+    if (a <= 0).any() or (b <= 0).any():
+        raise ReproError("times must be strictly positive")
+    return a / b
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A two-sided bootstrap confidence interval for a statistic."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+
+def bootstrap_geomean_ci(
+    ratios: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: SeedLike = 0,
+) -> BootstrapCI:
+    """Bootstrap CI for the geometric-mean ratio.
+
+    Percentile bootstrap over ``resamples`` with-replacement resamples;
+    deterministic given ``seed``.
+    """
+    if not (0.0 < confidence < 1.0):
+        raise ReproError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 10:
+        raise ReproError(f"resamples must be >= 10, got {resamples}")
+    arr = np.asarray(ratios, dtype=np.float64)
+    if arr.size == 0 or (arr <= 0).any():
+        raise ReproError("ratios must be non-empty and positive")
+    rng = make_rng(seed)
+    logs = np.log(arr)
+    idx = rng.integers(0, arr.size, size=(resamples, arr.size))
+    means = np.exp(logs[idx].mean(axis=1))
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        estimate=geometric_mean(arr),
+        lower=float(np.quantile(means, alpha)),
+        upper=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def summarize_speedup(
+    baseline: Sequence[float],
+    contender: Sequence[float],
+    confidence: float = 0.95,
+    seed: SeedLike = 0,
+) -> dict:
+    """One-call summary: per-item ratios, geomean, CI, win rate."""
+    ratios = speedups(baseline, contender)
+    ci = bootstrap_geomean_ci(ratios, confidence=confidence, seed=seed)
+    return {
+        "geomean_speedup": ci.estimate,
+        "ci_lower": ci.lower,
+        "ci_upper": ci.upper,
+        "confidence": confidence,
+        "win_rate": float((ratios > 1.0).mean()),
+        "min": float(ratios.min()),
+        "max": float(ratios.max()),
+        "n": int(ratios.size),
+    }

@@ -1,0 +1,93 @@
+"""Synthetic DP probes with a prescribed table shape.
+
+Fig. 4 and Tables I–VI analyse *specific DP-table shapes* (the paper
+lists dimension sizes explicitly).  During a real PTAS run the shape
+depends on the instance and the bisection state, so the paper's authors
+filtered their logs for matching shapes; we instead construct a probe
+with the exact shape directly — same table, same wavefronts, same
+partitioning — by choosing class sizes and a target consistent with the
+PTAS's own rounding geometry (eps = 0.3 → k = 4, class sizes are
+multiples of ``T/k^2`` in ``(T/k, T]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.configs import enumerate_configurations
+from repro.core.rounding import accuracy_k
+from repro.errors import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class SyntheticProbe:
+    """A DP probe (counts, class sizes, target) with a chosen shape."""
+
+    counts: tuple[int, ...]
+    class_sizes: tuple[int, ...]
+    target: int
+
+    @property
+    def table_shape(self) -> tuple[int, ...]:
+        """Table extents ``(n_i + 1)``."""
+        return tuple(c + 1 for c in self.counts)
+
+    @property
+    def table_size(self) -> int:
+        """Total cells ``sigma``."""
+        out = 1
+        for c in self.counts:
+            out *= c + 1
+        return out
+
+    @property
+    def dims(self) -> int:
+        """Number of (non-zero) dimensions."""
+        return len(self.counts)
+
+    def configs(self) -> np.ndarray:
+        """The machine-configuration set for this probe."""
+        return enumerate_configurations(self.class_sizes, self.counts, self.target)
+
+
+def synthetic_probe(
+    shape: Sequence[int], eps: float = 0.3, unit: int = 10
+) -> SyntheticProbe:
+    """Build a probe whose DP-table has exactly ``shape``.
+
+    With ``k = ceil(1/eps)`` the rounding unit is ``T/k^2``; choosing
+    ``T = k^2 * unit`` makes the unit exactly ``unit`` and the feasible
+    long-job class indices ``k+1 .. k^2`` (sizes in ``(T/k, T]``).  The
+    ``d`` dimensions get distinct class indices spread evenly over that
+    range — small indices admit multi-job machine configurations, large
+    ones only single-job, reproducing the heterogeneous per-cell
+    workloads of real probes.
+
+    Raises when ``shape`` has more dimensions than there are distinct
+    feasible classes (``k^2 - k``; 12 for the paper's eps = 0.3).
+    """
+    shape = tuple(int(s) for s in shape)
+    if any(s < 2 for s in shape):
+        raise InvalidInstanceError(
+            f"every table extent must be >= 2 (>= 1 job per class), got {shape}"
+        )
+    k = accuracy_k(eps)
+    max_classes = k * k - k
+    d = len(shape)
+    if d > max_classes:
+        raise InvalidInstanceError(
+            f"{d} dimensions exceed the {max_classes} long-job classes of eps={eps}"
+        )
+    # Distinct class indices, evenly spread over (k, k^2].
+    indices = np.unique(np.round(np.linspace(k + 1, k * k, d)).astype(int))
+    while indices.size < d:
+        # Rounding collided; fill in the unused indices deterministically.
+        missing = [i for i in range(k + 1, k * k + 1) if i not in indices]
+        indices = np.sort(np.concatenate([indices, missing[: d - indices.size]]))
+    target = k * k * unit
+    class_sizes = tuple(int(i) * unit for i in indices)
+    counts = tuple(s - 1 for s in shape)
+    return SyntheticProbe(counts=counts, class_sizes=class_sizes, target=target)

@@ -1,0 +1,104 @@
+"""Workload generation: harvesting DP-tables the way the paper did.
+
+The paper evaluates per-DP-table, not per-instance (§IV-A): one PTAS
+run produces several DP-tables of different sizes (one per probed
+target), so the authors collected tables from many uniform-random
+instances and *selected* sizes spanning their three groups.
+:func:`harvest_tables` reproduces that methodology: run the rounding
+step over a seeded pool of uniform instances and random targets inside
+the instance's ``[LB, UB]``, collect the ``(counts, sizes, target)``
+probes, and pick a spread of table sizes per requested group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bounds import makespan_bounds
+from repro.core.instance import uniform_instance
+from repro.core.rounding import round_instance
+from repro.errors import InvalidInstanceError
+from repro.util.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class HarvestedTable:
+    """One DP probe harvested from a random instance's bisection."""
+
+    counts: tuple[int, ...]
+    class_sizes: tuple[int, ...]
+    target: int
+    table_size: int
+    dims: int
+    n_jobs: int
+    machines: int
+
+
+def harvest_tables(
+    groups: list[tuple[int, int]],
+    per_group: int,
+    eps: float = 0.3,
+    seed: SeedLike = 0,
+    pool_size: int = 4000,
+    job_range: tuple[int, int] = (20, 140),
+    machine_range: tuple[int, int] = (4, 28),
+    time_range: tuple[int, int] = (5, 100),
+) -> list[HarvestedTable]:
+    """Collect ``per_group`` DP-tables per size group.
+
+    Draws up to ``pool_size`` (instance, target) probes, keeps those
+    whose table size lands in a group, and returns an evenly spread
+    selection per group, sorted by size.  Raises if a group cannot be
+    filled — enlarge ``pool_size`` rather than silently under-covering.
+    """
+    if per_group < 1:
+        raise InvalidInstanceError(f"per_group must be >= 1, got {per_group}")
+    rng = make_rng(seed)
+    buckets: list[list[HarvestedTable]] = [[] for _ in groups]
+    seen_sizes: set[int] = set()
+
+    for _ in range(pool_size):
+        n = int(rng.integers(job_range[0], job_range[1] + 1))
+        m = int(rng.integers(machine_range[0], machine_range[1] + 1))
+        inst = uniform_instance(
+            n, m, low=time_range[0], high=time_range[1],
+            seed=int(rng.integers(1 << 62)),
+        )
+        bounds = makespan_bounds(inst)
+        target = int(rng.integers(bounds.lower, bounds.upper + 1))
+        rounded = round_instance(inst, target, eps)
+        if rounded.dims == 0:
+            continue
+        size = rounded.table_size
+        if size in seen_sizes:
+            continue
+        for g, (lo, hi) in enumerate(groups):
+            if lo <= size <= hi:
+                seen_sizes.add(size)
+                buckets[g].append(
+                    HarvestedTable(
+                        counts=rounded.counts,
+                        class_sizes=rounded.class_sizes,
+                        target=rounded.target,
+                        table_size=size,
+                        dims=rounded.dims,
+                        n_jobs=n,
+                        machines=m,
+                    )
+                )
+                break
+
+    selected: list[HarvestedTable] = []
+    for g, bucket in enumerate(buckets):
+        if len(bucket) < per_group:
+            raise InvalidInstanceError(
+                f"group {groups[g]} yielded only {len(bucket)} tables; "
+                f"increase pool_size"
+            )
+        bucket.sort(key=lambda t: t.table_size)
+        # Even spread across the group's size range.
+        picks = np.linspace(0, len(bucket) - 1, per_group).round().astype(int)
+        selected.extend(bucket[int(i)] for i in sorted(set(picks.tolist())))
+    return sorted(selected, key=lambda t: t.table_size)

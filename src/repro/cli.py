@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands:
+
+* ``schedule`` — run the PTAS (and the classical baselines) on an
+  instance given inline or generated at random;
+* ``engines`` — fill one DP probe on every simulated engine and print
+  the simulated-time comparison (a miniature Fig. 3 row);
+* ``experiment`` — regenerate a paper exhibit at reduced scale and
+  print its report (the benchmarks run the full versions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.report import render_table
+from repro.core.baselines import lpt_schedule, multifit_schedule
+from repro.core.instance import Instance, uniform_instance
+from repro.core.ptas import ptas_schedule
+from repro.core.rounding import round_instance
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU-style parallel PTAS for P||Cmax (IPDPS-W 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sched = sub.add_parser("schedule", help="schedule an instance with the PTAS")
+    p_sched.add_argument(
+        "--times", type=int, nargs="+", help="job processing times (integers)"
+    )
+    p_sched.add_argument("--machines", type=int, help="required unless --from-file")
+    p_sched.add_argument(
+        "--random", type=int, metavar="N", help="generate N uniform random jobs"
+    )
+    p_sched.add_argument("--low", type=int, default=1)
+    p_sched.add_argument("--high", type=int, default=100)
+    p_sched.add_argument("--seed", type=int, default=None)
+    p_sched.add_argument("--eps", type=float, default=0.3)
+    p_sched.add_argument(
+        "--search", choices=["bisection", "quarter"], default="quarter"
+    )
+    p_sched.add_argument(
+        "--baselines", action="store_true", help="also run LPT and MULTIFIT"
+    )
+    p_sched.add_argument(
+        "--from-file", metavar="PATH",
+        help="read the instance from a repro.core.io text file",
+    )
+    p_sched.add_argument(
+        "--save-schedule", metavar="PATH",
+        help="write the resulting schedule to a text file",
+    )
+
+    p_eng = sub.add_parser(
+        "engines", help="compare simulated engines on one DP probe"
+    )
+    p_eng.add_argument("--jobs", type=int, default=40)
+    p_eng.add_argument("--machines", type=int, default=6)
+    p_eng.add_argument("--target", type=int, default=None, help="makespan target T")
+    p_eng.add_argument("--seed", type=int, default=7)
+    p_eng.add_argument("--eps", type=float, default=0.3)
+    p_eng.add_argument(
+        "--dims", type=int, nargs="+", default=[3, 6, 9],
+        help="GPU partition settings to include",
+    )
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper exhibit (reduced)")
+    p_exp.add_argument(
+        "exhibit",
+        choices=["fig1", "fig2", "fig3", "fig4", "tables", "table7", "ablations", "census"],
+    )
+    return parser
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    if not args.from_file and args.machines is None:
+        print("error: --machines is required unless --from-file", file=sys.stderr)
+        return 2
+    if args.from_file:
+        from repro.core.io import load_instance
+
+        inst = load_instance(args.from_file)
+    elif args.random is not None:
+        inst = uniform_instance(
+            args.random, args.machines, low=args.low, high=args.high, seed=args.seed
+        )
+    elif args.times:
+        inst = Instance(times=tuple(args.times), machines=args.machines)
+    else:
+        print("error: provide --times, --random N, or --from-file", file=sys.stderr)
+        return 2
+
+    result = ptas_schedule(inst, eps=args.eps, search=args.search)
+    print(f"instance: {inst}")
+    print(
+        f"PTAS(eps={args.eps}, {args.search}): makespan {result.makespan} "
+        f"(proven <= {result.guarantee_bound():.1f}, "
+        f"{result.iterations} iterations, {len(result.probes)} DP probes)"
+    )
+    print(f"loads: {result.schedule.loads().tolist()}")
+    if args.save_schedule:
+        from repro.core.io import save_schedule
+
+        save_schedule(result.schedule, args.save_schedule)
+        print(f"schedule written to {args.save_schedule}")
+    if args.baselines:
+        print(f"LPT:      makespan {lpt_schedule(inst).makespan}")
+        print(f"MULTIFIT: makespan {multifit_schedule(inst).makespan}")
+    return 0
+
+
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from repro.core.bounds import makespan_bounds
+    from repro.engines import (
+        GpuNaiveEngine,
+        GpuPartitionedEngine,
+        OpenMPEngine,
+        SequentialEngine,
+    )
+
+    inst = uniform_instance(args.jobs, args.machines, low=5, high=100, seed=args.seed)
+    bounds = makespan_bounds(inst)
+    # Default near the lower bound: that is where the bisection spends
+    # its time and where tables are big enough to be interesting.
+    target = args.target or bounds.lower + max(1, bounds.width // 8)
+    rounded = round_instance(inst, target, args.eps)
+    if rounded.dims == 0:
+        print("all jobs are short at this target; nothing for the DP to do")
+        return 0
+    print(
+        f"probe: T={target}, table shape {rounded.table_shape} "
+        f"({rounded.table_size} cells, {rounded.dims} dims)"
+    )
+
+    engines = [SequentialEngine(), OpenMPEngine(16), OpenMPEngine(28),
+               GpuNaiveEngine(check_memory=False)]
+    engines += [GpuPartitionedEngine(dim=d) for d in args.dims]
+    rows = []
+    opt = None
+    for engine in engines:
+        run = engine.run(rounded.counts, rounded.class_sizes, rounded.target)
+        opt = run.dp_result.opt if opt is None else opt
+        assert run.dp_result.opt == opt, "engines disagree!"
+        rows.append({"engine": run.engine, "simulated_s": run.simulated_s})
+    print(render_table(rows))
+    print(f"OPT(N) = {opt} machines (identical across engines)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import (
+        ablations, census, fig1, fig2, fig3, fig4, table7, tables_i_vi,
+    )
+
+    if args.exhibit == "fig1":
+        result = fig1.run()
+        print(render_table(result.rows, title=result.description))
+    elif args.exhibit == "fig2":
+        result = fig2.run()
+        print(render_table(result.rows, title=result.description))
+    elif args.exhibit == "fig3":
+        result = fig3.run(
+            groups=[(100, 10_000), (20_000, 100_000)], per_group=3, dims=(3, 6)
+        )
+        print(render_table(result.rows, title=result.description))
+        print(f"crossover: {fig3.crossover_size(result)}")
+    elif args.exhibit == "fig4":
+        result = fig4.run(sizes=(3456,))
+        keep = ["table_size", "n_dims", "partition_dim", "simulated_s"]
+        print(render_table([{k: r[k] for k in keep} for r in result.rows],
+                           title=result.description))
+    elif args.exhibit == "tables":
+        result = tables_i_vi.run()
+        print(render_table(result.rows, title=result.description))
+    elif args.exhibit == "table7":
+        result = table7.run(sizes=(12960, 20736))
+        print(render_table(result.rows, title=result.description))
+    elif args.exhibit == "census":
+        result = census.run(population=10)
+        print(render_table(result.rows, title=result.description))
+    else:
+        for fn in (ablations.naive_port, ablations.stream_count, ablations.coalescing):
+            result = fn()
+            print(render_table(result.rows, title=result.description))
+            print()
+    for note in getattr(result, "notes", []):
+        print(note)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    if args.command == "engines":
+        return _cmd_engines(args)
+    return _cmd_experiment(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

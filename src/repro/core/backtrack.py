@@ -1,0 +1,64 @@
+"""Schedule extraction from a filled DP-table (Algorithm 1, line 10).
+
+The DP stores only machine *counts*; to produce an actual schedule we
+walk back from the full job vector ``N`` to the origin, peeling off one
+machine configuration per step.  At cell ``u`` any configuration ``c``
+with ``OPT(u - c) == OPT(u) - 1`` is a valid greedy choice (the DP
+recurrence guarantees at least one exists for every reachable non-origin
+cell), so the walk takes ``OPT(N)`` steps, each scanning the
+configuration set once — negligible next to the table fill.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dp_common import DPResult, UNREACHABLE
+from repro.errors import InfeasibleError, DPError
+
+
+def extract_machine_configurations(result: DPResult) -> list[tuple[int, ...]]:
+    """Peel the full job vector into one configuration per machine.
+
+    Returns ``OPT(N)`` class-count vectors whose componentwise sum is
+    exactly ``N`` (verified before returning).  Raises
+    :class:`InfeasibleError` when ``OPT(N)`` is unreachable.
+    """
+    table = result.table
+    if table.ndim == 0:
+        return []
+    full = tuple(s - 1 for s in table.shape)
+    if int(table[full]) >= UNREACHABLE:
+        raise InfeasibleError(
+            f"no packing of job vector {full} exists for this target"
+        )
+
+    configs = result.configs
+    u = np.asarray(full, dtype=np.int64)
+    chosen: list[tuple[int, ...]] = []
+    current = int(table[full])
+    while current > 0:
+        applicable = (configs <= u).all(axis=1)
+        found = False
+        for row in np.flatnonzero(applicable):
+            prev = u - configs[row]
+            if int(table[tuple(prev)]) == current - 1:
+                chosen.append(tuple(int(x) for x in configs[row]))
+                u = prev
+                current -= 1
+                found = True
+                break
+        if not found:
+            raise DPError(
+                f"DP table inconsistent: cell {tuple(u)} has OPT={current} "
+                "but no predecessor with OPT-1"
+            )
+    if u.any():
+        raise DPError("backtrack terminated before reaching the origin")
+
+    total = np.zeros(table.ndim, dtype=np.int64)
+    for cfg in chosen:
+        total += np.asarray(cfg)
+    if not np.array_equal(total, np.asarray(full)):
+        raise DPError("extracted configurations do not sum to the job vector")
+    return chosen

@@ -1,0 +1,20 @@
+"""Classic ``P || Cmax`` heuristics and an exact solver.
+
+These are the comparison points the paper's introduction situates the
+PTAS against: list scheduling (Graham, 2-approximation), LPT
+(4/3-approximation), MULTIFIT (13/11), and — for small instances — an
+exact branch-and-bound used by the tests to verify the PTAS's
+``(1 + eps)`` guarantee against the true optimum.
+"""
+
+from repro.core.baselines.listsched import list_schedule
+from repro.core.baselines.lpt import lpt_schedule
+from repro.core.baselines.multifit import multifit_schedule
+from repro.core.baselines.exact import branch_and_bound_optimal
+
+__all__ = [
+    "list_schedule",
+    "lpt_schedule",
+    "multifit_schedule",
+    "branch_and_bound_optimal",
+]

@@ -1,0 +1,41 @@
+"""Graham list scheduling — the classic online 2-approximation.
+
+Jobs are taken in the given order and each goes to the currently
+least-loaded machine.  Guarantee: makespan <= (2 - 1/m) * OPT.  Besides
+being a baseline, it furnishes the PTAS's initial upper bound
+(``avg + max``; see :mod:`repro.core.bounds`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Sequence
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.errors import InvalidInstanceError
+
+
+def list_schedule(instance: Instance, order: Optional[Sequence[int]] = None) -> Schedule:
+    """Schedule jobs in ``order`` (default: input order) greedily.
+
+    ``order`` must be a permutation of ``range(n)``; it lets LPT and the
+    tests reuse this core loop with custom priorities.
+    """
+    n = instance.n_jobs
+    if order is None:
+        order = range(n)
+    else:
+        order = [int(j) for j in order]
+        if sorted(order) != list(range(n)):
+            raise InvalidInstanceError("order must be a permutation of all job indices")
+
+    assignment = [0] * n
+    # Heap of (load, machine); machine index breaks ties deterministically.
+    heap = [(0, i) for i in range(instance.machines)]
+    heapq.heapify(heap)
+    for j in order:
+        load, machine = heapq.heappop(heap)
+        assignment[j] = machine
+        heapq.heappush(heap, (load + instance.times[j], machine))
+    return Schedule(instance, tuple(assignment))

@@ -1,0 +1,57 @@
+"""Lower and upper bounds on the optimal makespan (Algorithm 1, lines 2–3).
+
+The PTAS bisects the target makespan over ``[LB, UB]`` where::
+
+    LB = max( ceil(sum(t) / m),  max(t) )
+    UB = ceil(sum(t) / m) + max(t)
+
+``LB`` is valid because the optimum can be no smaller than the average
+machine load nor than the largest single job; ``UB`` is valid because
+Graham list scheduling always achieves ``avg + max`` (each machine's
+load exceeds the average by less than one job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instance import Instance
+
+
+@dataclass(frozen=True)
+class MakespanBounds:
+    """The bisection interval ``[lower, upper]`` for an instance."""
+
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if self.lower < 1 or self.upper < self.lower:
+            raise ValueError(f"invalid bounds [{self.lower}, {self.upper}]")
+
+    @property
+    def width(self) -> int:
+        """``upper - lower`` — the initial bisection range size."""
+        return self.upper - self.lower
+
+    def quarter_points(self, segments: int = 4) -> list[tuple[int, int]]:
+        """Split ``[lower, upper]`` into ``segments`` contiguous pieces.
+
+        Implements Algorithm 3 lines 2–4: segment ``p`` spans
+        ``[LB_p, UB_p]`` with ``LB_0 = lower``, ``UB_{last} = upper``,
+        and interior boundaries at even fractions of the range.  The
+        segments tile the interval: ``UB_p == LB_{p+1}``.
+        """
+        if segments < 1:
+            raise ValueError(f"segments must be >= 1, got {segments}")
+        points = [
+            self.lower + (self.width * p) // segments for p in range(segments)
+        ] + [self.upper]
+        return [(points[p], points[p + 1]) for p in range(segments)]
+
+
+def makespan_bounds(instance: Instance) -> MakespanBounds:
+    """Compute ``[LB, UB]`` for ``instance`` per Algorithm 1."""
+    lb = max(instance.area_bound, instance.max_time)
+    ub = instance.area_bound + instance.max_time
+    return MakespanBounds(lower=lb, upper=ub)

@@ -1,0 +1,130 @@
+"""Machine-configuration enumeration (the set ``C`` of Equation 1).
+
+A *machine configuration* is a vector ``(s_1, ..., s_d)`` saying how many
+rounded long jobs of each class one machine runs, subject to the rounded
+total fitting in the target: ``sum_i s_i * size_i <= T``.  The DP
+recurrence subtracts configurations from the remaining-jobs vector, so
+the configuration set bounds both the DP's branching factor and — in the
+paper's GPU analysis — the per-thread workload (`#subconfig` in
+Algorithm 5).
+
+Enumeration is a depth-first product over classes with budget pruning.
+Sizes are visited largest-first so infeasible branches die early; the
+result is returned as a C-contiguous ``(num_configs, d)`` int64 array in
+lexicographic order of the original class order, excluding the all-zero
+vector (assigning an empty machine never helps the recurrence).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.rounding import RoundedInstance
+from repro.errors import DPError
+
+
+def enumerate_configurations(
+    class_sizes: Sequence[int],
+    counts: Sequence[int],
+    target: int,
+    include_zero: bool = False,
+) -> np.ndarray:
+    """All vectors ``s`` with ``0 <= s_i <= counts[i]`` and ``s . sizes <= target``.
+
+    Parameters
+    ----------
+    class_sizes:
+        Rounded size of each job class (positive, strictly increasing
+        not required but typical).
+    counts:
+        Per-class job counts; configurations never exceed them because a
+        machine cannot run more jobs of a class than exist.
+    target:
+        The makespan budget ``T``.
+    include_zero:
+        When True, the all-zero configuration is included as row 0
+        (useful for tests that count lattice points); the DP never wants
+        it.
+
+    Returns
+    -------
+    ``(num_configs, d)`` int64 array.  ``d == len(class_sizes)``.  For a
+    zero-dimensional instance (no long jobs) returns an empty
+    ``(0, 0)`` array.
+    """
+    sizes = [int(s) for s in class_sizes]
+    caps = [int(c) for c in counts]
+    if len(sizes) != len(caps):
+        raise DPError(
+            f"class_sizes (d={len(sizes)}) and counts (d={len(caps)}) disagree"
+        )
+    if any(s <= 0 for s in sizes):
+        raise DPError(f"class sizes must be positive, got {sizes}")
+    if any(c < 0 for c in caps):
+        raise DPError(f"counts must be non-negative, got {caps}")
+    if target < 0:
+        raise DPError(f"target must be >= 0, got {target}")
+    d = len(sizes)
+    if d == 0:
+        return np.zeros((0, 0), dtype=np.int64)
+
+    # Visit classes in descending size so the budget shrinks fastest and
+    # pruning is maximal; record the permutation to restore class order.
+    order = sorted(range(d), key=lambda i: -sizes[i])
+    inv = np.argsort(order)
+
+    out: list[list[int]] = []
+    current = [0] * d
+
+    def dfs(pos: int, budget: int) -> None:
+        if pos == d:
+            out.append(current.copy())
+            return
+        cls = order[pos]
+        size = sizes[cls]
+        max_here = min(caps[cls], budget // size)
+        for s in range(max_here + 1):
+            current[pos] = s
+            dfs(pos + 1, budget - s * size)
+        current[pos] = 0
+
+    dfs(0, int(target))
+    arr = np.asarray(out, dtype=np.int64)
+    if arr.size == 0:
+        arr = arr.reshape(0, d)
+    else:
+        arr = arr[:, inv]  # restore original class order
+    if not include_zero:
+        nonzero = arr.any(axis=1)
+        arr = arr[nonzero]
+    # Lexicographic order keeps engines and tests deterministic.
+    if arr.shape[0] > 1:
+        arr = arr[np.lexsort(arr.T[::-1])]
+    return np.ascontiguousarray(arr)
+
+
+def configurations_for(rounded: RoundedInstance, include_zero: bool = False) -> np.ndarray:
+    """Configuration set for a :class:`RoundedInstance` (its own ``T``)."""
+    return enumerate_configurations(
+        rounded.class_sizes, rounded.counts, rounded.target, include_zero=include_zero
+    )
+
+
+def count_subconfigurations(configs: np.ndarray, cell: np.ndarray) -> int:
+    """Number of configurations applicable at a DP cell (``c <= cell``).
+
+    This is the ``#subconfig`` quantity of Algorithm 5 — the per-thread
+    workload the paper's data-partitioning scheme balances.
+    """
+    if configs.shape[0] == 0:
+        return 0
+    return int(np.count_nonzero((configs <= np.asarray(cell)).all(axis=1)))
+
+
+def max_jobs_per_machine(configs: np.ndarray) -> int:
+    """Largest total job count in any configuration (<= k by the PTAS split)."""
+    if configs.shape[0] == 0:
+        return 0
+    return int(configs.sum(axis=1).max())

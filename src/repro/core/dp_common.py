@@ -1,0 +1,84 @@
+"""Shared types for the high-dimensional DP solvers.
+
+Every DP implementation in the library (reference, vectorized, and the
+simulator-instrumented engines) produces a :class:`DPResult` over the
+same dense table so they can be compared cell-for-cell in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DPError
+
+#: Sentinel for "no packing reaches this cell".  Large enough that
+#: ``UNREACHABLE + 1`` never overflows int64 and never collides with a
+#: real machine count.
+UNREACHABLE: int = np.iinfo(np.int64).max // 4
+
+
+@dataclass(frozen=True)
+class DPResult:
+    """Outcome of filling the DP-table for one ``(N, T)`` probe.
+
+    Attributes
+    ----------
+    table:
+        Dense int64 array of shape ``(n_1+1, ..., n_d+1)``.
+        ``table[u] = OPT(u)`` — the minimum number of machines that
+        schedule the job vector ``u`` within the target — or
+        :data:`UNREACHABLE`.  ``table[0,...,0] == 0``.
+    configs:
+        The ``(num_configs, d)`` configuration set used (Equation 1's
+        ``C``), in the library's canonical lexicographic order.
+    """
+
+    table: np.ndarray
+    configs: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.table.dtype != np.int64:
+            raise DPError(f"DP table must be int64, got {self.table.dtype}")
+        if self.configs.ndim != 2:
+            raise DPError("configs must be a 2-D array")
+        if self.table.ndim != self.configs.shape[1] and self.configs.shape[0] > 0:
+            raise DPError(
+                f"table has {self.table.ndim} dims but configs have "
+                f"{self.configs.shape[1]} components"
+            )
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """DP-table shape ``(n_1+1, ..., n_d+1)``."""
+        return tuple(self.table.shape)
+
+    @property
+    def opt(self) -> int:
+        """``OPT(N)`` — machines needed for the full job vector.
+
+        :data:`UNREACHABLE` means no packing exists for this target
+        (possible when some single job exceeds ``T``).
+        """
+        return int(self.table[tuple(s - 1 for s in self.table.shape)])
+
+    @property
+    def feasible(self) -> bool:
+        """Whether *any* packing of the full job vector exists."""
+        return self.opt < UNREACHABLE
+
+    def fits(self, machines: int) -> bool:
+        """``OPT(N) <= machines`` — the bisection predicate (Alg. 1 line 11)."""
+        return self.opt <= machines
+
+
+def empty_dp_result() -> DPResult:
+    """Result for the degenerate no-long-jobs case: a 0-d table with OPT=0.
+
+    When the rounding step classifies every job as short, the DP is
+    trivial — zero machines are needed for zero long jobs — and the
+    bisection predicate reduces to whether the short jobs pack greedily.
+    """
+    table = np.zeros((), dtype=np.int64)
+    return DPResult(table=table, configs=np.zeros((0, 0), dtype=np.int64))

@@ -1,0 +1,132 @@
+"""Memory-light DP: keep only the live anti-diagonal levels.
+
+The dense solvers hold the entire ``sigma``-cell table.  But Equation 1
+only ever reads cells at most ``max_c sum(c)`` levels back (a machine
+configuration holds at most ``k`` jobs, so ``<= k`` levels) — the same
+observation behind the paper's §V memory direction, applied to level
+granularity instead of block granularity.
+
+:func:`dp_frontier` walks the wavefront keeping a sliding window of
+levels: memory drops from ``O(sigma)`` to ``O(depth * max_level_size)``
+where ``depth <= k``.  Each level is stored as a sorted array of flat
+indices plus values; predecessor lookups are vectorized
+``searchsorted`` gathers.  Returns ``OPT(N)`` (and optionally any
+requested cells' values) — by construction it cannot return the full
+table, that is the point.
+
+Use when only the feasibility answer is needed (the bisection
+predicate!) and tables are too big to hold — e.g. fine-``eps`` probes.
+``dp_frontier`` is cross-checked against the dense solvers in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.configs import enumerate_configurations
+from repro.core.dp_common import UNREACHABLE
+from repro.dptable.table import TableGeometry
+from repro.errors import DPError
+
+
+def frontier_depth(configs: np.ndarray) -> int:
+    """How many previous levels the recurrence can reach: ``max_c sum(c)``."""
+    if configs.shape[0] == 0:
+        return 0
+    return int(configs.sum(axis=1).max())
+
+
+def dp_frontier(
+    counts: Sequence[int],
+    class_sizes: Sequence[int],
+    target: int,
+    configs: Optional[np.ndarray] = None,
+) -> int:
+    """Compute ``OPT(N)`` with a sliding window of anti-diagonal levels.
+
+    Returns the machine count, or :data:`UNREACHABLE` when no packing
+    exists.  Peak memory is ``O(depth * widest_level)`` cells instead
+    of the full table.
+    """
+    counts = tuple(int(c) for c in counts)
+    if len(counts) != len(class_sizes):
+        raise DPError("counts and class_sizes must have equal length")
+    if len(counts) == 0:
+        return 0
+    if configs is None:
+        configs = enumerate_configurations(class_sizes, counts, target)
+    if configs.shape[0] == 0:
+        return UNREACHABLE if any(counts) else 0
+
+    geometry = TableGeometry.from_counts(counts)
+    depth = frontier_depth(configs)
+    strides = np.asarray(geometry.strides, dtype=np.int64)
+    config_levels = configs.sum(axis=1)
+    config_flat = configs @ strides
+
+    # Enumerate each level's cells lazily from the previous level:
+    # level L+1 cells are level L cells plus one unit step in any
+    # dimension (deduplicated) — no full-table materialisation.
+    unit_steps = strides  # flat offsets of +1 along each dimension
+
+    # window[l % (depth+1)] = (sorted flat indices, values) of level l.
+    window: list[tuple[np.ndarray, np.ndarray]] = [
+        (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        for _ in range(depth + 1)
+    ]
+    level0 = (np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64))
+    window[0] = level0
+
+    max_level = geometry.max_level
+    shape = np.asarray(geometry.shape, dtype=np.int64)
+    current_cells = np.zeros((1, geometry.ndim), dtype=np.int64)
+
+    final_flat = int((shape - 1) @ strides)
+    if max_level == 0:
+        return 0
+
+    for level in range(1, max_level + 1):
+        # Successor cells: previous level's coords +1 in each dimension.
+        grown = (current_cells[:, None, :] + np.eye(geometry.ndim, dtype=np.int64)).reshape(
+            -1, geometry.ndim
+        )
+        ok = (grown < shape).all(axis=1)
+        grown = grown[ok]
+        flat = grown @ strides
+        flat, first = np.unique(flat, return_index=True)
+        cells = grown[first]
+
+        best = np.full(flat.size, UNREACHABLE, dtype=np.int64)
+        for idx in range(configs.shape[0]):
+            span = int(config_levels[idx])
+            if span > level or span > depth:
+                continue
+            prev_flat_all, prev_vals = window[(level - span) % (depth + 1)]
+            if prev_flat_all.size == 0:
+                continue  # nothing reachable that far back
+            ok_cfg = (cells >= configs[idx]).all(axis=1)
+            if not ok_cfg.any():
+                continue
+            lookup = flat[ok_cfg] - int(config_flat[idx])
+            pos = np.searchsorted(prev_flat_all, lookup)
+            found = (pos < prev_flat_all.size) & (
+                prev_flat_all[np.minimum(pos, prev_flat_all.size - 1)] == lookup
+            )
+            vals = np.where(found, prev_vals[np.minimum(pos, prev_vals.size - 1)], UNREACHABLE)
+            sel = np.flatnonzero(ok_cfg)
+            best[sel] = np.minimum(best[sel], vals)
+
+        reachable = best < UNREACHABLE
+        best[reachable] += 1
+        window[level % (depth + 1)] = (flat[reachable], best[reachable])
+        current_cells = cells
+
+        if level == max_level:
+            lv_flat, lv_vals = window[level % (depth + 1)]
+            pos = np.searchsorted(lv_flat, final_flat)
+            if pos < lv_flat.size and lv_flat[pos] == final_flat:
+                return int(lv_vals[pos])
+            return UNREACHABLE
+    raise DPError("unreachable")  # loop always returns at max_level

@@ -1,0 +1,108 @@
+"""Vectorized high-dimensional DP (the library's production solver).
+
+Equation 1 defines a shortest-path problem on the lattice
+``prod(n_i + 1)``: edges subtract one configuration, all edges have
+weight 1, and ``OPT(u)`` is the distance from the origin.  Instead of
+walking cells one by one (Algorithm 2), this solver runs *whole-table
+relaxation rounds*: for each configuration ``c`` it takes the
+elementwise minimum between a shifted view of the table and the table
+plus one —
+
+    ``OPT[c_1:, ..., c_d:] = min(OPT[c_1:, ..., c_d:], OPT[:-c_1, ..., :-c_d] + 1)``
+
+— a single numpy slice operation touching every cell at once.  Rounds
+repeat until a fixpoint.  Because ``OPT`` values are machine counts, at
+most ``OPT(N) + 1`` rounds are needed (each round finalises all cells
+one more edge away from the origin — in practice far fewer because
+in-place updates propagate within a round); each round costs
+``O(|C| * sigma)`` flat numpy work with no Python-level per-cell loop,
+following the vectorization idiom of the HPC guides.
+
+The result is bit-identical to :func:`repro.core.dp_reference.dp_reference`
+(tested), at orders of magnitude higher throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.configs import enumerate_configurations
+from repro.core.dp_common import DPResult, UNREACHABLE, empty_dp_result
+from repro.core.rounding import RoundedInstance
+from repro.errors import DPError
+
+
+def _shift_views(table: np.ndarray, cfg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Destination and source views for one configuration's relaxation.
+
+    ``dst[u] = table[u]`` for cells ``u >= cfg``; ``src[u] = table[u - cfg]``.
+    Both are views — no copies (the addition below makes the one
+    required temporary).
+    """
+    dst = table[tuple(slice(int(c), None) for c in cfg)]
+    src = table[tuple(slice(None, s - int(c)) for s, c in zip(table.shape, cfg))]
+    return dst, src
+
+
+def dp_vectorized(
+    counts: Sequence[int],
+    class_sizes: Sequence[int],
+    target: int,
+    configs: np.ndarray | None = None,
+    max_rounds: int | None = None,
+) -> DPResult:
+    """Fill the DP-table by repeated vectorized relaxation.
+
+    Parameters mirror :func:`repro.core.dp_reference.dp_reference`.
+
+    ``max_rounds`` caps the relaxation loop (defaults to the number of
+    long jobs plus one, the worst-case diameter); reaching the cap
+    without convergence indicates a bug and raises :class:`DPError`.
+    """
+    counts = tuple(int(c) for c in counts)
+    if len(counts) != len(class_sizes):
+        raise DPError("counts and class_sizes must have equal length")
+    if len(counts) == 0:
+        return empty_dp_result()
+    if configs is None:
+        configs = enumerate_configurations(class_sizes, counts, target)
+
+    shape = tuple(c + 1 for c in counts)
+    table = np.full(shape, UNREACHABLE, dtype=np.int64)
+    table[(0,) * len(counts)] = 0
+
+    if configs.shape[0] == 0:
+        # No machine can take even one job within T: only the origin is
+        # reachable.
+        return DPResult(table=table, configs=configs)
+
+    if max_rounds is None:
+        max_rounds = sum(counts) + 1
+
+    # Larger configurations first: they reach far cells in fewer rounds,
+    # accelerating convergence of the in-place propagation.
+    order = np.argsort(-configs.sum(axis=1), kind="stable")
+
+    for _ in range(max_rounds):
+        changed = False
+        for idx in order:
+            cfg = configs[idx]
+            dst, src = _shift_views(table, cfg)
+            cand = src + 1  # temporary copy; src may alias dst
+            improved = cand < dst
+            if improved.any():
+                np.copyto(dst, cand, where=improved)
+                changed = True
+        if not changed:
+            return DPResult(table=table, configs=configs)
+    raise DPError(
+        f"relaxation did not converge within {max_rounds} rounds "
+        f"(shape={shape}, |C|={configs.shape[0]})"
+    )
+
+
+def dp_vectorized_for(rounded: RoundedInstance, configs: np.ndarray | None = None) -> DPResult:
+    """Vectorized DP on a :class:`RoundedInstance`."""
+    return dp_vectorized(rounded.counts, rounded.class_sizes, rounded.target, configs)

@@ -1,0 +1,142 @@
+"""Local-search polish for schedules (move and swap neighbourhoods).
+
+The PTAS's guarantee is about the worst case; its schedules often leave
+easy local gains on the table (rounding groups jobs coarsely).  This
+module implements the standard polish: repeatedly move a job off a
+critical (maximum-load) machine, or swap a pair of jobs across
+machines, whenever that strictly reduces the makespan — terminating at
+a local optimum.  The result is never worse than the input (tested),
+so ``ptas_schedule(...)`` followed by :func:`improve_schedule` keeps
+the ``(1+eps)`` guarantee while usually tightening the realised
+makespan toward what LPT/MULTIFIT achieve.
+
+This is deliberately not part of the paper's algorithm — it is the
+kind of practical addition a downstream user wants, kept separate so
+the reproduction stays faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.errors import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class ImprovementResult:
+    """A polished schedule plus what the search did."""
+
+    schedule: Schedule
+    initial_makespan: int
+    moves: int
+    swaps: int
+    rounds: int
+
+    @property
+    def improvement(self) -> int:
+        """Makespan reduction achieved (>= 0)."""
+        return self.initial_makespan - self.schedule.makespan
+
+
+def improve_schedule(schedule: Schedule, max_rounds: int = 100) -> ImprovementResult:
+    """Polish ``schedule`` with first-improvement move/swap local search.
+
+    Each round scans the critical machines: first tries to *move* one
+    of their jobs to a machine where it lowers the makespan, then tries
+    to *swap* one of their jobs with a smaller job elsewhere.  Stops at
+    a local optimum or after ``max_rounds`` rounds (each round strictly
+    reduces the makespan, so termination is guaranteed anyway).
+    """
+    if max_rounds < 1:
+        raise InvalidInstanceError(f"max_rounds must be >= 1, got {max_rounds}")
+    inst = schedule.instance
+    times = inst.times_array()
+    assignment = np.asarray(schedule.assignment, dtype=np.int64).copy()
+    loads = schedule.loads().copy()
+
+    moves = swaps = rounds = 0
+    initial = int(loads.max())
+
+    for _ in range(max_rounds):
+        rounds += 1
+        makespan = int(loads.max())
+        critical = np.flatnonzero(loads == makespan)
+        improved = False
+
+        for machine in critical:
+            jobs_here = np.flatnonzero(assignment == machine)
+            # Try moving any job to the machine where it hurts least.
+            for j in jobs_here:
+                t = int(times[j])
+                dest_loads = loads + t
+                dest_loads[machine] = loads[machine]  # exclude self
+                dest = int(np.argmin(dest_loads))
+                if dest == machine:
+                    continue
+                new_peak = max(
+                    int(loads[dest]) + t,
+                    _max_excluding(loads, machine, dest, loads[machine] - t),
+                )
+                if new_peak < makespan:
+                    assignment[j] = dest
+                    loads[machine] -= t
+                    loads[dest] += t
+                    moves += 1
+                    improved = True
+                    break
+            if improved:
+                break
+            # Try swapping a critical job with a smaller one elsewhere.
+            for j in jobs_here:
+                tj = int(times[j])
+                others = np.flatnonzero(assignment != machine)
+                for o in others:
+                    to = int(times[o])
+                    if to >= tj:
+                        continue
+                    other_machine = int(assignment[o])
+                    new_here = int(loads[machine]) - tj + to
+                    new_there = int(loads[other_machine]) - to + tj
+                    new_peak = max(
+                        new_here,
+                        new_there,
+                        _max_excluding(loads, machine, other_machine, 0),
+                    )
+                    if new_peak < makespan:
+                        assignment[j] = other_machine
+                        assignment[o] = machine
+                        loads[machine] = new_here
+                        loads[other_machine] = new_there
+                        swaps += 1
+                        improved = True
+                        break
+                if improved:
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+
+    polished = Schedule(inst, tuple(int(a) for a in assignment))
+    if polished.makespan > initial:
+        raise InvalidInstanceError("internal error: local search made things worse")
+    return ImprovementResult(
+        schedule=polished,
+        initial_makespan=initial,
+        moves=moves,
+        swaps=swaps,
+        rounds=rounds,
+    )
+
+
+def _max_excluding(loads: np.ndarray, a: int, b: int, floor: int) -> int:
+    """Max load over machines other than ``a`` and ``b`` (at least ``floor``)."""
+    best = int(floor)
+    for i, load in enumerate(loads):
+        if i != a and i != b and int(load) > best:
+            best = int(load)
+    return best

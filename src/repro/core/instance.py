@@ -1,0 +1,190 @@
+"""The ``P || Cmax`` problem instance and instance generators.
+
+An instance is ``n`` jobs with positive integer processing times to be
+scheduled non-preemptively on ``m`` identical machines, minimising the
+makespan (the maximum machine completion time).  The paper's experiments
+generate instances "using the uniform distribution and considering
+different numbers of jobs and machines" (§IV-A); this module provides
+that generator plus a few structured generators used by the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validation import check_positive_int, check_positive_times
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An immutable ``P || Cmax`` instance.
+
+    Attributes
+    ----------
+    times:
+        Tuple of positive integer processing times, one per job.  Job
+        identity is positional: job ``j`` has time ``times[j]``.
+    machines:
+        Number of identical machines ``m >= 1``.
+    name:
+        Optional label used by the experiment harness when reporting.
+    """
+
+    times: tuple[int, ...]
+    machines: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "times", check_positive_times(self.times))
+        object.__setattr__(self, "machines", check_positive_int(self.machines, "machines"))
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of jobs ``n``."""
+        return len(self.times)
+
+    @property
+    def total_time(self) -> int:
+        """Sum of all processing times (total work)."""
+        return int(sum(self.times))
+
+    @property
+    def max_time(self) -> int:
+        """Largest single processing time."""
+        return int(max(self.times))
+
+    @property
+    def area_bound(self) -> int:
+        """``ceil(total_time / m)`` — the volume lower bound on makespan."""
+        return -(-self.total_time // self.machines)
+
+    def times_array(self) -> np.ndarray:
+        """Processing times as a fresh ``int64`` numpy array."""
+        return np.asarray(self.times, dtype=np.int64)
+
+    def sorted_indices_desc(self) -> np.ndarray:
+        """Job indices ordered by non-increasing processing time.
+
+        Ties broken by job index (stable), so baselines like LPT are
+        deterministic.
+        """
+        t = self.times_array()
+        return np.argsort(-t, kind="stable")
+
+    def __repr__(self) -> str:  # compact: instances can have thousands of jobs
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"Instance(n={self.n_jobs}, m={self.machines},"
+            f" total={self.total_time}, max={self.max_time}{label})"
+        )
+
+
+# -- generators --------------------------------------------------------------
+
+
+def uniform_instance(
+    n_jobs: int,
+    machines: int,
+    low: int = 1,
+    high: int = 100,
+    seed: SeedLike = None,
+    name: str = "",
+) -> Instance:
+    """Random instance with i.i.d. uniform integer times in ``[low, high]``.
+
+    This is the generator used for the paper's evaluation (§IV-A).
+    ``high`` is inclusive to match the usual OR-library convention.
+    """
+    n_jobs = check_positive_int(n_jobs, "n_jobs")
+    machines = check_positive_int(machines, "machines")
+    if not (1 <= low <= high):
+        raise InvalidInstanceError(f"need 1 <= low <= high, got low={low}, high={high}")
+    rng = make_rng(seed)
+    times = rng.integers(low, high + 1, size=n_jobs)
+    return Instance(tuple(int(t) for t in times), machines, name=name)
+
+
+def bimodal_instance(
+    n_jobs: int,
+    machines: int,
+    short_range: tuple[int, int] = (1, 20),
+    long_range: tuple[int, int] = (80, 100),
+    long_fraction: float = 0.3,
+    seed: SeedLike = None,
+    name: str = "",
+) -> Instance:
+    """Instance mixing short and long jobs — stresses the PTAS's split.
+
+    A fraction ``long_fraction`` of jobs is drawn from ``long_range``
+    and the rest from ``short_range``.  Bimodal workloads are the
+    classic hard case for list schedulers and the motivating scenario
+    for rounding-based schemes.
+    """
+    n_jobs = check_positive_int(n_jobs, "n_jobs")
+    machines = check_positive_int(machines, "machines")
+    if not (0.0 <= long_fraction <= 1.0):
+        raise InvalidInstanceError(f"long_fraction must be in [0, 1], got {long_fraction}")
+    for lo, hi in (short_range, long_range):
+        if not (1 <= lo <= hi):
+            raise InvalidInstanceError(f"invalid range ({lo}, {hi})")
+    rng = make_rng(seed)
+    n_long = int(round(n_jobs * long_fraction))
+    n_short = n_jobs - n_long
+    shorts = rng.integers(short_range[0], short_range[1] + 1, size=n_short)
+    longs = rng.integers(long_range[0], long_range[1] + 1, size=n_long)
+    times = np.concatenate([shorts, longs])
+    rng.shuffle(times)
+    return Instance(tuple(int(t) for t in times), machines, name=name)
+
+
+def adversarial_lpt_instance(machines: int, name: str = "") -> Instance:
+    """The classic worst case for LPT: ratio approaches ``4/3 - 1/(3m)``.
+
+    ``2m + 1`` jobs: two each of sizes ``2m-1, 2m-2, ..., m+1`` wait —
+    the standard construction is jobs ``{2m-1, 2m-1, 2m-2, 2m-2, ...,
+    m+1, m+1, m, m, m}``.  Used by tests to verify LPT's tight bound and
+    by examples to show where the PTAS is worth its extra cost.
+    """
+    m = check_positive_int(machines, "machines")
+    times: list[int] = []
+    for v in range(2 * m - 1, m, -1):
+        times.extend([v, v])
+    times.extend([m, m, m])
+    return Instance(tuple(times), m, name=name or f"lpt-adversarial-m{m}")
+
+
+def clustered_instance(
+    n_jobs: int,
+    machines: int,
+    cluster_values: Sequence[int],
+    jitter: int = 0,
+    seed: SeedLike = None,
+    name: str = "",
+) -> Instance:
+    """Jobs clustered around a few base values (± ``jitter``).
+
+    Produces DP-tables with a *small, controllable number of non-zero
+    dimensions*, which is how the Fig. 4 / Tables I–VI experiments vary
+    dimensionality at a fixed table size.
+    """
+    n_jobs = check_positive_int(n_jobs, "n_jobs")
+    machines = check_positive_int(machines, "machines")
+    if not cluster_values:
+        raise InvalidInstanceError("cluster_values must be non-empty")
+    for v in cluster_values:
+        if v - jitter < 1:
+            raise InvalidInstanceError(
+                f"cluster value {v} with jitter {jitter} allows non-positive times"
+            )
+    rng = make_rng(seed)
+    base = rng.choice(np.asarray(cluster_values, dtype=np.int64), size=n_jobs)
+    if jitter:
+        base = base + rng.integers(-jitter, jitter + 1, size=n_jobs)
+    return Instance(tuple(int(t) for t in base), machines, name=name)

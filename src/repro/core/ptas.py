@@ -1,0 +1,241 @@
+"""The Hochbaum–Shmoys PTAS driver (Algorithm 1).
+
+The PTAS is a *dual approximation*: for a target makespan ``T`` the
+probe either produces a schedule with makespan at most ``(1 + eps) T``
+or certifies that the optimum exceeds ``T``.  Bisecting ``T`` over
+``[LB, UB]`` (:mod:`repro.core.bounds`) then yields a schedule within
+``(1 + eps)`` of optimal.
+
+One probe (:func:`probe_target`) does:
+
+1. Split jobs into short/long and round the long ones
+   (:mod:`repro.core.rounding`).
+2. Solve the high-dimensional DP for ``OPT(N)`` — the minimum number of
+   machines packing the rounded long jobs within ``T`` (pluggable
+   solver; the default is the vectorized one, the simulator engines
+   substitute their own instrumented solvers).
+3. Extract one configuration per machine
+   (:mod:`repro.core.backtrack`) and place the *actual* long jobs.
+4. Greedily add short jobs to any machine with load still below ``T``,
+   opening further machines only when every open machine is at ``T`` or
+   more.  If that needs more than ``m`` machines, total work exceeds
+   ``m*T`` and the probe certifies ``OPT > T``.
+
+The accepted schedule's makespan is at most ``T + T/k <= (1 + eps) T``:
+long-job rounding loses less than ``k * floor(T/k^2) <= T/k`` per
+machine, and a short job (``t <= T/k``) is only ever added to a machine
+whose load is below ``T``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.backtrack import extract_machine_configurations
+from repro.core.bounds import makespan_bounds
+from repro.core.dp_common import DPResult
+from repro.core.dp_vectorized import dp_vectorized
+from repro.core.instance import Instance
+from repro.core.rounding import RoundedInstance, round_instance
+from repro.core.schedule import Schedule
+from repro.errors import InvalidInstanceError
+
+
+class DPSolver(Protocol):
+    """Signature every DP backend implements (engines included)."""
+
+    def __call__(
+        self,
+        counts: Sequence[int],
+        class_sizes: Sequence[int],
+        target: int,
+        configs: Optional[np.ndarray] = None,
+    ) -> DPResult: ...
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one target-makespan probe.
+
+    ``machines_needed`` counts the machines the dual-approximation
+    procedure used (possibly exceeding ``m``); ``schedule`` is present
+    only when ``machines_needed <= m``.  ``dp_result`` is kept so
+    engines and tests can inspect the table that was filled.
+    """
+
+    target: int
+    rounded: RoundedInstance
+    dp_result: DPResult
+    machines_needed: int
+    schedule: Optional[Schedule]
+
+    @property
+    def accepted(self) -> bool:
+        """Whether the probe certified feasibility at this target."""
+        return self.schedule is not None
+
+
+def _place_long_jobs(
+    rounded: RoundedInstance, machine_configs: list[tuple[int, ...]]
+) -> list[list[int]]:
+    """Turn per-machine class counts into per-machine real job lists.
+
+    Jobs within a class are interchangeable under rounding, so each
+    machine simply pops the next ``s_i`` jobs from class ``i``'s queue.
+    """
+    queues = [list(idx) for idx in rounded.long_indices]
+    machines: list[list[int]] = []
+    for cfg in machine_configs:
+        jobs: list[int] = []
+        for cls, count in enumerate(cfg):
+            take, queues[cls] = queues[cls][:count], queues[cls][count:]
+            if len(take) != count:
+                raise InvalidInstanceError(
+                    "internal error: configuration demands more jobs than the class holds"
+                )
+            jobs.extend(take)
+        machines.append(jobs)
+    if any(queues[cls] for cls in range(len(queues))):
+        raise InvalidInstanceError("internal error: long jobs left unassigned")
+    return machines
+
+
+def _add_short_jobs(
+    instance: Instance,
+    target: int,
+    machine_jobs: list[list[int]],
+    short_indices: Sequence[int],
+) -> list[list[int]]:
+    """Greedy short-job placement of the dual-approximation argument.
+
+    Each short job goes to the *least-loaded* machine whose load is
+    still below ``target`` (least-loaded keeps the final makespan as
+    flat as possible); a new machine opens only when every open machine
+    has reached ``target``.  A heap keyed by load gives O(n log m).
+    """
+    loads = [sum(instance.times[j] for j in jobs) for jobs in machine_jobs]
+    heap = [(load, i) for i, load in enumerate(loads)]
+    heapq.heapify(heap)
+    # Sorting shorts longest-first tightens the resulting makespan a
+    # little (classic LPT effect) at no asymptotic cost.
+    shorts = sorted(short_indices, key=lambda j: -instance.times[j])
+    for j in shorts:
+        if heap and heap[0][0] < target:
+            load, i = heapq.heappop(heap)
+        else:
+            i = len(machine_jobs)
+            machine_jobs.append([])
+            load = 0
+        machine_jobs[i].append(j)
+        heapq.heappush(heap, (load + instance.times[j], i))
+    return machine_jobs
+
+
+def probe_target(
+    instance: Instance,
+    target: int,
+    eps: float,
+    dp_solver: DPSolver = dp_vectorized,
+) -> ProbeResult:
+    """Run one dual-approximation probe at makespan target ``target``."""
+    rounded = round_instance(instance, target, eps)
+    dp_result = dp_solver(rounded.counts, rounded.class_sizes, rounded.target)
+
+    if not dp_result.feasible:
+        # Some long job (or combination) cannot fit within T at all —
+        # e.g. a single job larger than T.  Certify OPT > T.
+        return ProbeResult(
+            target=target,
+            rounded=rounded,
+            dp_result=dp_result,
+            machines_needed=instance.machines + 1,
+            schedule=None,
+        )
+
+    machine_configs = extract_machine_configurations(dp_result)
+    machine_jobs = _place_long_jobs(rounded, machine_configs)
+    machine_jobs = _add_short_jobs(instance, target, machine_jobs, rounded.short_indices)
+
+    needed = len(machine_jobs)
+    schedule: Optional[Schedule] = None
+    if needed <= instance.machines:
+        # Pad to exactly m machines (empty machines are legal).
+        schedule = Schedule.from_machine_lists(
+            instance, machine_jobs + [[] for _ in range(instance.machines - needed)]
+        )
+    return ProbeResult(
+        target=target,
+        rounded=rounded,
+        dp_result=dp_result,
+        machines_needed=max(needed, len(machine_configs)),
+        schedule=schedule,
+    )
+
+
+@dataclass
+class PtasResult:
+    """Everything a PTAS run produced, for the harness and the tests.
+
+    Attributes
+    ----------
+    schedule: the final schedule (makespan <= (1+eps) * optimum).
+    eps: the accuracy the run was asked for.
+    iterations: number of bisection iterations executed.
+    probes: every probe performed, in execution order (the quarter
+        split performs several per iteration).
+    final_target: the ``T`` whose probe produced ``schedule``.
+    """
+
+    schedule: Schedule
+    eps: float
+    iterations: int
+    probes: list[ProbeResult] = field(default_factory=list)
+    final_target: int = 0
+
+    @property
+    def makespan(self) -> int:
+        """Makespan of the returned schedule."""
+        return self.schedule.makespan
+
+    @property
+    def dp_table_sizes(self) -> list[int]:
+        """Size ``sigma`` of every DP-table filled during the search."""
+        return [p.rounded.table_size for p in self.probes]
+
+    def guarantee_bound(self) -> float:
+        """The proven upper bound ``(1 + eps) * final_target``.
+
+        ``final_target`` is itself at most the optimal makespan, so the
+        schedule is within ``1 + eps`` of optimal.
+        """
+        return (1.0 + self.eps) * self.final_target
+
+
+def ptas_schedule(
+    instance: Instance,
+    eps: float = 0.3,
+    dp_solver: DPSolver = dp_vectorized,
+    search: str = "bisection",
+) -> PtasResult:
+    """Schedule ``instance`` within ``(1 + eps)`` of the optimal makespan.
+
+    ``search`` selects the target-search strategy: ``"bisection"``
+    (Algorithm 1) or ``"quarter"`` (the paper's quarter split,
+    Algorithm 3).  Both return identical final makespans (tested); the
+    quarter split needs fewer iterations, which is what Table VII
+    measures.
+    """
+    # Imported here to avoid a circular import (the search modules call
+    # probe_target from this module).
+    from repro.core.bisection import bisection_search
+    from repro.core.quarter_split import quarter_split_search
+
+    if search == "bisection":
+        return bisection_search(instance, eps, dp_solver)
+    if search == "quarter":
+        return quarter_split_search(instance, eps, dp_solver)
+    raise InvalidInstanceError(f"unknown search strategy {search!r}")

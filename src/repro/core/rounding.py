@@ -1,0 +1,164 @@
+"""Long/short job split and rounding (Algorithm 1, lines 7–8).
+
+For a target makespan ``T`` and accuracy ``k = ceil(1/eps)``:
+
+* a job is **long** if ``t > T / k`` (at most ``k`` long jobs fit on one
+  machine within ``T``), otherwise **short**;
+* long jobs are rounded **down** to the nearest multiple of
+  ``unit = floor(T / k^2)``, which groups them into at most ~``k^2``
+  classes.  Rounding down loses at most ``unit`` per job, and since at
+  most ``k`` long jobs share a machine the true load exceeds the rounded
+  load by at most ``k * unit <= T / k <= eps * T`` — the source of the
+  PTAS's ``(1 + eps)`` guarantee.
+
+The paper indexes the DP-table by a ``k^2``-dimensional count vector but
+observes (§IV-A) that only the *non-zero dimensions* matter and that
+their number is unknown before execution.  :class:`RoundedInstance`
+therefore stores only the occupied classes: ``class_sizes[i]`` is the
+rounded size of class ``i`` and ``counts[i]`` how many long jobs fall in
+it.  ``counts`` is exactly the vector ``N`` of Algorithms 1–4, restricted
+to its non-zero dimensions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.instance import Instance
+from repro.errors import InvalidInstanceError
+
+
+def accuracy_k(eps: float) -> int:
+    """``k = ceil(1/eps)`` — the accuracy parameter of the PTAS.
+
+    The paper uses ``eps = 0.3`` (so ``k = 4``, at most ``k^2 = 16``
+    dimensions) for all experiments.
+    """
+    if not (0.0 < eps <= 1.0):
+        raise InvalidInstanceError(f"eps must be in (0, 1], got {eps}")
+    return math.ceil(1.0 / eps)
+
+
+def rounding_unit(target: int, k: int) -> int:
+    """``floor(T / k^2)``, clamped to at least 1.
+
+    For very small targets (``T < k^2``) the paper's unit would be zero;
+    a unit of 1 keeps the arithmetic valid and makes the rounding exact
+    (classes are then the raw integer sizes), which only improves the
+    approximation.
+    """
+    if target < 1:
+        raise InvalidInstanceError(f"target makespan must be >= 1, got {target}")
+    if k < 1:
+        raise InvalidInstanceError(f"k must be >= 1, got {k}")
+    return max(1, target // (k * k))
+
+
+@dataclass(frozen=True)
+class RoundedInstance:
+    """The rounded view of an instance for one target makespan ``T``.
+
+    Attributes
+    ----------
+    instance: the original instance.
+    target: the makespan ``T`` being probed.
+    k: accuracy parameter ``ceil(1/eps)``.
+    unit: rounding unit ``floor(T/k^2)`` (>= 1).
+    class_sizes: rounded processing time of each occupied class,
+        strictly increasing.
+    counts: number of long jobs in each class (all >= 1) — the vector
+        ``N`` restricted to non-zero dimensions.
+    long_indices: job indices of long jobs grouped per class, aligned
+        with ``class_sizes`` (used to turn a DP solution back into a
+        schedule over real jobs).
+    short_indices: job indices of short jobs (``t <= T/k``).
+    """
+
+    instance: Instance
+    target: int
+    k: int
+    unit: int
+    class_sizes: tuple[int, ...]
+    counts: tuple[int, ...]
+    long_indices: tuple[tuple[int, ...], ...]
+    short_indices: tuple[int, ...]
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Number of non-zero dimensions of the DP-table."""
+        return len(self.class_sizes)
+
+    @property
+    def n_long(self) -> int:
+        """Total number of long jobs ``n'`` (the number of DP wavefront levels)."""
+        return int(sum(self.counts))
+
+    @property
+    def table_shape(self) -> tuple[int, ...]:
+        """Extent of the DP-table: ``(n_1 + 1, ..., n_d + 1)``."""
+        return tuple(c + 1 for c in self.counts)
+
+    @property
+    def table_size(self) -> int:
+        """``sigma = prod(n_i + 1)`` — total number of DP subproblems."""
+        size = 1
+        for c in self.counts:
+            size *= c + 1
+        return size
+
+    def true_size_bound(self, rounded_load: int, jobs_on_machine: int) -> int:
+        """Upper bound on a machine's true long-job load given its rounded load.
+
+        Each of the ``jobs_on_machine`` long jobs was rounded down by
+        less than ``unit``.
+        """
+        return rounded_load + jobs_on_machine * self.unit
+
+
+def round_instance(instance: Instance, target: int, eps: float) -> RoundedInstance:
+    """Split ``instance`` into short/long jobs and round the long ones.
+
+    Implements Algorithm 1 lines 7–8 for makespan target ``T = target``.
+    Jobs with ``t > T`` make the target trivially infeasible, but the
+    rounding itself is still well-defined (the DP will report
+    ``OPT > m``); they land in the largest classes.
+    """
+    k = accuracy_k(eps)
+    if target < 1:
+        raise InvalidInstanceError(f"target makespan must be >= 1, got {target}")
+    unit = rounding_unit(target, k)
+    threshold = target / k  # long iff t > T/k
+
+    per_class: dict[int, list[int]] = {}
+    short: list[int] = []
+    for j, t in enumerate(instance.times):
+        if t > threshold:
+            cls = t // unit  # floor — round *down* to a multiple of unit
+            per_class.setdefault(cls, []).append(j)
+        else:
+            short.append(j)
+
+    classes = sorted(per_class)
+    class_sizes = tuple(int(c * unit) for c in classes)
+    # A rounded size of zero can only happen if t < unit, impossible for a
+    # long job because t > T/k >= unit * k / ... defensive check anyway:
+    if class_sizes and class_sizes[0] == 0:
+        raise InvalidInstanceError(
+            "internal error: long job rounded to zero (target too small?)"
+        )
+    counts = tuple(len(per_class[c]) for c in classes)
+    long_indices = tuple(tuple(per_class[c]) for c in classes)
+    return RoundedInstance(
+        instance=instance,
+        target=int(target),
+        k=k,
+        unit=unit,
+        class_sizes=class_sizes,
+        counts=counts,
+        long_indices=long_indices,
+        short_indices=tuple(short),
+    )

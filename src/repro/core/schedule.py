@@ -1,0 +1,116 @@
+"""Schedules (machine assignments) and their validation.
+
+A :class:`Schedule` maps every job of an :class:`~repro.core.instance.Instance`
+to one machine.  It knows its makespan and can verify feasibility; every
+scheduler in the library (PTAS, LPT, MULTIFIT, exact) returns one, so
+tests can compare algorithms through a single interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.errors import InvalidScheduleError
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An assignment of jobs to machines.
+
+    Attributes
+    ----------
+    instance:
+        The instance this schedule solves.
+    assignment:
+        ``assignment[j]`` is the machine (``0 <= machine < m``) running
+        job ``j``.  Must cover every job exactly once (it is a function
+        of job index, so double assignment is impossible by
+        construction; completeness and range are validated).
+    """
+
+    instance: Instance
+    assignment: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        inst = self.instance
+        assignment = tuple(int(a) for a in self.assignment)
+        if len(assignment) != inst.n_jobs:
+            raise InvalidScheduleError(
+                f"assignment covers {len(assignment)} jobs, instance has {inst.n_jobs}"
+            )
+        for j, a in enumerate(assignment):
+            if not (0 <= a < inst.machines):
+                raise InvalidScheduleError(
+                    f"job {j} assigned to machine {a}, valid range is [0, {inst.machines})"
+                )
+        object.__setattr__(self, "assignment", assignment)
+
+    # -- metrics -------------------------------------------------------------
+
+    def loads(self) -> np.ndarray:
+        """Completion time of each machine (length ``m`` int64 array)."""
+        loads = np.zeros(self.instance.machines, dtype=np.int64)
+        np.add.at(loads, np.asarray(self.assignment), self.instance.times_array())
+        return loads
+
+    @property
+    def makespan(self) -> int:
+        """Maximum machine load — the objective of ``P || Cmax``."""
+        return int(self.loads().max())
+
+    @property
+    def machines_used(self) -> int:
+        """Number of machines with at least one job."""
+        return int(np.count_nonzero(self.loads()))
+
+    def jobs_on(self, machine: int) -> tuple[int, ...]:
+        """Indices of jobs assigned to ``machine``."""
+        if not (0 <= machine < self.instance.machines):
+            raise InvalidScheduleError(
+                f"machine {machine} out of range [0, {self.instance.machines})"
+            )
+        return tuple(j for j, a in enumerate(self.assignment) if a == machine)
+
+    def imbalance(self) -> float:
+        """Makespan divided by the average load (>= 1.0; 1.0 = perfectly flat)."""
+        loads = self.loads()
+        mean = loads.mean()
+        return float(loads.max() / mean) if mean > 0 else 1.0
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def from_machine_lists(instance: Instance, machine_jobs: Sequence[Iterable[int]]) -> "Schedule":
+        """Build a schedule from per-machine job lists.
+
+        ``machine_jobs[i]`` lists the job indices on machine ``i``.
+        Raises :class:`InvalidScheduleError` if a job appears twice, is
+        missing, or a list index exceeds the machine count.
+        """
+        if len(machine_jobs) > instance.machines:
+            raise InvalidScheduleError(
+                f"{len(machine_jobs)} machine lists but instance has {instance.machines} machines"
+            )
+        assignment = [-1] * instance.n_jobs
+        for machine, jobs in enumerate(machine_jobs):
+            for j in jobs:
+                j = int(j)
+                if not (0 <= j < instance.n_jobs):
+                    raise InvalidScheduleError(f"job index {j} out of range")
+                if assignment[j] != -1:
+                    raise InvalidScheduleError(f"job {j} assigned to two machines")
+                assignment[j] = machine
+        missing = [j for j, a in enumerate(assignment) if a == -1]
+        if missing:
+            raise InvalidScheduleError(f"jobs {missing[:5]} not assigned to any machine")
+        return Schedule(instance, tuple(assignment))
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(makespan={self.makespan}, machines_used={self.machines_used},"
+            f" instance={self.instance!r})"
+        )

@@ -1,0 +1,18 @@
+"""OpenMP-style multicore CPU cost model (the paper's Xeon baseline, substituted).
+
+Models the Ghalami–Grosu OpenMP implementation's execution structure: a
+fork-join ``parallel for`` over each anti-diagonal level with static or
+dynamic scheduling over ``P`` threads, plus a shared memory-bandwidth
+ceiling for scan-heavy work.  See DESIGN.md §2 for the substitution
+rationale.
+"""
+
+from repro.cpusim.spec import CpuSpec, XEON_E5_2697V3_DUAL
+from repro.cpusim.openmp import OpenMPModel, ParallelForResult
+
+__all__ = [
+    "CpuSpec",
+    "XEON_E5_2697V3_DUAL",
+    "OpenMPModel",
+    "ParallelForResult",
+]

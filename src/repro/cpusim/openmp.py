@@ -1,0 +1,152 @@
+"""Fork-join ``parallel for`` cost model (OpenMP semantics).
+
+One :meth:`OpenMPModel.parallel_for` call models one OpenMP worksharing
+region: the items' compute costs are distributed over ``threads``
+according to the chosen schedule, the region ends at the slowest
+thread (implicit barrier), and a fork-join overhead is added.  A region
+may also carry streamed memory traffic; the region cannot finish faster
+than that traffic can move over the socket's shared bandwidth, which is
+what makes scan-dominated DP levels scale sub-linearly in threads —
+visible in the paper's modest OMP16→OMP28 gap.
+
+Scheduling policies:
+
+* ``static``  — contiguous chunks of ``ceil(n/threads)`` items
+  (OpenMP's default ``schedule(static)``), cheap but imbalance-prone —
+  exactly what [1] uses over each anti-diagonal.
+* ``dynamic`` — greedy work stealing in chunks of ``chunk`` items,
+  modelled by longest-processing-time-style list scheduling of chunks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpusim.spec import CpuSpec, XEON_E5_2697V3_DUAL
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ParallelForResult:
+    """Timing breakdown of one worksharing region."""
+
+    elapsed_s: float
+    compute_s: float  # slowest thread's compute time
+    memory_s: float  # bandwidth-imposed floor
+    overhead_s: float  # fork + join
+    imbalance: float  # slowest thread / average thread (>= 1)
+
+
+class OpenMPModel:
+    """Accumulating cost model for one OpenMP program run.
+
+    ``elapsed_s`` sums every region executed so far; engines create one
+    model per DP probe and read the total at the end.
+    """
+
+    def __init__(self, spec: CpuSpec = XEON_E5_2697V3_DUAL, threads: int = 28) -> None:
+        if threads < 1:
+            raise SimulationError(f"threads must be >= 1, got {threads}")
+        if threads > 4 * spec.total_cores:
+            raise SimulationError(
+                f"{threads} threads heavily oversubscribes {spec.total_cores} cores"
+            )
+        self.spec = spec
+        self.threads = threads
+        self.elapsed_s = 0.0
+        self.regions = 0
+
+    # -- core ---------------------------------------------------------------
+
+    def parallel_for(
+        self,
+        item_costs_s: np.ndarray,
+        mem_bytes: int = 0,
+        schedule: str = "static",
+        chunk: int = 1,
+    ) -> ParallelForResult:
+        """Execute one worksharing region and accumulate its time.
+
+        ``item_costs_s`` are per-item compute seconds on one core;
+        ``mem_bytes`` is the region's total streamed traffic.
+        """
+        costs = np.asarray(item_costs_s, dtype=np.float64).ravel()
+        if (costs < 0).any():
+            raise SimulationError("item costs must be non-negative")
+        if mem_bytes < 0:
+            raise SimulationError("mem_bytes must be non-negative")
+
+        if costs.size == 0:
+            slowest = 0.0
+            mean = 0.0
+        elif self.threads == 1:
+            slowest = float(costs.sum())
+            mean = slowest
+        elif schedule == "static":
+            per_thread = self._static_loads(costs)
+            slowest = float(per_thread.max())
+            mean = float(per_thread.mean())
+        elif schedule == "dynamic":
+            per_thread = self._dynamic_loads(costs, chunk)
+            slowest = float(per_thread.max())
+            mean = float(per_thread.mean())
+        else:
+            raise SimulationError(f"unknown schedule {schedule!r}")
+
+        memory_s = mem_bytes / self.spec.mem_bandwidth_bytes_per_s
+        overhead_s = self.spec.fork_join_overhead_s
+        elapsed = max(slowest, memory_s) + overhead_s
+
+        self.elapsed_s += elapsed
+        self.regions += 1
+        return ParallelForResult(
+            elapsed_s=elapsed,
+            compute_s=slowest,
+            memory_s=memory_s,
+            overhead_s=overhead_s,
+            imbalance=(slowest / mean) if mean > 0 else 1.0,
+        )
+
+    def serial(self, cost_s: float) -> None:
+        """A serial section between regions (e.g. the bisection driver)."""
+        if cost_s < 0:
+            raise SimulationError("serial cost must be non-negative")
+        self.elapsed_s += cost_s
+
+    # -- schedules -------------------------------------------------------------
+
+    def _static_loads(self, costs: np.ndarray) -> np.ndarray:
+        """Per-thread totals under ``schedule(static)`` contiguous chunks."""
+        n = costs.size
+        chunk = -(-n // self.threads)
+        loads = np.zeros(self.threads, dtype=np.float64)
+        cumulative = np.concatenate([[0.0], np.cumsum(costs)])
+        for t in range(self.threads):
+            lo = min(t * chunk, n)
+            hi = min(lo + chunk, n)
+            loads[t] = cumulative[hi] - cumulative[lo]
+        return loads
+
+    def _dynamic_loads(self, costs: np.ndarray, chunk: int) -> np.ndarray:
+        """Per-thread totals under greedy ``schedule(dynamic, chunk)``.
+
+        Chunks are claimed in index order by whichever thread frees up
+        first — a min-heap over thread completion times.
+        """
+        if chunk < 1:
+            raise SimulationError(f"chunk must be >= 1, got {chunk}")
+        n = costs.size
+        heap = [(0.0, t) for t in range(self.threads)]
+        heapq.heapify(heap)
+        cumulative = np.concatenate([[0.0], np.cumsum(costs)])
+        for lo in range(0, n, chunk):
+            hi = min(lo + chunk, n)
+            load, t = heapq.heappop(heap)
+            heapq.heappush(heap, (load + float(cumulative[hi] - cumulative[lo]), t))
+        loads = np.zeros(self.threads, dtype=np.float64)
+        for load, t in heap:
+            loads[t] = load
+        return loads

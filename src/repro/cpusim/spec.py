@@ -1,0 +1,58 @@
+"""CPU specifications for the OpenMP cost model.
+
+:data:`XEON_E5_2697V3_DUAL` mirrors the paper's baseline host (§IV-A:
+"a dual processor system equipped with two Intel Xeon E5-2697v3", 14
+cores each at 2.6 GHz).  The paper reports the OpenMP implementation at
+16 and 28 threads (OMP16 / OMP28); the thread count is a parameter of
+:class:`~repro.cpusim.openmp.OpenMPModel`, not of the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of the multicore host.
+
+    Attributes
+    ----------
+    name: human-readable label.
+    total_cores: physical cores across all sockets.
+    clock_hz: sustained core clock.
+    mem_bandwidth_bytes_per_s: aggregate memory bandwidth shared by all
+        threads — the ceiling for scan-dominated phases.
+    fork_join_overhead_s: cost of opening+closing one ``parallel for``
+        region (thread wake-up, implicit barrier).
+    cycles_per_op: average cycles per abstract DP operation on one core
+        (superscalar integer work on cached data).
+    """
+
+    name: str
+    total_cores: int
+    clock_hz: float
+    mem_bandwidth_bytes_per_s: float = 280e9
+    fork_join_overhead_s: float = 8e-6
+    cycles_per_op: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.total_cores < 1:
+            raise SimulationError("CPU must have at least one core")
+        if self.clock_hz <= 0 or self.mem_bandwidth_bytes_per_s <= 0:
+            raise SimulationError("clock and bandwidth must be positive")
+
+    @property
+    def op_time_s(self) -> float:
+        """Simulated seconds per abstract operation on one core."""
+        return self.cycles_per_op / self.clock_hz
+
+
+#: The paper's dual-socket host (2 x 14 cores, 2.6 GHz).
+XEON_E5_2697V3_DUAL = CpuSpec(
+    name="2x Intel Xeon E5-2697 v3",
+    total_cores=28,
+    clock_hz=2.6e9,
+)

@@ -1,0 +1,38 @@
+"""High-dimensional DP-table machinery: geometry, wavefronts, partitioning.
+
+This package is the heart of the paper's contribution — everything
+needed to (a) walk a high-dimensional table in anti-diagonal wavefronts
+(Algorithm 2) and (b) cut it into equal blocks with a divisor vector and
+re-lay memory block-contiguously (Algorithm 4), which is what makes the
+GPU mapping efficient.
+"""
+
+from repro.dptable.table import TableGeometry
+from repro.dptable.antidiagonal import (
+    cell_levels,
+    level_sizes,
+    cells_at_level,
+    wavefront,
+)
+from repro.dptable.partition import (
+    dimension_divisor,
+    compute_divisor,
+    BlockPartition,
+)
+from repro.dptable.layout import BlockedLayout
+from repro.dptable.visualize import render_levels, render_partition, render_stream_map
+
+__all__ = [
+    "TableGeometry",
+    "cell_levels",
+    "level_sizes",
+    "cells_at_level",
+    "wavefront",
+    "dimension_divisor",
+    "compute_divisor",
+    "BlockPartition",
+    "BlockedLayout",
+    "render_levels",
+    "render_partition",
+    "render_stream_map",
+]

@@ -1,0 +1,252 @@
+"""The paper's data-partitioning scheme (Algorithm 4, lines 4–19).
+
+A *divisor* vector ``(a_1, ..., a_d)`` cuts the table evenly: dimension
+``i`` (extent ``e_i``) splits into ``a_i`` segments of ``e_i / a_i``
+cells, so blocks are identical boxes of shape
+``block_shape = (e_1/a_1, ..., e_d/a_d)``.  Blocks are indexed by their
+own coordinate vector; the *block level* (coordinate sum) groups blocks
+that may execute concurrently, exactly like anti-diagonal levels group
+cells (Fig. 2: a 6x6x6 table under divisor (3,3,3) yields 27 blocks of
+2x2x2 in 7 block-levels, each block holding 4 in-block levels).
+
+Divisor construction follows Algorithm 4 literally:
+
+* per dimension, start at ``floor(sqrt(extent))`` and decrement until
+  the candidate divides the extent exactly (so the split is even);
+* keep the divisors of the ``dim`` "largest" dimensions and reset the
+  rest to 1 (those dimensions are not cut).
+
+The paper does not pin down the tie-break for "largest"; we rank by
+computed divisor, then extent, then index — and note in EXPERIMENTS.md
+where the paper's own Tables I–VI disagree with any reading of its
+Algorithm 4 (several printed block shapes imply divisors the stated
+rule cannot produce, e.g. divisor 3 for extent 3 where
+``floor(sqrt(3)) = 1`` already divides 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.dptable.table import TableGeometry
+from repro.errors import PartitionError
+
+
+def dimension_divisor(extent: int) -> int:
+    """Largest integer ``<= sqrt(extent)`` that divides ``extent`` evenly.
+
+    Algorithm 4 lines 6–8.  Always >= 1 (1 divides everything), so a
+    prime extent simply is not cut.
+    """
+    if extent < 1:
+        raise PartitionError(f"extent must be >= 1, got {extent}")
+    div = int(math.isqrt(extent))
+    while extent % div != 0:
+        div -= 1
+    return div
+
+
+def compute_divisor(shape: Sequence[int], dim: int) -> tuple[int, ...]:
+    """Divisor vector for ``shape``, cutting along ``dim`` dimensions.
+
+    ``dim`` is the paper's ``dim`` parameter (3..9 in the experiments,
+    GPU-DIM3 .. GPU-DIM9).  The rule, reverse-engineered from the
+    paper's own Tables I–VI (which pin it down more precisely than the
+    Algorithm 4 pseudocode):
+
+    * the ``dim`` dimensions with the **largest extents** are cut
+      (ties broken by lower index);
+    * a cut dimension uses :func:`dimension_divisor` — the largest
+      divisor at most ``sqrt(extent)``;
+    * when that divisor is 1 (prime extent), the dimension is split
+      fully into singleton segments (divisor = extent).  The pseudocode
+      leaves this case silent, but 15+ of the paper's 18 printed block
+      rows require it (e.g. extent 5 -> block size 1 in Table II).
+
+    When the table has fewer than ``dim`` dimensions, all of them are
+    cut — the paper observes this is why partitioning along more
+    dimensions than the table has gains nothing (Fig. 3 discussion).
+    """
+    shape = tuple(int(s) for s in shape)
+    if dim < 1:
+        raise PartitionError(f"dim must be >= 1, got {dim}")
+    ranked = sorted(range(len(shape)), key=lambda i: (-shape[i], i))
+    keep = set(ranked[:dim])
+    divisor = []
+    for i, extent in enumerate(shape):
+        if i not in keep:
+            divisor.append(1)
+            continue
+        div = dimension_divisor(extent)
+        divisor.append(extent if div == 1 and extent > 1 else div)
+    return tuple(divisor)
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """An even partition of a DP-table into identical blocks.
+
+    Attributes
+    ----------
+    geometry: the table being partitioned.
+    divisor: segments per dimension; must divide each extent exactly.
+    """
+
+    geometry: TableGeometry
+    divisor: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        divisor = tuple(int(a) for a in self.divisor)
+        shape = self.geometry.shape
+        if len(divisor) != len(shape):
+            raise PartitionError(
+                f"divisor {divisor} has wrong arity for shape {shape}"
+            )
+        for extent, a in zip(shape, divisor):
+            if a < 1 or extent % a != 0:
+                raise PartitionError(
+                    f"divisor {divisor} does not evenly divide shape {shape}"
+                )
+        object.__setattr__(self, "divisor", divisor)
+
+    # -- block geometry --------------------------------------------------------
+
+    @property
+    def block_shape(self) -> tuple[int, ...]:
+        """Cells per block along each dimension (``block_size`` in Alg. 4)."""
+        return tuple(e // a for e, a in zip(self.geometry.shape, self.divisor))
+
+    @property
+    def cells_per_block(self) -> int:
+        """Number of cells in one block (``jobsPerBlock``)."""
+        out = 1
+        for b in self.block_shape:
+            out *= b
+        return out
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of blocks (``prod(divisor)``)."""
+        out = 1
+        for a in self.divisor:
+            out *= a
+        return out
+
+    @property
+    def block_grid(self) -> TableGeometry:
+        """The blocks themselves form a small table of shape ``divisor``."""
+        return TableGeometry(self.divisor)
+
+    @property
+    def num_block_levels(self) -> int:
+        """Number of block-levels (``#block_level`` in Alg. 4)."""
+        return self.block_grid.max_level + 1
+
+    @property
+    def num_inblock_levels(self) -> int:
+        """Anti-diagonal levels inside one block (Alg. 5 line 4)."""
+        return sum(b - 1 for b in self.block_shape) + 1
+
+    # -- cell <-> block maps ----------------------------------------------------
+
+    def block_of_cell(self, cell: Sequence[int]) -> tuple[int, ...]:
+        """Block coordinates containing ``cell`` (``floor(x_i / b_i)``)."""
+        if not self.geometry.contains(cell):
+            raise PartitionError(f"cell {tuple(cell)} outside table {self.geometry.shape}")
+        return tuple(int(c) // b for c, b in zip(cell, self.block_shape))
+
+    def inblock_coords(self, cell: Sequence[int]) -> tuple[int, ...]:
+        """Cell coordinates relative to its block origin (``x_i mod b_i``)."""
+        if not self.geometry.contains(cell):
+            raise PartitionError(f"cell {tuple(cell)} outside table {self.geometry.shape}")
+        return tuple(int(c) % b for c, b in zip(cell, self.block_shape))
+
+    def block_level_of_cell(self, cell: Sequence[int]) -> int:
+        """Block level (sum of block coordinates) of the cell's block."""
+        return sum(self.block_of_cell(cell))
+
+    def cells_of_block(self, block: Sequence[int]) -> np.ndarray:
+        """All cell multi-indices of ``block`` as an ``(n, d)`` array.
+
+        Cells come in row-major order of their in-block coordinates —
+        the storage order after the Algorithm 4 memory reorganization.
+        """
+        block = tuple(int(b) for b in block)
+        if not self.block_grid.contains(block):
+            raise PartitionError(f"block {block} outside grid {self.divisor}")
+        local = TableGeometry(self.block_shape).all_cells()
+        origin = np.asarray(
+            [b * s for b, s in zip(block, self.block_shape)], dtype=np.int64
+        )
+        return local + origin
+
+    # -- vectorized whole-table maps ---------------------------------------------
+
+    @cached_property
+    def cell_block_ids(self) -> np.ndarray:
+        """Flat block index (row-major over the grid) of every cell.
+
+        Indexed by the cell's flat row-major table index; one vectorized
+        pass over the whole table.
+        """
+        cells = self.geometry.all_cells()
+        blocks = cells // np.asarray(self.block_shape, dtype=np.int64)
+        return np.ravel_multi_index(tuple(blocks.T), self.divisor).astype(np.int64)
+
+    @cached_property
+    def cell_block_levels(self) -> np.ndarray:
+        """Block level of every cell (flat table order)."""
+        cells = self.geometry.all_cells()
+        blocks = cells // np.asarray(self.block_shape, dtype=np.int64)
+        return blocks.sum(axis=1)
+
+    @cached_property
+    def cell_inblock_levels(self) -> np.ndarray:
+        """In-block anti-diagonal level of every cell (flat table order)."""
+        cells = self.geometry.all_cells()
+        rel = cells % np.asarray(self.block_shape, dtype=np.int64)
+        return rel.sum(axis=1)
+
+    # -- iteration ---------------------------------------------------------------
+
+    def blocks_at_level(self, level: int) -> list[tuple[int, ...]]:
+        """Block coordinate vectors on one block-level, lexicographic."""
+        grid = self.block_grid
+        if not (0 <= level <= grid.max_level):
+            raise PartitionError(
+                f"block level {level} out of range [0, {grid.max_level}]"
+            )
+        return [
+            grid.unravel(int(f))
+            for f in np.flatnonzero(grid.all_cells().sum(axis=1) == level)
+        ]
+
+    def iter_block_levels(self) -> Iterator[list[tuple[int, ...]]]:
+        """Yield the block lists level by level (Alg. 4 lines 29–31)."""
+        for level in range(self.num_block_levels):
+            yield self.blocks_at_level(level)
+
+    def stream_assignment(self, num_streams: int = 4) -> dict[tuple[int, ...], int]:
+        """Cyclic distribution of same-level blocks over CUDA streams.
+
+        Algorithm 4 line 31: blocks of one level go round-robin into
+        ``num_streams`` streams so they execute concurrently.
+        """
+        if num_streams < 1:
+            raise PartitionError(f"num_streams must be >= 1, got {num_streams}")
+        out: dict[tuple[int, ...], int] = {}
+        for level_blocks in self.iter_block_levels():
+            for i, block in enumerate(level_blocks):
+                out[block] = i % num_streams
+        return out
+
+    @staticmethod
+    def from_counts(counts: Sequence[int], dim: int) -> "BlockPartition":
+        """Partition for a job-count vector under the paper's ``dim`` setting."""
+        geometry = TableGeometry.from_counts(counts)
+        return BlockPartition(geometry, compute_divisor(geometry.shape, dim))

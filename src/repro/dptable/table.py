@@ -1,0 +1,108 @@
+"""Geometry of a dense row-major DP-table.
+
+The DP-table for a count vector ``N = (n_1, ..., n_d)`` has shape
+``(n_1+1, ..., n_d+1)`` and is stored row-major (C order), exactly as in
+Algorithm 2 ("the i-th entry of DP-table in row-major order").
+:class:`TableGeometry` centralises index arithmetic — flat↔multi
+conversions, strides, bounds — so every consumer (wavefront iteration,
+partitioning, the simulators' memory models) agrees on addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DPError
+
+
+@dataclass(frozen=True)
+class TableGeometry:
+    """Shape, strides, and index conversions for one DP-table."""
+
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        shape = tuple(int(s) for s in self.shape)
+        if any(s < 1 for s in shape):
+            raise DPError(f"table extents must be >= 1, got {shape}")
+        object.__setattr__(self, "shape", shape)
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions ``d``."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of cells ``sigma = prod(extent_i)``."""
+        out = 1
+        for s in self.shape:
+            out *= s
+        return out
+
+    @property
+    def strides(self) -> tuple[int, ...]:
+        """Row-major strides in *elements* (last dimension fastest)."""
+        strides = [1] * self.ndim
+        for i in range(self.ndim - 2, -1, -1):
+            strides[i] = strides[i + 1] * self.shape[i + 1]
+        return tuple(strides)
+
+    @property
+    def max_level(self) -> int:
+        """Largest anti-diagonal level: ``sum(extent_i - 1)``."""
+        return sum(s - 1 for s in self.shape)
+
+    # -- conversions ----------------------------------------------------------
+
+    def ravel(self, cell: Sequence[int]) -> int:
+        """Multi-index → flat row-major index (bounds-checked)."""
+        if len(cell) != self.ndim:
+            raise DPError(f"cell {tuple(cell)} has wrong arity for shape {self.shape}")
+        flat = 0
+        for c, extent, stride in zip(cell, self.shape, self.strides):
+            c = int(c)
+            if not (0 <= c < extent):
+                raise DPError(f"cell {tuple(cell)} out of bounds for shape {self.shape}")
+            flat += c * stride
+        return flat
+
+    def unravel(self, flat: int) -> tuple[int, ...]:
+        """Flat row-major index → multi-index (bounds-checked)."""
+        flat = int(flat)
+        if not (0 <= flat < self.size):
+            raise DPError(f"flat index {flat} out of range [0, {self.size})")
+        cell = []
+        for stride in self.strides:
+            cell.append(flat // stride)
+            flat %= stride
+        return tuple(cell)
+
+    def all_cells(self) -> np.ndarray:
+        """All multi-indices as a ``(size, ndim)`` int64 array in flat order.
+
+        Vectorized ``unravel_index`` over the whole table — used by the
+        partitioning layout and the simulators' work enumeration.
+        """
+        flat = np.arange(self.size, dtype=np.int64)
+        coords = np.unravel_index(flat, self.shape)
+        return np.stack(coords, axis=1).astype(np.int64)
+
+    def iter_cells(self) -> Iterator[tuple[int, ...]]:
+        """Yield every multi-index in flat (row-major) order."""
+        for flat in range(self.size):
+            yield self.unravel(flat)
+
+    def contains(self, cell: Sequence[int]) -> bool:
+        """Whether ``cell`` lies inside the table."""
+        return len(cell) == self.ndim and all(
+            0 <= int(c) < s for c, s in zip(cell, self.shape)
+        )
+
+    @staticmethod
+    def from_counts(counts: Sequence[int]) -> "TableGeometry":
+        """Geometry for a job-count vector ``N`` (extents ``n_i + 1``)."""
+        return TableGeometry(tuple(int(c) + 1 for c in counts))

@@ -1,0 +1,87 @@
+"""ASCII visualisation of tables, wavefronts, and partitions.
+
+Renders the structures the paper illustrates in Figures 1 and 2 for
+*any* 2-D table (and 2-D slices of higher-dimensional ones):
+
+* :func:`render_levels` — each cell labelled with its anti-diagonal
+  level (Fig. 1's wavefront);
+* :func:`render_partition` — each cell labelled with its block-level
+  (Fig. 2's colours), block boundaries drawn as separators.
+
+Used by the docs and handy when debugging a custom divisor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dptable.partition import BlockPartition
+from repro.dptable.table import TableGeometry
+from repro.errors import PartitionError
+
+
+def _check_2d(shape: Sequence[int]) -> tuple[int, int]:
+    if len(shape) != 2:
+        raise PartitionError(
+            f"visualisation renders 2-D tables; got shape {tuple(shape)} "
+            "(take a 2-D slice of higher-dimensional tables)"
+        )
+    return int(shape[0]), int(shape[1])
+
+
+def render_levels(geometry: TableGeometry) -> str:
+    """Grid of anti-diagonal levels: cell (i, j) shows ``i + j``.
+
+    Cells sharing a label are independent and run concurrently —
+    the Fig. 1 wavefront.
+    """
+    rows, cols = _check_2d(geometry.shape)
+    width = len(str(rows + cols - 2))
+    lines = []
+    for i in range(rows):
+        lines.append(" ".join(str(i + j).rjust(width) for j in range(cols)))
+    return "\n".join(lines)
+
+
+def render_partition(partition: BlockPartition) -> str:
+    """Grid of block-levels with block boundaries, Fig. 2 style.
+
+    Cell (i, j) shows the block-level of its block; ``|`` and rows of
+    ``-`` mark the block boundaries produced by the divisor.
+    """
+    rows, cols = _check_2d(partition.geometry.shape)
+    br, bc = partition.block_shape
+    width = max(1, len(str(partition.num_block_levels - 1)))
+    lines = []
+    for i in range(rows):
+        if i > 0 and i % br == 0:
+            # A separator row across all columns incl. the '|' gaps.
+            n_seps = (cols - 1) // bc
+            lines.append("-" * (cols * (width + 1) - 1 + 2 * n_seps))
+        cells = []
+        for j in range(cols):
+            if j > 0 and j % bc == 0:
+                cells.append("|")
+            level = (i // br) + (j // bc)
+            cells.append(str(level).rjust(width))
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def render_stream_map(partition: BlockPartition, num_streams: int = 4) -> str:
+    """Grid of stream assignments per block (cyclic, Alg. 4 line 31)."""
+    rows, cols = _check_2d(partition.geometry.shape)
+    br, bc = partition.block_shape
+    streams = partition.stream_assignment(num_streams)
+    lines = []
+    for i in range(rows):
+        if i > 0 and i % br == 0:
+            n_seps = (cols - 1) // bc
+            lines.append("-" * (cols * 2 - 1 + 2 * n_seps))
+        cells = []
+        for j in range(cols):
+            if j > 0 and j % bc == 0:
+                cells.append("|")
+            cells.append(str(streams[(i // br, j // bc)]))
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

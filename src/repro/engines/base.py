@@ -1,0 +1,120 @@
+"""Shared engine infrastructure: the group-fill kernel and result type.
+
+Every engine executes the DP in its own schedule order — wavefront
+levels for the CPU engines, (block-level, in-block-level) groups for the
+partitioned GPU engine.  :func:`fill_by_groups` is the one computation
+kernel they all share: given any *topologically valid* sequence of cell
+groups it fills the table with vectorized gathers, so each engine's
+values really are produced in that engine's order (and therefore prove
+the order is dependency-safe), yet no per-cell Python loop exists.
+
+For each group and each configuration the kernel gathers the
+predecessor values of every cell in the group at once
+(``table_flat[prev_flat]``) and min-reduces across configurations —
+``O(|C|)`` gathers of group size per group, ``O(|C| * sigma)`` total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.dp_common import DPResult, UNREACHABLE
+from repro.dptable.table import TableGeometry
+from repro.errors import DPError
+
+
+def fill_by_groups(
+    geometry: TableGeometry,
+    configs: np.ndarray,
+    groups: Iterable[np.ndarray],
+) -> np.ndarray:
+    """Fill the DP-table processing ``groups`` of flat indices in order.
+
+    Every dependency of a cell must lie in an earlier group (or be the
+    origin).  Raises :class:`DPError` if a group reads a cell that no
+    earlier group wrote and that is reachable — which would mean the
+    schedule violated a dependency.  Returns the flat int64 table.
+    """
+    size = geometry.size
+    table = np.full(size, UNREACHABLE, dtype=np.int64)
+    table[0] = 0  # the origin: zero jobs need zero machines
+    written = np.zeros(size, dtype=bool)
+    written[0] = True
+
+    shape = geometry.shape
+    strides = np.asarray(geometry.strides, dtype=np.int64)
+    covered = 0
+
+    for group in groups:
+        group = np.asarray(group, dtype=np.int64)
+        if group.size == 0:
+            continue
+        covered += group.size
+        # Origin may appear in the first group; it is already final.
+        group = group[group != 0]
+        if group.size == 0:
+            continue
+        coords = np.stack(np.unravel_index(group, shape), axis=1)
+        best = np.full(group.size, UNREACHABLE, dtype=np.int64)
+        for cfg in configs:
+            prev = coords - cfg
+            ok = (prev >= 0).all(axis=1)
+            if not ok.any():
+                continue
+            prev_flat = prev[ok] @ strides
+            if not written[prev_flat].all():
+                raise DPError(
+                    "schedule violates a DP dependency: a group reads a cell "
+                    "no earlier group produced"
+                )
+            vals = table[prev_flat]
+            sel = np.flatnonzero(ok)  # unique per cell, plain fancy indexing is safe
+            best[sel] = np.minimum(best[sel], vals)
+        reachable = best < UNREACHABLE
+        table[group[reachable]] = best[reachable] + 1
+        written[group] = True
+
+    if covered < size:
+        raise DPError(
+            f"schedule covered {covered} of {size} cells; groups must tile the table"
+        )
+    return table
+
+
+def degenerate_run(engine: str) -> "EngineRun":
+    """Run for the no-long-jobs case: a 0-d table, zero simulated time.
+
+    Every engine returns this when the rounding step produced no job
+    classes (all jobs short); the PTAS then decides feasibility from
+    the short-job packing alone.
+    """
+    from repro.core.dp_common import empty_dp_result
+
+    return EngineRun(engine=engine, dp_result=empty_dp_result(), simulated_s=0.0)
+
+
+@dataclass(frozen=True)
+class EngineRun:
+    """What one engine produced for one DP probe.
+
+    Attributes
+    ----------
+    engine: engine label ("openmp-28", "gpu-dim6", ...).
+    dp_result: the (real, verified-identical) DP values.
+    simulated_s: simulated hardware seconds for the probe.
+    metrics: engine-specific counters (utilization, transactions,
+        imbalance, kernel counts, ...), plain dict for the records layer.
+    """
+
+    engine: str
+    dp_result: DPResult
+    simulated_s: float
+    metrics: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def table_size(self) -> int:
+        """DP-table size ``sigma`` (the x-axis of Fig. 3)."""
+        return int(np.prod(self.dp_result.shape)) if self.dp_result.shape else 1

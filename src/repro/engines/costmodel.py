@@ -1,0 +1,175 @@
+"""Per-cell work characterization and the calibrated cost constants.
+
+Algorithm 5 fixes what one DP cell ("configuration") costs:
+
+* **FindValidSub** enumerates every vector below the cell —
+  ``candidates(v) = prod(v_i + 1)`` trial vectors, each tested against
+  the budget (the paper notes this enumeration is why "even the
+  execution of a relatively small size DP problem can run out of
+  memory", §III-C);
+* **SetOPT** takes each *valid* sub-configuration —
+  ``valid(v) = #{c in C : c <= v}`` of them — and locates its OPT value
+  by scanning storage (Alg. 5 lines 26–28).  The scan scope is the
+  engine's key difference: the whole table for the OpenMP baseline and
+  the naive port (Alg. 2 lines 18–19), one *block* after
+  data-partitioning (§III-E).
+
+:class:`WorkProfile` computes ``candidates`` and ``valid`` for every
+cell in vectorized passes.  :class:`CostConstants` holds every per-op
+constant in one frozen, documented place; they were calibrated once so
+the reproduced Table VII lands in the paper's bands (see EXPERIMENTS.md)
+and are frozen for all experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import cached_property
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.configs import enumerate_configurations
+from repro.dptable.table import TableGeometry
+from repro.errors import CalibrationError, DPError
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Calibrated per-operation costs (abstract ops; device specs turn
+    them into seconds via their clock and ``cycles_per_op``).
+
+    Attributes
+    ----------
+    candidate_ops:
+        Abstract ops to generate and budget-test one candidate
+        sub-configuration inside FindValidSub (vector subtract + dot
+        against sizes, ~2 ops per dimension folded into one constant).
+    scan_ops_per_element:
+        Ops per storage element touched by the SetOPT locate scan
+        (load + compare) on the CPU, whose scans vectorize and run from
+        cache.
+    gpu_scan_ops_per_element:
+        Ops per scanned element on the GPU.  The in-block locate loop
+        (Alg. 5 lines 26-28) is a serial per-thread loop of dependent
+        loads and compares — several times the CPU's per-element cost;
+        this asymmetry is what makes over-large blocks (GPU-DIM3's)
+        expensive and drives the paper's block-size tradeoff.
+    setopt_ops:
+        Ops per *valid* sub-configuration outside the scan (min-reduce
+        bookkeeping, Alg. 5 lines 29–32).
+    cpu_scan_elements_cached:
+        On the CPU the repeated table scans run from the last-level
+        cache; this multiplier (<= 1) discounts the scan ops
+        accordingly.  The GPU engines charge scans through the memory
+        model instead (coalescing-aware), not through this constant.
+    """
+
+    candidate_ops: float = 6.0
+    scan_ops_per_element: float = 3.0
+    setopt_ops: float = 8.0
+    gpu_scan_ops_per_element: float = 60.0
+    cpu_scan_elements_cached: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "candidate_ops",
+            "scan_ops_per_element",
+            "setopt_ops",
+            "gpu_scan_ops_per_element",
+            "cpu_scan_elements_cached",
+        ):
+            if getattr(self, name) <= 0:
+                raise CalibrationError(f"{name} must be positive")
+
+    def with_overrides(self, **kwargs) -> "CostConstants":
+        """Copy with some constants replaced (ablation benches use this)."""
+        return replace(self, **kwargs)
+
+
+#: The frozen constants used by every experiment.
+DEFAULT_COSTS = CostConstants()
+
+
+class WorkProfile:
+    """Vectorized per-cell work quantities for one DP probe.
+
+    All arrays are indexed by the cell's flat row-major table index.
+    """
+
+    def __init__(
+        self,
+        counts: Sequence[int],
+        class_sizes: Sequence[int],
+        target: int,
+        configs: np.ndarray | None = None,
+    ) -> None:
+        self.counts = tuple(int(c) for c in counts)
+        self.class_sizes = tuple(int(s) for s in class_sizes)
+        if len(self.counts) != len(self.class_sizes):
+            raise DPError("counts and class_sizes must have equal length")
+        self.target = int(target)
+        self.geometry = TableGeometry.from_counts(self.counts)
+        if configs is None:
+            configs = enumerate_configurations(class_sizes, counts, target)
+        self.configs = configs
+
+    # -- per-cell arrays -----------------------------------------------------
+
+    @cached_property
+    def levels(self) -> np.ndarray:
+        """Anti-diagonal level of every cell."""
+        return self.geometry.all_cells().sum(axis=1)
+
+    @cached_property
+    def candidates(self) -> np.ndarray:
+        """FindValidSub enumeration size per cell: ``prod(v_i + 1)``."""
+        cells = self.geometry.all_cells()
+        return np.prod(cells + 1, axis=1, dtype=np.int64)
+
+    @cached_property
+    def valid(self) -> np.ndarray:
+        """Applicable configurations per cell: ``#{c in C : c <= v}``.
+
+        Computed by one slice-increment per configuration over a dense
+        counter table — ``O(|C| * sigma)`` flat numpy work.
+        """
+        table = np.zeros(self.geometry.shape, dtype=np.int64)
+        for cfg in self.configs:
+            view = table[tuple(slice(int(c), None) for c in cfg)]
+            view += 1
+        return table.reshape(-1)
+
+    # -- aggregates ------------------------------------------------------------
+
+    @cached_property
+    def total_candidates(self) -> int:
+        """Sum of FindValidSub work over the whole table."""
+        return int(self.candidates.sum())
+
+    @cached_property
+    def total_valid(self) -> int:
+        """Sum of SetOPT work items over the whole table."""
+        return int(self.valid.sum())
+
+    def thread_ops(self, costs: CostConstants) -> np.ndarray:
+        """Per-cell compute ops *excluding* the locate scan.
+
+        The scan is charged separately because its cost depends on the
+        engine's storage layout (whole table vs block) and medium
+        (cached CPU scan vs GPU global memory).
+        """
+        return (
+            self.candidates.astype(np.float64) * costs.candidate_ops
+            + self.valid.astype(np.float64) * costs.setopt_ops
+        )
+
+    def scan_elements(self, scan_scope: np.ndarray | int) -> np.ndarray:
+        """Per-cell elements touched by locate scans.
+
+        ``scan_scope`` is the storage size each scan walks (scalar, or
+        per-cell array for block-local scans); the expected scan hits
+        the target halfway through.
+        """
+        scope = np.asarray(scan_scope, dtype=np.float64)
+        return self.valid.astype(np.float64) * scope / 2.0

@@ -1,0 +1,180 @@
+"""PTAS-level orchestration on the simulated hardware (Table VII).
+
+Combines a search strategy with an engine and accounts *instance-level*
+simulated time:
+
+* :func:`run_ptas_openmp` — plain bisection (Algorithm 1) on the OpenMP
+  engine; probes are sequential, so the instance time is the sum of
+  probe times.
+* :func:`run_ptas_gpu` — the quarter split (Algorithm 3) on the
+  partitioned GPU engine; the four segment probes of one iteration run
+  *concurrently* on the device (four Hyper-Q process queues, four
+  streams each — the paper's sixteen streams).  Concurrent time is
+  bounded below by both the longest single probe (the span) and the
+  total busy warp-time divided by the device's warp slots (the work);
+  we charge ``max(span, work / slots)`` — the standard work/span bound,
+  exact when the probes interleave ideally and pessimistic otherwise.
+
+Both functions return a :class:`PtasRun` with the schedule, the
+iteration count ("#itr" in Table VII), and the simulated runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.bounds import makespan_bounds
+from repro.core.instance import Instance
+from repro.core.ptas import ProbeResult, PtasResult, probe_target
+from repro.core.quarter_split import segment_targets
+from repro.engines.base import EngineRun
+from repro.engines.gpu_partitioned import GpuPartitionedEngine
+from repro.engines.openmp_engine import OpenMPEngine
+from repro.engines.sequential import SequentialEngine
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class PtasRun:
+    """One PTAS execution on simulated hardware.
+
+    ``iterations`` counts search rounds (one probe per round for
+    bisection, up to four concurrent probes for the quarter split);
+    ``simulated_s`` is the modelled wall time on the device/host;
+    ``dp_table_sizes`` lists the sizes of every DP-table filled.
+    """
+
+    engine: str
+    result: PtasResult
+    simulated_s: float
+    dp_table_sizes: tuple[int, ...]
+
+    @property
+    def iterations(self) -> int:
+        """Search iterations ("#itr" of Table VII)."""
+        return self.result.iterations
+
+    @property
+    def makespan(self) -> int:
+        """Final schedule makespan."""
+        return self.result.makespan
+
+
+def run_ptas_openmp(
+    instance: Instance,
+    eps: float = 0.3,
+    threads: int = 28,
+    engine: Optional[OpenMPEngine] = None,
+) -> PtasRun:
+    """Algorithm 1 with plain bisection on the OpenMP cost model."""
+    from repro.core.bisection import bisection_search
+
+    engine = engine or OpenMPEngine(threads=threads)
+    result = bisection_search(instance, eps, dp_solver=engine)
+    return PtasRun(
+        engine=engine.name,
+        result=result,
+        simulated_s=engine.total_simulated_s,
+        dp_table_sizes=tuple(r.table_size for r in engine.runs),
+    )
+
+
+def run_ptas_serial(
+    instance: Instance, eps: float = 0.3, engine: Optional[SequentialEngine] = None
+) -> PtasRun:
+    """Algorithm 1 with plain bisection on a single simulated core."""
+    from repro.core.bisection import bisection_search
+
+    engine = engine or SequentialEngine()
+    result = bisection_search(instance, eps, dp_solver=engine)
+    return PtasRun(
+        engine=engine.name,
+        result=result,
+        simulated_s=engine.total_simulated_s,
+        dp_table_sizes=tuple(r.table_size for r in engine.runs),
+    )
+
+
+def _concurrent_time(runs: list[EngineRun], warp_slots: int) -> float:
+    """Work/span bound for probes sharing one device (see module docstring)."""
+    if not runs:
+        return 0.0
+    span = max(r.simulated_s for r in runs)
+    busy = sum(float(r.metrics.get("warp_seconds_paid", 0.0)) for r in runs)
+    return max(span, busy / warp_slots)
+
+
+def run_ptas_gpu(
+    instance: Instance,
+    eps: float = 0.3,
+    dim: int = 6,
+    segments: int = 4,
+    streams_per_segment: int = 4,
+    engine: Optional[GpuPartitionedEngine] = None,
+) -> PtasRun:
+    """Algorithm 3 (quarter split) on the partitioned GPU engine.
+
+    Replicates :func:`repro.core.quarter_split.quarter_split_search` but
+    groups each iteration's probes to charge them as concurrent device
+    work.  The returned makespan is identical to the plain search
+    (property-tested).
+    """
+    engine = engine or GpuPartitionedEngine(dim=dim, num_streams=streams_per_segment)
+    bounds = makespan_bounds(instance)
+    lb, ub = bounds.lower, bounds.upper
+
+    probes: list[ProbeResult] = []
+    best_accept: Optional[ProbeResult] = None
+    iterations = 0
+    simulated = 0.0
+
+    while lb < ub:
+        iterations += 1
+        targets = segment_targets(lb, ub, segments)
+        mark = len(engine.runs)
+        round_probes = [probe_target(instance, t, eps, engine) for t in targets]
+        probes.extend(round_probes)
+        simulated += _concurrent_time(engine.runs[mark:], engine.spec.warp_slots)
+
+        accepted = [p for p in round_probes if p.accepted]
+        rejected = [p for p in round_probes if not p.accepted]
+        if accepted:
+            lowest = min(accepted, key=lambda p: p.target)
+            ub = lowest.target
+            if best_accept is None or lowest.target <= best_accept.target:
+                best_accept = lowest
+        rejected_below = [p for p in rejected if p.target < ub]
+        if rejected_below:
+            lb = max(p.target for p in rejected_below) + 1
+        elif not accepted:
+            lb = max(p.target for p in round_probes) + 1
+
+    if best_accept is None or best_accept.target != ub:
+        mark = len(engine.runs)
+        probe = probe_target(instance, ub, eps, engine)
+        probes.append(probe)
+        simulated += _concurrent_time(engine.runs[mark:], engine.spec.warp_slots)
+        if not probe.accepted:
+            raise ReproError(
+                f"quarter split invariant violated: final target {ub} rejected"
+            )
+        best_accept = probe
+
+    best_schedule = min(
+        (p.schedule for p in probes if p.schedule is not None),
+        key=lambda s: s.makespan,
+    )
+    result = PtasResult(
+        schedule=best_schedule,
+        eps=eps,
+        iterations=iterations,
+        probes=probes,
+        final_target=best_accept.target,
+    )
+    return PtasRun(
+        engine=engine.name,
+        result=result,
+        simulated_s=simulated,
+        dp_table_sizes=tuple(r.table_size for r in engine.runs),
+    )

@@ -1,0 +1,104 @@
+"""Serial PTAS engine — Algorithm 1+2 on one CPU core.
+
+The baseline the OpenMP implementation of [1] was originally measured
+against.  The paper omits it from its own comparison ("the performance
+of the sequential PTAS was already compared against the OpenMP
+implementation in [1]"); we keep it because it anchors the cost model
+(OpenMP at P threads must approach the serial time / P for
+compute-bound levels — asserted in tests) and the examples use it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.dp_common import DPResult
+from repro.cpusim.openmp import OpenMPModel
+from repro.cpusim.spec import CpuSpec, XEON_E5_2697V3_DUAL
+from repro.dptable.antidiagonal import wavefront
+from repro.engines.base import EngineRun, degenerate_run, fill_by_groups
+from repro.engines.costmodel import CostConstants, DEFAULT_COSTS, WorkProfile
+
+
+class SequentialEngine:
+    """One-core execution of the wavefront DP.
+
+    Also usable as a :class:`~repro.core.ptas.DPSolver` via
+    :meth:`__call__`; simulated time accumulates across calls in
+    ``total_simulated_s`` so the PTAS drivers can report per-instance
+    totals.
+    """
+
+    def __init__(
+        self,
+        spec: CpuSpec = XEON_E5_2697V3_DUAL,
+        costs: CostConstants = DEFAULT_COSTS,
+    ) -> None:
+        self.spec = spec
+        self.costs = costs
+        self.total_simulated_s = 0.0
+        self.runs: list[EngineRun] = []
+
+    @property
+    def name(self) -> str:
+        """Engine label used in records and reports."""
+        return "serial"
+
+    def run(
+        self,
+        counts: Sequence[int],
+        class_sizes: Sequence[int],
+        target: int,
+        configs: Optional[np.ndarray] = None,
+    ) -> EngineRun:
+        """Execute one DP probe; returns values plus simulated time."""
+        if len(counts) == 0:
+            run = degenerate_run(self.name)
+            self.runs.append(run)
+            return run
+        profile = WorkProfile(counts, class_sizes, target, configs)
+        geometry = profile.geometry
+
+        table = fill_by_groups(geometry, profile.configs, wavefront(geometry))
+        dp_result = DPResult(
+            table=table.reshape(geometry.shape), configs=profile.configs
+        )
+
+        # Serial cost: every op in sequence; scans run from cache.
+        ops = profile.thread_ops(self.costs)
+        scan = (
+            profile.scan_elements(geometry.size)
+            * self.costs.scan_ops_per_element
+            * self.costs.cpu_scan_elements_cached
+        )
+        model = OpenMPModel(self.spec, threads=1)
+        model.parallel_for(
+            (ops + scan) * self.spec.op_time_s,
+            mem_bytes=int(profile.total_valid) * 8,
+        )
+
+        run = EngineRun(
+            engine=self.name,
+            dp_result=dp_result,
+            simulated_s=model.elapsed_s,
+            metrics={
+                "regions": model.regions,
+                "total_candidates": profile.total_candidates,
+                "total_valid": profile.total_valid,
+            },
+        )
+        self.total_simulated_s += run.simulated_s
+        self.runs.append(run)
+        return run
+
+    def __call__(
+        self,
+        counts: Sequence[int],
+        class_sizes: Sequence[int],
+        target: int,
+        configs: Optional[np.ndarray] = None,
+    ) -> DPResult:
+        """DPSolver protocol: used directly by the PTAS drivers."""
+        return self.run(counts, class_sizes, target, configs).dp_result

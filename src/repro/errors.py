@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch a single base class.  Errors are deliberately fine-grained: the
+simulators, the DP engines, and the PTAS driver each raise a distinct
+subclass, which keeps test assertions and user-facing error handling
+precise.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """An ``Instance`` violates the problem preconditions.
+
+    Raised for non-positive processing times, zero machines, or an empty
+    job set where the operation requires at least one job.
+    """
+
+
+class InvalidScheduleError(ReproError, ValueError):
+    """A ``Schedule`` is structurally inconsistent with its instance.
+
+    Examples: a job assigned to no machine or to two machines, or a
+    machine index out of range.
+    """
+
+
+class InfeasibleError(ReproError):
+    """No feasible assignment exists under the stated constraint.
+
+    The DP raises this when asked to extract a schedule for a target
+    makespan ``T`` that admits no packing of the rounded long jobs.
+    """
+
+
+class DPError(ReproError):
+    """The dynamic program was driven with inconsistent inputs.
+
+    Examples: a class-count vector and configuration set of different
+    dimensionality, or a configuration exceeding the table bounds.
+    """
+
+
+class PartitionError(ReproError, ValueError):
+    """The data-partitioning scheme received an invalid divisor.
+
+    A divisor must have the table's dimensionality and divide each
+    dimension extent exactly (Algorithm 4 guarantees this by
+    construction; hand-built divisors may not).
+    """
+
+
+class SimulationError(ReproError):
+    """A hardware simulator was driven into an inconsistent state.
+
+    Examples: completing a kernel that was never launched, negative
+    simulated durations, or exceeding device memory.
+    """
+
+
+class CalibrationError(ReproError):
+    """A cost-model constant is outside its documented valid range."""

@@ -1,0 +1,34 @@
+"""The paper's future-work directions, implemented.
+
+§V names two: applying the data-partitioning scheme to *other*
+high-dimensional dynamic programs ("like higher-dimensional knapsack
+problems, and eventually ... a general technique"), and reducing GPU
+memory further by keeping only the *blocks* a computation step actually
+needs resident.
+
+* :mod:`repro.extensions.knapsack` — a multidimensional 0/1 knapsack
+  solved with the same blocked wavefront machinery and simulated on the
+  same GPU model, demonstrating the scheme's generality.
+* :mod:`repro.extensions.residency` — block-residency analysis: which
+  blocks each block-level's dependencies touch, and the peak device
+  memory a residency-managed execution needs vs. keeping the whole
+  table resident.
+"""
+
+from repro.extensions.knapsack import (
+    KnapsackInstance,
+    knapsack_dp,
+    knapsack_greedy,
+    knapsack_items,
+    KnapsackGpuEngine,
+)
+from repro.extensions.residency import BlockResidency
+
+__all__ = [
+    "KnapsackInstance",
+    "knapsack_dp",
+    "knapsack_greedy",
+    "knapsack_items",
+    "KnapsackGpuEngine",
+    "BlockResidency",
+]

@@ -1,0 +1,310 @@
+"""Multidimensional 0/1 knapsack under the data-partitioning scheme.
+
+The paper's first future-work item (§V): "apply the proposed
+data-partitioning scheme to other higher-dimensional dynamic programming
+problems, like higher-dimensional knapsack problems".  This module does
+exactly that, reusing the reproduction's machinery end to end:
+
+* the DP-table is the capacity lattice ``prod(capacity_i + 1)``
+  (:class:`~repro.dptable.table.TableGeometry`);
+* the per-item relaxation ``best[c] = max(best[c], best[c - w] + v)``
+  plays the role Equation 1's configurations play in the scheduler —
+  dependencies again point componentwise downward, so Algorithm 4's
+  blocks and block-levels apply verbatim;
+* :class:`KnapsackGpuEngine` executes the blocked schedule on the same
+  :class:`~repro.gpusim.engine.GpuSimulator`, demonstrating that the
+  partitioning scheme — not anything scheduler-specific — is what maps
+  the DP onto the device.
+
+The value semantics: ``knapsack_dp`` returns, for *every* capacity
+vector ``c``, the best achievable value using each item at most once
+(the standard dense multidimensional 0/1 knapsack table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.dptable.partition import BlockPartition, compute_divisor
+from repro.dptable.table import TableGeometry
+from repro.errors import DPError, InvalidInstanceError
+from repro.gpusim.engine import GpuSimulator
+from repro.gpusim.kernel import KernelSpec
+from repro.gpusim.memory import AccessPattern
+from repro.gpusim.spec import DeviceSpec, KEPLER_K40
+from repro.util.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class KnapsackInstance:
+    """A multidimensional 0/1 knapsack.
+
+    Attributes
+    ----------
+    weights: ``(n_items, d)`` non-negative integer weights.
+    values: length-``n_items`` positive values.
+    capacity: length-``d`` capacity vector.
+    """
+
+    weights: tuple[tuple[int, ...], ...]
+    values: tuple[int, ...]
+    capacity: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        weights = tuple(tuple(int(w) for w in row) for row in self.weights)
+        values = tuple(int(v) for v in self.values)
+        capacity = tuple(int(c) for c in self.capacity)
+        if len(weights) != len(values):
+            raise InvalidInstanceError("one value per item required")
+        if not capacity or any(c < 0 for c in capacity):
+            raise InvalidInstanceError("capacity must be non-negative, d >= 1")
+        d = len(capacity)
+        for i, row in enumerate(weights):
+            if len(row) != d:
+                raise InvalidInstanceError(f"item {i} has wrong weight arity")
+            if any(w < 0 for w in row):
+                raise InvalidInstanceError(f"item {i} has negative weight")
+        for i, v in enumerate(values):
+            if v <= 0:
+                raise InvalidInstanceError(f"item {i} must have positive value")
+        object.__setattr__(self, "weights", weights)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "capacity", capacity)
+
+    @property
+    def n_items(self) -> int:
+        """Number of items."""
+        return len(self.values)
+
+    @property
+    def dims(self) -> int:
+        """Number of capacity dimensions ``d``."""
+        return len(self.capacity)
+
+    @property
+    def table_shape(self) -> tuple[int, ...]:
+        """DP-table extent ``(capacity_i + 1)``."""
+        return tuple(c + 1 for c in self.capacity)
+
+    @property
+    def table_size(self) -> int:
+        """Total DP cells."""
+        out = 1
+        for c in self.capacity:
+            out *= c + 1
+        return out
+
+
+def random_knapsack(
+    n_items: int,
+    capacity: Sequence[int],
+    max_weight: int = 6,
+    max_value: int = 100,
+    seed: SeedLike = None,
+) -> KnapsackInstance:
+    """Uniform random instance (weights may be zero in some dimensions)."""
+    if n_items < 1:
+        raise InvalidInstanceError("need at least one item")
+    rng = make_rng(seed)
+    d = len(capacity)
+    weights = rng.integers(0, max_weight + 1, size=(n_items, d))
+    # Ensure no all-zero weight rows (they would be free value).
+    for i in range(n_items):
+        if not weights[i].any():
+            weights[i, int(rng.integers(0, d))] = 1
+    values = rng.integers(1, max_value + 1, size=n_items)
+    return KnapsackInstance(
+        weights=tuple(map(tuple, weights.tolist())),
+        values=tuple(values.tolist()),
+        capacity=tuple(int(c) for c in capacity),
+    )
+
+
+def knapsack_dp(instance: KnapsackInstance) -> np.ndarray:
+    """Dense DP table: best value at every capacity vector (vectorized).
+
+    Standard 0/1 recurrence, one whole-table shifted-max per item —
+    the same slice idiom as :func:`repro.core.dp_vectorized.dp_vectorized`.
+    Items are processed in reverse capacity order implicitly by taking
+    the max against the *previous* item's table (no in-place reuse), so
+    each item is used at most once.
+    """
+    shape = instance.table_shape
+    table = np.zeros(shape, dtype=np.int64)
+    for row, value in zip(instance.weights, instance.values):
+        if any(int(w) > cap for w, cap in zip(row, instance.capacity)):
+            continue  # the item can never fit anywhere in the lattice
+        shifted_dst = tuple(slice(int(w), None) for w in row)
+        shifted_src = tuple(
+            slice(None, s - int(w)) for s, w in zip(shape, row)
+        )
+        candidate = table[shifted_src] + value
+        new = table.copy()
+        np.maximum(new[shifted_dst], candidate, out=new[shifted_dst])
+        table = new
+    return table
+
+
+def knapsack_items(instance: KnapsackInstance) -> tuple[int, ...]:
+    """Recover an optimal item subset from the DP table.
+
+    Re-derives the per-item tables implicitly by walking items in
+    reverse: item ``i`` is in an optimal solution at capacity ``c`` iff
+    ``dp_{0..i}(c) == dp_{0..i-1}(c - w_i) + v_i`` and that beats
+    skipping it.  To keep memory flat we simply recompute prefix tables
+    (items are processed once forward, once backward) — fine at the
+    library's scales and verified against brute force in tests.
+    """
+    # Prefix tables: prefix[i] = best values using items[0..i).
+    shape = instance.table_shape
+    prefix: list[np.ndarray] = [np.zeros(shape, dtype=np.int64)]
+    for row, value in zip(instance.weights, instance.values):
+        current = prefix[-1]
+        new = current.copy()
+        if all(int(w) <= cap for w, cap in zip(row, instance.capacity)):
+            dst = tuple(slice(int(w), None) for w in row)
+            src = tuple(slice(None, s - int(w)) for s, w in zip(shape, row))
+            np.maximum(new[dst], current[src] + value, out=new[dst])
+        prefix.append(new)
+
+    chosen: list[int] = []
+    cap = tuple(c for c in instance.capacity)
+    for i in range(instance.n_items - 1, -1, -1):
+        with_i = prefix[i + 1][cap]
+        without_i = prefix[i][cap]
+        if with_i > without_i:
+            chosen.append(i)
+            cap = tuple(
+                c - int(w) for c, w in zip(cap, instance.weights[i])
+            )
+    chosen.reverse()
+    return tuple(chosen)
+
+
+def knapsack_greedy(instance: KnapsackInstance) -> int:
+    """Greedy baseline: best value by density ordering (no guarantee).
+
+    Density is value per unit of *normalised* weight; ties by value.
+    Used in tests/examples to show the DP's advantage.
+    """
+    capacity = np.asarray(instance.capacity, dtype=np.float64)
+    scale = np.where(capacity > 0, capacity, 1.0)
+    remaining = np.asarray(instance.capacity, dtype=np.int64).copy()
+    order = sorted(
+        range(instance.n_items),
+        key=lambda i: (
+            -instance.values[i]
+            / max(1e-9, float((np.asarray(instance.weights[i]) / scale).sum())),
+            -instance.values[i],
+        ),
+    )
+    total = 0
+    for i in order:
+        w = np.asarray(instance.weights[i], dtype=np.int64)
+        if (w <= remaining).all():
+            remaining -= w
+            total += instance.values[i]
+    return int(total)
+
+
+@dataclass(frozen=True)
+class KnapsackRun:
+    """Outcome of a simulated knapsack execution."""
+
+    table: np.ndarray
+    simulated_s: float
+    metrics: dict
+
+    @property
+    def best_value(self) -> int:
+        """Optimal value at full capacity."""
+        return int(self.table[tuple(s - 1 for s in self.table.shape)])
+
+
+class KnapsackGpuEngine:
+    """The blocked (Algorithm 4-style) GPU execution of the knapsack DP.
+
+    Per item, the per-cell update depends on one cell componentwise
+    below it, so the block-level wavefront of the scheduler DP carries
+    over: blocks of one block-level are independent *within an item
+    pass*, and in-block cells are embarrassingly parallel per pass
+    because the source table is the previous item's (double buffering —
+    which is how the vectorized recurrence works anyway).  Kernel
+    structure: one kernel per (item, block), blocks of a pass cycled
+    over ``num_streams`` streams, a device sync between items.
+    """
+
+    def __init__(
+        self,
+        dim: int = 6,
+        num_streams: int = 4,
+        spec: DeviceSpec = KEPLER_K40,
+        check_memory: bool = True,
+    ) -> None:
+        self.dim = dim
+        self.num_streams = num_streams
+        self.spec = spec
+        self.check_memory = check_memory
+
+    def run(self, instance: KnapsackInstance) -> KnapsackRun:
+        """Compute the real DP (vectorized) and charge simulated time."""
+        geometry = TableGeometry(instance.table_shape)
+        divisor = compute_divisor(geometry.shape, self.dim)
+        partition = BlockPartition(geometry, divisor)
+
+        table = knapsack_dp(instance)
+
+        op_time = self.spec.op_time_s
+        sim = GpuSimulator(self.spec, check_memory=self.check_memory)
+        cells = partition.cells_per_block
+        # Per item pass: every block reads its own cells plus the
+        # shifted source cells (coalesced after the Alg. 4 reorg) and
+        # performs one compare-add per cell.
+        per_thread = 4 * op_time
+        block_bytes = cells * 8
+        for item in range(instance.n_items):
+            for level_blocks in partition.iter_block_levels():
+                for i, _block in enumerate(level_blocks):
+                    sim.launch(
+                        KernelSpec(
+                            name=f"knapsack-item{item}",
+                            thread_times=np.full(cells, per_thread),
+                            mem_elements=2 * cells,
+                            mem_pattern=AccessPattern.COALESCED,
+                            mem_footprint_bytes=2 * block_bytes,
+                        ),
+                        stream=i % self.num_streams,
+                    )
+            sim.synchronize()  # item barrier (double buffer swap)
+
+        return KnapsackRun(
+            table=table,
+            simulated_s=sim.now,
+            metrics={
+                **sim.metrics.as_dict(),
+                "dim": self.dim,
+                "divisor": divisor,
+                "num_blocks": partition.num_blocks,
+                "cells_per_block": cells,
+            },
+        )
+
+
+def knapsack_exact_bruteforce(instance: KnapsackInstance) -> int:
+    """Exhaustive oracle for tests (2^n subsets — keep n small)."""
+    if instance.n_items > 22:
+        raise DPError("brute force limited to 22 items")
+    best = 0
+    capacity = np.asarray(instance.capacity, dtype=np.int64)
+    weights = np.asarray(instance.weights, dtype=np.int64)
+    values = np.asarray(instance.values, dtype=np.int64)
+    for mask in range(1 << instance.n_items):
+        idx = [i for i in range(instance.n_items) if mask >> i & 1]
+        if not idx:
+            continue
+        if (weights[idx].sum(axis=0) <= capacity).all():
+            best = max(best, int(values[idx].sum()))
+    return best

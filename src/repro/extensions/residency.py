@@ -1,0 +1,150 @@
+"""Block-residency analysis — the paper's second future-work item.
+
+§V: "If the blocks that include the required subproblems can be
+located, only the values of the subproblems in these blocks are needed
+on the GPU."  This module performs that location analysis for the
+scheduler DP:
+
+* a block's dependencies reach at most ``ceil(max_c c_i / b_i)`` blocks
+  backwards in each dimension ``i`` (``c`` ranging over the
+  configuration set, ``b`` the block shape) — the *dependency span*;
+* executing block-level ``L`` therefore needs resident: the level-``L``
+  blocks themselves plus every block within the span behind them;
+* the peak over block-levels, times the block's byte size, is the
+  device memory a residency-managed execution requires — compared
+  against keeping the whole table resident (what the paper's
+  implementation does today).
+
+:meth:`BlockResidency.plan` also yields the load/evict schedule a
+residency-managed runtime would follow, so the saving is not just a
+bound but an executable plan (verified in tests: every dependency of
+every scheduled block is resident when the block runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator
+
+import numpy as np
+
+from repro.dptable.partition import BlockPartition
+from repro.errors import PartitionError
+
+
+@dataclass(frozen=True)
+class ResidencyStep:
+    """One block-level's working set in the residency plan."""
+
+    block_level: int
+    execute: tuple[tuple[int, ...], ...]  # blocks computed at this level
+    resident: tuple[tuple[int, ...], ...]  # blocks that must be on-device
+    load: tuple[tuple[int, ...], ...]  # newly loaded before executing
+    evict: tuple[tuple[int, ...], ...]  # dropped after executing
+
+
+class BlockResidency:
+    """Dependency-span analysis and residency planning for one partition."""
+
+    def __init__(self, partition: BlockPartition, configs: np.ndarray) -> None:
+        if configs.ndim != 2 or (
+            configs.shape[0] and configs.shape[1] != partition.geometry.ndim
+        ):
+            raise PartitionError("configs arity does not match the table")
+        self.partition = partition
+        self.configs = configs
+
+    @cached_property
+    def dependency_span(self) -> tuple[int, ...]:
+        """Blocks reached backwards per dimension: ``ceil(max_i c_i / b_i)``.
+
+        A cell's predecessor ``x - c`` can cross at most this many block
+        boundaries in each dimension, because configurations are the
+        only offsets the recurrence subtracts.
+        """
+        if self.configs.shape[0] == 0:
+            return (0,) * self.partition.geometry.ndim
+        max_offset = self.configs.max(axis=0)
+        return tuple(
+            -(-int(off) // b) for off, b in zip(max_offset, self.partition.block_shape)
+        )
+
+    def blocks_needed_by(self, block: tuple[int, ...]) -> set[tuple[int, ...]]:
+        """All blocks holding any dependency of ``block`` (itself included)."""
+        grid = self.partition.block_grid
+        if not grid.contains(block):
+            raise PartitionError(f"block {block} outside grid {self.partition.divisor}")
+        span = self.dependency_span
+        ranges = [
+            range(max(0, b - s), b + 1) for b, s in zip(block, span)
+        ]
+        out: set[tuple[int, ...]] = set()
+
+        def rec(prefix: list[int], dim: int) -> None:
+            if dim == len(ranges):
+                out.add(tuple(prefix))
+                return
+            for v in ranges[dim]:
+                prefix.append(v)
+                rec(prefix, dim + 1)
+                prefix.pop()
+
+        rec([], 0)
+        return out
+
+    def plan(self) -> Iterator[ResidencyStep]:
+        """Yield the per-block-level load/execute/evict schedule.
+
+        A block stays resident from the step that loads it until no
+        later block-level within the dependency span can still read it
+        (its last consumer finished).
+        """
+        levels = list(self.partition.iter_block_levels())
+        # Last block-level that reads each block.
+        last_reader: dict[tuple[int, ...], int] = {}
+        needs: list[set[tuple[int, ...]]] = []
+        for lvl, blocks in enumerate(levels):
+            needed: set[tuple[int, ...]] = set()
+            for block in blocks:
+                needed |= self.blocks_needed_by(block)
+            needs.append(needed)
+            for b in needed:
+                last_reader[b] = lvl
+
+        resident: set[tuple[int, ...]] = set()
+        for lvl, blocks in enumerate(levels):
+            load = needs[lvl] - resident
+            resident |= load
+            step_resident = tuple(sorted(resident))
+            evict = {b for b in resident if last_reader.get(b, -1) <= lvl}
+            resident -= evict
+            yield ResidencyStep(
+                block_level=lvl,
+                execute=tuple(sorted(blocks)),
+                resident=step_resident,
+                load=tuple(sorted(load)),
+                evict=tuple(sorted(evict)),
+            )
+
+    # -- headline numbers -------------------------------------------------------
+
+    @cached_property
+    def peak_resident_blocks(self) -> int:
+        """Largest number of simultaneously resident blocks in the plan."""
+        return max((len(step.resident) for step in self.plan()), default=0)
+
+    def peak_resident_bytes(self, element_bytes: int = 8) -> int:
+        """Device memory a residency-managed run needs."""
+        return self.peak_resident_blocks * self.partition.cells_per_block * element_bytes
+
+    def full_table_bytes(self, element_bytes: int = 8) -> int:
+        """Memory of the paper's current approach (whole table resident)."""
+        return self.partition.geometry.size * element_bytes
+
+    def savings_ratio(self) -> float:
+        """``1 - peak / full`` — the fraction of device memory saved."""
+        full = self.full_table_bytes()
+        if full == 0:
+            return 0.0
+        return 1.0 - self.peak_resident_bytes() / full

@@ -1,0 +1,37 @@
+"""Discrete-event GPU simulator (the paper's K40 testbed, substituted).
+
+The paper's results hinge on how the DP maps onto GPU hardware: warps,
+streams/Hyper-Q, kernel-launch overhead, global-memory coalescing, and
+dynamic parallelism.  No GPU is available in this environment, so this
+package provides a device model that executes the *same decomposition*
+the paper describes and charges simulated time for exactly the effects
+the paper reasons about (see DESIGN.md §2 for the substitution
+rationale).
+
+The simulator is generic — kernels carry abstract work descriptions —
+so it is reusable beyond the scheduling DP (e.g. the future-work
+knapsack example ships one).
+"""
+
+from repro.gpusim.spec import DeviceSpec, KEPLER_K20, KEPLER_K40, MODERN_DATACENTER
+from repro.gpusim.memory import MemoryModel, AccessPattern, transactions_for_addresses
+from repro.gpusim.kernel import KernelSpec, warp_compute_times
+from repro.gpusim.engine import GpuSimulator
+from repro.gpusim.metrics import GpuMetrics
+from repro.gpusim.trace import TraceRecorder, render_timeline
+
+__all__ = [
+    "DeviceSpec",
+    "KEPLER_K20",
+    "KEPLER_K40",
+    "MODERN_DATACENTER",
+    "MemoryModel",
+    "AccessPattern",
+    "transactions_for_addresses",
+    "KernelSpec",
+    "warp_compute_times",
+    "GpuSimulator",
+    "GpuMetrics",
+    "TraceRecorder",
+    "render_timeline",
+]

@@ -1,0 +1,317 @@
+"""The discrete-event GPU execution engine.
+
+The simulator schedules :class:`~repro.gpusim.kernel.KernelSpec` launches
+onto a :class:`~repro.gpusim.spec.DeviceSpec` at *kernel granularity*:
+
+* **Streams** are FIFO — a kernel starts no earlier than its stream's
+  previous kernel finished (CUDA stream semantics).
+* **Hyper-Q** caps how many kernels run concurrently
+  (``max_concurrent_kernels``, 32 on Kepler) at every instant.
+* **Warp slots** are the compute resource: the device executes
+  ``warp_slots`` warps simultaneously (90 on the K40).  A kernel is
+  granted ``min(its warps, available)`` slots, and placement guarantees
+  the grant is available for the kernel's *entire* duration — the
+  device never overcommits (property-tested).  Fixing the grant for the
+  kernel's lifetime is a deliberate simplification: it slightly
+  understates concurrency when a big kernel finishes mid-way through a
+  small one, making the simulated GPU pessimistic, never optimistic.
+* **Duration** = host launch overhead
+  + max(total warp-seconds / granted slots, longest single warp)
+  + dynamic-parallelism child-launch overhead and child-drain sync
+  + global-memory transfer time (coalescing-aware,
+  :class:`~repro.gpusim.memory.MemoryModel`).
+
+``synchronize()`` is ``cudaDeviceSynchronize``: advances simulated time
+past every outstanding kernel.  Placement is deterministic, so two runs
+of the same engine produce identical simulated times.
+
+Implementation note: the engines launch tens of thousands of kernels
+between synchronizations (one per block and in-block level), so the
+placement queries (overlap, free slots, concurrency) run on flat numpy
+buffers with the *overlapping-records-only* observation: only records
+whose end exceeds the query time can constrain it, and stream FIFO
+keeps that set small.  The Python-level work per launch is proportional
+to that small set, with one vectorized mask over the buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpusim.kernel import KernelSpec, warp_compute_times
+from repro.gpusim.memory import MemoryModel
+from repro.gpusim.metrics import GpuMetrics
+from repro.gpusim.spec import DeviceSpec, KEPLER_K40
+
+
+@dataclass
+class _Running:
+    """A kernel occupying the device during ``[start, end)``."""
+
+    start: float
+    end: float
+    slots: int
+    footprint: int
+
+
+class _RecordBuffers:
+    """Growable flat arrays mirroring the committed placements.
+
+    Enables O(n) vectorized overlap masks instead of O(n) Python loops
+    per query (which would be quadratic across a launch burst).
+    """
+
+    def __init__(self) -> None:
+        self._cap = 256
+        self.start = np.empty(self._cap, dtype=np.float64)
+        self.end = np.empty(self._cap, dtype=np.float64)
+        self.slots = np.empty(self._cap, dtype=np.int64)
+        self.footprint = np.empty(self._cap, dtype=np.int64)
+        self.n = 0
+
+    def append(self, start: float, end: float, slots: int, footprint: int) -> None:
+        if self.n == self._cap:
+            self._cap *= 2
+            for name in ("start", "end", "slots", "footprint"):
+                old = getattr(self, name)
+                new = np.empty(self._cap, dtype=old.dtype)
+                new[: self.n] = old[: self.n]
+                setattr(self, name, new)
+        i = self.n
+        self.start[i] = start
+        self.end[i] = end
+        self.slots[i] = slots
+        self.footprint[i] = footprint
+        self.n += 1
+
+    def clear(self) -> None:
+        self.n = 0
+
+    def overlapping(self, lo: float) -> np.ndarray:
+        """Indices of records whose interval may intersect ``[lo, inf)``."""
+        return np.flatnonzero(self.end[: self.n] > lo)
+
+
+class GpuSimulator:
+    """Deterministic discrete-event model of one GPU.
+
+    Typical engine usage::
+
+        sim = GpuSimulator()
+        for level_blocks in partition.iter_block_levels():
+            for i, block in enumerate(level_blocks):
+                sim.launch(make_kernel(block), stream=i % 4)
+            sim.synchronize()
+        elapsed = sim.now
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec = KEPLER_K40,
+        element_bytes: int = 8,
+        check_memory: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.memory = MemoryModel(spec, element_bytes=element_bytes)
+        self.check_memory = check_memory
+        self.metrics = GpuMetrics()
+        self._stream_ready: dict[int, float] = {}
+        self._active: list[_Running] = []  # kept for the tracer / tests
+        self._buf = _RecordBuffers()
+        self._max_end = 0.0
+        self._now = 0.0  # host-visible time: last synchronize
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Simulated seconds since construction (device timeline)."""
+        return max(self._now, self._max_end)
+
+    def launch(self, kernel: KernelSpec, stream: int = 0) -> float:
+        """Asynchronously launch ``kernel`` on ``stream``; return its end time.
+
+        The host does not block (CUDA launch semantics); the returned
+        end time is for instrumentation only.  Placement guarantees the
+        device never overcommits: the kernel's slot grant is available
+        for its *entire* duration and the Hyper-Q concurrency cap holds
+        at every instant (property-tested).
+        """
+        mem_s = self.memory.transfer_time(kernel.mem_elements, kernel.mem_pattern)
+
+        if kernel.num_threads == 0:
+            # Empty launches still pay the overhead (the paper's small
+            # levels launch plenty of nearly-empty kernels).
+            start, _, duration = self._place(
+                stream,
+                warps_count=0,
+                duration_fn=lambda g: self.spec.kernel_launch_overhead_s + mem_s,
+            )
+            self._commit(kernel, stream, start, start + duration, slots=0)
+            return start + duration
+
+        warps = warp_compute_times(kernel.thread_times, self.spec.warp_size)
+        total_warp_s = float(warps.sum())
+        longest_warp_s = float(warps.max())
+
+        def duration_fn(grant: int) -> float:
+            compute_s = max(total_warp_s / grant, longest_warp_s)
+            child_s = 0.0
+            if kernel.dynamic_children:
+                # Device-side launches issue from the running warps in
+                # parallel (the per-slot queue serialises them), and the
+                # parent must wait for all children to drain before it
+                # can retire (Alg. 5 line 9).
+                child_s = (
+                    kernel.dynamic_children
+                    * self.spec.dynamic_launch_overhead_s
+                    / grant
+                    + self.spec.dynamic_sync_overhead_s
+                )
+            return self.spec.kernel_launch_overhead_s + compute_s + child_s + mem_s
+
+        start, grant, duration = self._place(
+            stream, warps_count=int(warps.size), duration_fn=duration_fn
+        )
+        end = start + duration
+
+        self._commit(kernel, stream, start, end, slots=grant)
+        self.metrics.warp_seconds_paid += total_warp_s
+        self.metrics.thread_seconds_useful += float(kernel.thread_times.sum())
+        self.metrics.dynamic_kernels_launched += kernel.dynamic_children
+        self.metrics.mem_transactions += self.memory.transactions(
+            kernel.mem_elements, kernel.mem_pattern
+        )
+        self.metrics.mem_bytes_moved += self.memory.bytes_moved(
+            kernel.mem_elements, kernel.mem_pattern
+        )
+        self.metrics.mem_bytes_useful += kernel.mem_elements * self.memory.element_bytes
+        return end
+
+    def synchronize(self) -> float:
+        """``cudaDeviceSynchronize``: wait for every outstanding kernel."""
+        self._now = self.now
+        self._active.clear()
+        self._buf.clear()
+        for stream in self._stream_ready:
+            self._stream_ready[stream] = self._now
+        self.metrics.elapsed_s = self._now
+        self.metrics._slot_seconds_available = self._now * self.spec.warp_slots
+        return self._now
+
+    # -- placement internals ------------------------------------------------------
+
+    def _place(self, stream: int, warps_count: int, duration_fn) -> tuple[float, int, float]:
+        """Find ``(start, grant, duration)`` that never overcommits.
+
+        Candidate start times are the stream-ready instant and every
+        *overlapping* record's end (the only moments supply increases).
+        At each candidate the grant shrinks until the slot supply covers
+        the kernel's whole duration *and* the Hyper-Q cap holds across
+        it; otherwise the next candidate is tried.  The time after every
+        overlapping record ends is always feasible, so the search
+        terminates.
+        """
+        ready = max(self._stream_ready.get(stream, 0.0), self._now)
+        idx = self._buf.overlapping(ready)
+        starts = self._buf.start[idx]
+        ends = self._buf.end[idx]
+        slots = self._buf.slots[idx]
+
+        candidates = sorted({ready, *(float(e) for e in ends if e > ready)})
+        for t in candidates:
+            live = ends > t  # records that can still constrain [t, ...)
+            grant = (
+                min(warps_count, self._min_free(starts[live], ends[live], slots[live], t, t))
+                if warps_count
+                else 0
+            )
+            if warps_count and grant < 1:
+                continue
+            while True:
+                duration = duration_fn(max(grant, 1))
+                hi = t + duration
+                if (
+                    self._max_concurrent(starts[live], ends[live], t, hi)
+                    >= self.spec.max_concurrent_kernels
+                ):
+                    break  # Hyper-Q full somewhere in the window
+                if warps_count == 0:
+                    return t, 0, duration
+                available = self._min_free(
+                    starts[live], ends[live], slots[live], t, hi
+                )
+                if available >= grant:
+                    return t, grant, duration
+                if available < 1:
+                    break  # no supply inside the window; later candidate
+                grant = available  # shrink and re-check (duration grows)
+        raise SimulationError("no feasible start time found (internal error)")
+
+    def _min_free(
+        self,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        slots: np.ndarray,
+        lo: float,
+        hi: float,
+    ) -> int:
+        """Fewest free warp slots at any instant of ``[lo, hi]``.
+
+        Supply only drops at record starts, so evaluating at ``lo`` and
+        at every start inside the window is exact.
+        """
+        points = np.concatenate(
+            [[lo], starts[(starts > lo) & (starts <= hi)]]
+        )
+        if points.size == 1:
+            used = int(slots[(starts <= lo) & (lo < ends)].sum())
+            return self.spec.warp_slots - used
+        running = (starts[None, :] <= points[:, None]) & (points[:, None] < ends[None, :])
+        used = running @ slots
+        return int(self.spec.warp_slots - used.max())
+
+    def _max_concurrent(
+        self, starts: np.ndarray, ends: np.ndarray, lo: float, hi: float
+    ) -> int:
+        """Most kernels running at any instant of ``[lo, hi]``."""
+        points = np.concatenate(
+            [[lo], starts[(starts > lo) & (starts <= hi)]]
+        )
+        running = (starts[None, :] <= points[:, None]) & (points[:, None] < ends[None, :])
+        return int(running.sum(axis=1).max()) if running.size else 0
+
+    def _commit(
+        self, kernel: KernelSpec, stream: int, start: float, end: float, slots: int
+    ) -> None:
+        """Record the placement and update stream/metric state."""
+        if end < start:
+            raise SimulationError(f"kernel {kernel.name!r} ends before it starts")
+        if self.check_memory and kernel.mem_footprint_bytes:
+            n = self._buf.n
+            overlap = (self._buf.start[:n] < end) & (start < self._buf.end[:n])
+            concurrent = int(self._buf.footprint[:n][overlap].sum())
+            if concurrent + kernel.mem_footprint_bytes > self.spec.global_mem_bytes:
+                raise SimulationError(
+                    f"kernel {kernel.name!r} exceeds device memory: "
+                    f"{concurrent + kernel.mem_footprint_bytes} B needed, "
+                    f"{self.spec.global_mem_bytes} B available"
+                )
+        record = _Running(
+            start=start, end=end, slots=slots, footprint=kernel.mem_footprint_bytes
+        )
+        self._active.append(record)
+        self._buf.append(start, end, slots, kernel.mem_footprint_bytes)
+        self._max_end = max(self._max_end, end)
+        self._stream_ready[stream] = end
+        self.metrics.kernels_launched += 1
+        self.metrics.launch_overhead_s += self.spec.kernel_launch_overhead_s
+        if self.check_memory or kernel.mem_footprint_bytes:
+            n = self._buf.n
+            overlap = (self._buf.start[:n] < end) & (start < self._buf.end[:n])
+            running_footprint = int(self._buf.footprint[:n][overlap].sum())
+            if running_footprint > self.metrics.peak_footprint_bytes:
+                self.metrics.peak_footprint_bytes = running_footprint

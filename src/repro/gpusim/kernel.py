@@ -1,0 +1,104 @@
+"""Kernel work descriptions for the GPU simulator.
+
+A :class:`KernelSpec` is what the engines hand the simulator: the
+per-thread compute times of the kernel's threads (already including any
+dynamic-parallelism children folded into their parent thread — see
+:mod:`repro.engines.gpu_partitioned`), plus memory traffic terms.  The
+simulator derives warp timings from it:
+
+* threads are packed into warps of ``warp_size``;
+* a warp runs as long as its **slowest** thread — lockstep execution,
+  so intra-warp workload imbalance is paid in full.  This is precisely
+  the "thread-level workload balancing issue" of §III-B, and the reason
+  the data-partitioning scheme groups similar cells into blocks.
+
+:func:`warp_compute_times` implements that reduction vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpusim.memory import AccessPattern
+
+
+def warp_compute_times(thread_times: np.ndarray, warp_size: int) -> np.ndarray:
+    """Per-warp durations: max over each consecutive group of ``warp_size``.
+
+    The trailing partial warp still costs its slowest thread — idle
+    lanes in a warp are not reclaimed (SIMT).
+    """
+    if warp_size < 1:
+        raise SimulationError(f"warp_size must be >= 1, got {warp_size}")
+    t = np.asarray(thread_times, dtype=np.float64).ravel()
+    if (t < 0).any():
+        raise SimulationError("thread times must be non-negative")
+    if t.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    n_warps = -(-t.size // warp_size)
+    padded = np.full(n_warps * warp_size, 0.0)
+    padded[: t.size] = t
+    return padded.reshape(n_warps, warp_size).max(axis=1)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One kernel launch's worth of work.
+
+    Attributes
+    ----------
+    name: label for traces and metrics.
+    thread_times: per-thread compute seconds (device lane time).
+    mem_elements: DP cells read/written from global memory.
+    mem_pattern: coalescing regime of that traffic.
+    dynamic_children: number of device-side child launches performed by
+        this kernel's threads (dynamic parallelism).  Charged the
+        device-launch overhead; the children's *work* is already folded
+        into ``thread_times``.
+    mem_footprint_bytes: scratch allocation the kernel holds while
+        running (for out-of-memory accounting, §III-C).
+    """
+
+    name: str
+    thread_times: np.ndarray
+    mem_elements: int = 0
+    mem_pattern: AccessPattern = AccessPattern.COALESCED
+    dynamic_children: int = 0
+    mem_footprint_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.thread_times, dtype=np.float64).ravel()
+        if (t < 0).any():
+            raise SimulationError(f"kernel {self.name!r} has negative thread times")
+        if self.mem_elements < 0 or self.dynamic_children < 0 or self.mem_footprint_bytes < 0:
+            raise SimulationError(f"kernel {self.name!r} has negative work terms")
+        if t.size == 0 and self.dynamic_children > 0:
+            raise SimulationError(
+                f"kernel {self.name!r} has no threads but launches children"
+            )
+        object.__setattr__(self, "thread_times", t)
+
+    @property
+    def num_threads(self) -> int:
+        """Threads launched by this kernel."""
+        return int(self.thread_times.size)
+
+    def num_warps(self, warp_size: int) -> int:
+        """Warps occupied (ceil of threads / warp size)."""
+        return -(-self.num_threads // warp_size) if self.num_threads else 0
+
+    def divergence_ratio(self, warp_size: int) -> float:
+        """Warp-seconds paid / thread-seconds of useful work (>= 1.0).
+
+        1.0 means perfectly balanced warps; large values quantify the
+        §III-B imbalance (e.g. cell (1,2,1) vs (0,0,4) in one warp).
+        """
+        useful = float(self.thread_times.sum())
+        if useful == 0.0:
+            return 1.0
+        paid = float(warp_compute_times(self.thread_times, warp_size).sum()) * warp_size
+        return paid / useful

@@ -1,0 +1,108 @@
+"""Global-memory access model: coalescing, transactions, transfer time.
+
+§III-B of the paper attributes the naive port's slowness to *strided
+access*: when a warp's 32 loads touch 32 different cache lines the bus
+moves 32 full lines for 32 elements of payload ("the warp reads data
+from the memory in a sequential manner").  After the Algorithm 4
+reorganization a warp's loads are consecutive addresses — one or two
+lines per warp access.
+
+:func:`transactions_for_addresses` counts distinct lines exactly (used
+in tests and for small access sets); :class:`AccessPattern` provides the
+closed-form counts the engines use at scale, and :class:`MemoryModel`
+converts transaction counts into simulated seconds under either the
+bandwidth-bound (streaming) or latency-bound (random) regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpusim.spec import DeviceSpec
+
+
+def transactions_for_addresses(
+    addresses: Sequence[int], element_bytes: int, line_bytes: int
+) -> int:
+    """Exact number of memory transactions for one warp's access set.
+
+    ``addresses`` are element indices; a transaction is one distinct
+    ``line_bytes``-aligned line touched by any byte of any element.
+    """
+    if element_bytes < 1 or line_bytes < 1:
+        raise SimulationError("element_bytes and line_bytes must be >= 1")
+    addr = np.asarray(addresses, dtype=np.int64)
+    if addr.size == 0:
+        return 0
+    if (addr < 0).any():
+        raise SimulationError("element addresses must be non-negative")
+    first_line = (addr * element_bytes) // line_bytes
+    last_line = (addr * element_bytes + element_bytes - 1) // line_bytes
+    lines: set[int] = set()
+    for lo, hi in zip(first_line.tolist(), last_line.tolist()):
+        lines.update(range(lo, hi + 1))
+    return len(lines)
+
+
+class AccessPattern(Enum):
+    """The two access regimes the engines distinguish.
+
+    COALESCED: consecutive elements — ``ceil(n * elem / line)`` lines,
+    full payload per line (post-reorganization block scans).
+    STRIDED: every element on its own line — ``n`` lines, one element of
+    payload each (row-major scans of a scattered block, the naive port).
+    """
+
+    COALESCED = "coalesced"
+    STRIDED = "strided"
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Transaction counting and timing for one device."""
+
+    spec: DeviceSpec
+    element_bytes: int = 8  # int64 DP cells
+
+    def transactions(self, num_elements: int, pattern: AccessPattern) -> int:
+        """Lines moved to read ``num_elements`` cells under ``pattern``."""
+        if num_elements < 0:
+            raise SimulationError(f"num_elements must be >= 0, got {num_elements}")
+        if num_elements == 0:
+            return 0
+        line = self.spec.mem_line_bytes
+        if pattern is AccessPattern.COALESCED:
+            return -(-num_elements * self.element_bytes // line)
+        return num_elements
+
+    def bytes_moved(self, num_elements: int, pattern: AccessPattern) -> int:
+        """Bus traffic in bytes (transactions × line size)."""
+        return self.transactions(num_elements, pattern) * self.spec.mem_line_bytes
+
+    def transfer_time(self, num_elements: int, pattern: AccessPattern) -> float:
+        """Simulated seconds to move ``num_elements`` cells.
+
+        Coalesced traffic streams at peak bandwidth; strided traffic is
+        limited by the latency-bound random-access bandwidth (whichever
+        regime is slower governs).
+        """
+        traffic = self.bytes_moved(num_elements, pattern)
+        if pattern is AccessPattern.COALESCED:
+            return traffic / self.spec.mem_bandwidth_bytes_per_s
+        return traffic / self.spec.random_access_bandwidth()
+
+    def effective_bus_utilization(self, num_elements: int, pattern: AccessPattern) -> float:
+        """Useful payload / bytes moved — the paper's 'effective bandwidth'.
+
+        1.0 for perfectly coalesced 128-byte loads; ``elem/line`` (1/16
+        for int64) in the fully strided worst case of §III-B.
+        """
+        traffic = self.bytes_moved(num_elements, pattern)
+        if traffic == 0:
+            return 1.0
+        return num_elements * self.element_bytes / traffic

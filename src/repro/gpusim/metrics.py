@@ -1,0 +1,74 @@
+"""Counters accumulated by the GPU simulator during a run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GpuMetrics:
+    """Aggregate statistics of one simulated GPU execution.
+
+    The engines surface these in benchmark reports: ``utilization``
+    quantifies the idle-core effect of narrow wavefront levels (§III-E),
+    ``avg_bus_utilization`` the coalescing gain, and
+    ``launch_overhead_s`` the price of the many small kernels the
+    blocked scheme launches (§III-E "side-effects").
+    """
+
+    kernels_launched: int = 0
+    dynamic_kernels_launched: int = 0
+    warp_seconds_paid: float = 0.0
+    thread_seconds_useful: float = 0.0
+    launch_overhead_s: float = 0.0
+    mem_transactions: int = 0
+    mem_bytes_moved: int = 0
+    mem_bytes_useful: int = 0
+    peak_footprint_bytes: int = 0
+    elapsed_s: float = 0.0
+    _slot_seconds_available: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of available warp-slot time spent executing warps."""
+        if self._slot_seconds_available <= 0:
+            return 0.0
+        return min(1.0, self.warp_seconds_paid / self._slot_seconds_available)
+
+    #: Lanes per warp, set by the simulator so divergence is unitless.
+    warp_size: int = 32
+
+    @property
+    def divergence_overhead(self) -> float:
+        """Lane-seconds paid / useful thread-seconds (>= 1; 1 = no divergence).
+
+        A warp of ``warp_size`` lanes pays ``warp_size * max(thread
+        times)`` lane-seconds regardless of how unbalanced its threads
+        are; this ratio is the §III-B imbalance cost.
+        """
+        if self.thread_seconds_useful <= 0:
+            return 1.0
+        return self.warp_seconds_paid * self.warp_size / self.thread_seconds_useful
+
+    @property
+    def avg_bus_utilization(self) -> float:
+        """Useful payload / bytes moved across the whole run."""
+        if self.mem_bytes_moved <= 0:
+            return 1.0
+        return self.mem_bytes_useful / self.mem_bytes_moved
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for the records/reporting layer."""
+        return {
+            "kernels_launched": self.kernels_launched,
+            "warp_seconds_paid": self.warp_seconds_paid,
+            "dynamic_kernels_launched": self.dynamic_kernels_launched,
+            "elapsed_s": self.elapsed_s,
+            "utilization": self.utilization,
+            "divergence_overhead": self.divergence_overhead,
+            "launch_overhead_s": self.launch_overhead_s,
+            "mem_transactions": self.mem_transactions,
+            "mem_bytes_moved": self.mem_bytes_moved,
+            "avg_bus_utilization": self.avg_bus_utilization,
+            "peak_footprint_bytes": self.peak_footprint_bytes,
+        }

@@ -1,0 +1,148 @@
+"""Device specifications for the GPU simulator.
+
+:data:`KEPLER_K40` mirrors the card used in the paper's experiments
+(§IV-A: "an Nvidia K40, which has 12 GB memory, 2880 cores and a clock
+rate of 745 MHz").  The remaining parameters (SM count, warp size,
+Hyper-Q width, launch overheads, memory characteristics) come from the
+public Kepler GK110 whitepaper the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static hardware description consumed by the simulator.
+
+    Attributes
+    ----------
+    name: human-readable label for reports.
+    num_sms: streaming multiprocessors.
+    cores_per_sm: CUDA cores per SM.
+    clock_hz: core clock.
+    warp_size: threads per warp (32 on every NVIDIA GPU).
+    max_concurrent_kernels: Hyper-Q width — concurrent kernel limit.
+    global_mem_bytes: device memory capacity (allocation checking).
+    mem_bandwidth_bytes_per_s: peak global-memory bandwidth.
+    mem_line_bytes: memory transaction size (L1/L2 line).
+    mem_latency_s: latency of one uncached global transaction.
+    mem_max_inflight: transactions the device overlaps per SM —
+        converts latency into an effective random-access bandwidth.
+    kernel_launch_overhead_s: host-side launch cost per kernel.
+    dynamic_launch_overhead_s: device-side (dynamic parallelism) launch
+        cost — cheaper than a host launch but charged per child kernel.
+    dynamic_sync_overhead_s: cost of the parent kernel waiting for its
+        dynamic children to drain before retiring (the per-level
+        ``cudaDeviceSynchronize`` of Algorithm 5 line 9) — charged once
+        per kernel that launched children.  Dominates when the schedule
+        is a long chain of small kernels (mid-size tables), vanishes
+        relative to compute on large ones.
+    cycles_per_op: average core cycles per abstract DP operation
+        (compare/add on int lanes, including instruction overhead).
+    """
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    clock_hz: float
+    warp_size: int = 32
+    max_concurrent_kernels: int = 32
+    global_mem_bytes: int = 12 * 1024**3
+    mem_bandwidth_bytes_per_s: float = 288e9
+    mem_line_bytes: int = 128
+    mem_latency_s: float = 5e-7
+    mem_max_inflight: int = 8
+    kernel_launch_overhead_s: float = 3e-5
+    dynamic_launch_overhead_s: float = 4e-6
+    dynamic_sync_overhead_s: float = 5e-5
+    cycles_per_op: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1 or self.cores_per_sm < 1:
+            raise SimulationError("device must have at least one SM and one core")
+        if self.warp_size < 1:
+            raise SimulationError("warp size must be >= 1")
+        if self.clock_hz <= 0 or self.mem_bandwidth_bytes_per_s <= 0:
+            raise SimulationError("clock and bandwidth must be positive")
+        if self.cores_per_sm % self.warp_size != 0:
+            raise SimulationError(
+                f"cores_per_sm ({self.cores_per_sm}) must be a multiple of "
+                f"warp_size ({self.warp_size})"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """All CUDA cores on the device."""
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def warp_slots(self) -> int:
+        """Warps the device can *execute* simultaneously.
+
+        One warp occupies ``warp_size`` cores, so the device issues
+        ``total_cores / warp_size`` warps per cycle.  (Real SMs keep
+        more warps *resident* to hide latency; latency hiding is
+        modelled separately via ``mem_max_inflight``.)
+        """
+        return self.total_cores // self.warp_size
+
+    @property
+    def op_time_s(self) -> float:
+        """Simulated seconds for one abstract operation on one lane."""
+        return self.cycles_per_op / self.clock_hz
+
+    def random_access_bandwidth(self) -> float:
+        """Effective bytes/s when every access is an uncoalesced line.
+
+        With ``mem_max_inflight`` transactions overlapped per SM, the
+        device completes ``num_sms * inflight / latency`` lines per
+        second; the useful payload of each is one element, but the cost
+        is a full line — the 'strided access' penalty of §III-B.
+        """
+        lines_per_s = self.num_sms * self.mem_max_inflight / self.mem_latency_s
+        return min(lines_per_s * self.mem_line_bytes, self.mem_bandwidth_bytes_per_s)
+
+
+#: The paper's GPU (§IV-A), parameters per the GK110 whitepaper.
+KEPLER_K40 = DeviceSpec(
+    name="NVIDIA Tesla K40 (Kepler GK110B)",
+    num_sms=15,
+    cores_per_sm=192,
+    clock_hz=745e6,
+)
+
+#: The K40's smaller sibling — used by the sensitivity study to ask how
+#: the paper's conclusions depend on device size (fewer SMs, less
+#: memory, lower bandwidth; same Kepler cost structure).
+KEPLER_K20 = DeviceSpec(
+    name="NVIDIA Tesla K20 (Kepler GK110)",
+    num_sms=13,
+    cores_per_sm=192,
+    clock_hz=706e6,
+    global_mem_bytes=5 * 1024**3,
+    mem_bandwidth_bytes_per_s=208e9,
+)
+
+#: A hypothetical modern datacenter GPU expressed in the same cost
+#: model: ~2x clock, ~7x SMs, ~3x bandwidth, much cheaper kernel
+#: launches, deeper per-SM memory-level parallelism.  Used only for the
+#: forward-looking sensitivity study — would the paper's crossover
+#: still exist on newer hardware?
+MODERN_DATACENTER = DeviceSpec(
+    name="modern datacenter GPU (hypothetical, same cost model)",
+    num_sms=108,
+    cores_per_sm=64,
+    clock_hz=1.41e9,
+    global_mem_bytes=40 * 1024**3,
+    mem_bandwidth_bytes_per_s=1.5e12,
+    mem_latency_s=3e-7,
+    mem_max_inflight=32,
+    kernel_launch_overhead_s=6e-6,
+    dynamic_launch_overhead_s=1e-6,
+    dynamic_sync_overhead_s=1.5e-5,
+    cycles_per_op=4.0,
+)

@@ -1,0 +1,19 @@
+"""Real host parallelism: execute the wavefront DP on this machine's cores.
+
+The simulators model the paper's hardware; this package actually runs
+the DP in parallel on the reproduction host, following the HPC-Python
+guides: shared-memory numpy buffers (no pickling of the table),
+process-based workers (sidestepping the GIL), and level-wise barriers
+that mirror the paper's wavefront structure.  It demonstrates the same
+speedup mechanism the OpenMP baseline uses and gives downstream users a
+fast multi-core solver.
+"""
+
+from repro.parallel.wavefront import parallel_wavefront_dp
+from repro.parallel.chunking import split_evenly, split_by_cost
+
+__all__ = [
+    "parallel_wavefront_dp",
+    "split_evenly",
+    "split_by_cost",
+]

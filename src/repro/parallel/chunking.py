@@ -1,0 +1,66 @@
+"""Work-splitting utilities for the host-parallel executors.
+
+Two policies, mirroring OpenMP's ``static`` and a cost-aware variant:
+
+* :func:`split_evenly` — contiguous, equally sized chunks;
+* :func:`split_by_cost` — contiguous chunks of approximately equal
+  *cost* given a per-item cost estimate, which is what the DP wants
+  because per-cell work (``candidates(v)``) varies by orders of
+  magnitude across one anti-diagonal level (the §III-B imbalance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def split_evenly(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Contiguous ``(start, stop)`` ranges covering ``range(n_items)``.
+
+    At most ``n_chunks`` ranges; sizes differ by at most one.  Empty
+    input yields no ranges.
+    """
+    if n_items < 0 or n_chunks < 1:
+        raise ReproError(f"invalid split: n_items={n_items}, n_chunks={n_chunks}")
+    if n_items == 0:
+        return []
+    n_chunks = min(n_chunks, n_items)
+    base, extra = divmod(n_items, n_chunks)
+    out = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+def split_by_cost(costs: np.ndarray, n_chunks: int) -> list[tuple[int, int]]:
+    """Contiguous ranges with near-equal summed cost.
+
+    Greedy cut at the points where cumulative cost crosses multiples of
+    ``total / n_chunks``; never returns an empty range.
+    """
+    costs = np.asarray(costs, dtype=np.float64).ravel()
+    if n_chunks < 1:
+        raise ReproError(f"n_chunks must be >= 1, got {n_chunks}")
+    if (costs < 0).any():
+        raise ReproError("costs must be non-negative")
+    n = costs.size
+    if n == 0:
+        return []
+    n_chunks = min(n_chunks, n)
+    total = float(costs.sum())
+    if total <= 0:
+        return split_evenly(n, n_chunks)
+    cumulative = np.cumsum(costs)
+    bounds = [0]
+    for i in range(1, n_chunks):
+        cut = int(np.searchsorted(cumulative, total * i / n_chunks, side="right"))
+        cut = max(cut, bounds[-1] + 1)  # keep every range non-empty
+        cut = min(cut, n - (n_chunks - i))  # leave room for later ranges
+        bounds.append(cut)
+    bounds.append(n)
+    return [(bounds[i], bounds[i + 1]) for i in range(n_chunks)]

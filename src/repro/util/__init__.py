@@ -1,0 +1,24 @@
+"""Small shared utilities: validation helpers, seeded RNG plumbing, timers.
+
+Nothing in this package is specific to scheduling; it exists so the core
+modules stay focused on the algorithms from the paper.
+"""
+
+from repro.util.validation import (
+    check_positive_int,
+    check_nonnegative_int,
+    check_positive_times,
+    check_probability,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.timing import Timer
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_positive_times",
+    "check_probability",
+    "make_rng",
+    "spawn_rngs",
+    "Timer",
+]

@@ -1,0 +1,56 @@
+"""Wall-clock timing helper for the experiment harness.
+
+The figures in the paper report *simulated* device time (produced by the
+cost models), but the harness also records how long the reproduction
+itself took to run; ``Timer`` is the single utility for that.
+"""
+
+from __future__ import annotations
+
+import time
+from types import TracebackType
+from typing import Optional, Type
+
+
+class Timer:
+    """Context-manager stopwatch with monotonic-clock semantics.
+
+    Example::
+
+        with Timer() as t:
+            run_experiment()
+        print(t.elapsed)  # seconds, float
+
+    ``elapsed`` is also readable while the timer is still running, which
+    the sweep driver uses to enforce soft time budgets.
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._stop: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self._stop = None
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self._stop = time.perf_counter()
+
+    @property
+    def running(self) -> bool:
+        """True between ``__enter__`` and ``__exit__``."""
+        return self._start is not None and self._stop is None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed; live-updating while running, frozen after exit."""
+        if self._start is None:
+            return 0.0
+        end = self._stop if self._stop is not None else time.perf_counter()
+        return end - self._start

@@ -1,0 +1,74 @@
+"""Argument-validation helpers used across the library.
+
+These raise :class:`repro.errors.InvalidInstanceError` (a ``ValueError``
+subclass) with messages that name the offending argument, so failures
+surface at the API boundary rather than deep inside a numpy kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it as ``int``.
+
+    Accepts numpy integer scalars; rejects bools (which are ``int``
+    subclasses but never a meaningful count).
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise InvalidInstanceError(f"{name} must be an integer, got {value!r}")
+    if value < 1:
+        raise InvalidInstanceError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_nonnegative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer >= 0 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise InvalidInstanceError(f"{name} must be an integer, got {value!r}")
+    if value < 0:
+        raise InvalidInstanceError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def check_positive_times(times: Iterable[int], name: str = "processing times") -> tuple[int, ...]:
+    """Validate a job processing-time collection.
+
+    Every entry must be a positive integer (the PTAS assumes integral
+    times; see Algorithm 1 in the paper).  Returns an immutable tuple.
+    """
+    out = []
+    for idx, t in enumerate(times):
+        if isinstance(t, bool) or not isinstance(t, (int, np.integer)):
+            raise InvalidInstanceError(
+                f"{name}[{idx}] must be an integer, got {t!r}"
+            )
+        if t < 1:
+            raise InvalidInstanceError(
+                f"{name}[{idx}] must be a positive integer, got {t}"
+            )
+        out.append(int(t))
+    if not out:
+        raise InvalidInstanceError(f"{name} must contain at least one job")
+    return tuple(out)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the open interval (0, 1]."""
+    value = float(value)
+    if not (0.0 < value <= 1.0):
+        raise InvalidInstanceError(f"{name} must be in (0, 1], got {value}")
+    return value
+
+
+def check_same_length(a: Sequence, b: Sequence, name_a: str, name_b: str) -> None:
+    """Validate that two sequences have equal length."""
+    if len(a) != len(b):
+        raise InvalidInstanceError(
+            f"{name_a} (len {len(a)}) and {name_b} (len {len(b)}) must have equal length"
+        )

@@ -1,0 +1,185 @@
+"""Integration tests for the exhibit-reproduction modules.
+
+Each experiment runs on a reduced workload (the benches run the full
+ones) and is asserted against the *paper's qualitative shapes* — the
+actual reproduction criteria.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ablations, fig2, fig3, fig4, tables_i_vi
+from repro.analysis.paper_data import TABLES_I_TO_VI
+from repro.analysis.workloads import harvest_tables
+
+
+class TestFig2:
+    def test_matches_paper_caption(self):
+        result = fig2.run()
+        assert len(result.rows) == 27  # 27 blocks
+        levels = [r["block_level"] for r in result.rows]
+        assert max(levels) == 6  # 7 block-levels (0..6)
+        assert all(r["inblock_levels"] == 4 for r in result.rows)
+
+    def test_stream_assignment_within_range(self):
+        result = fig2.run()
+        assert set(r["stream"] for r in result.rows) <= {0, 1, 2, 3}
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        tables = harvest_tables(
+            [(200, 4000), (8000, 40000)], per_group=2, seed=11, pool_size=800
+        )
+        return fig3.run(dims=(3, 6), tables=tables)
+
+    def test_row_per_table_engine(self, result):
+        engines = {r["engine"] for r in result.rows}
+        assert engines == {"omp16", "omp28", "gpu-dim3", "gpu-dim6"}
+        sizes = {r["table_size"] for r in result.rows}
+        assert all(
+            len(result.filter(table_size=s).rows) == 4 for s in sizes
+        )
+
+    def test_openmp_wins_small_tables(self, result):
+        small = [r for r in result.rows if r["table_size"] < 4000]
+        omp = min(r["simulated_s"] for r in small if r["engine"] == "omp28")
+        gpu = min(r["simulated_s"] for r in small if r["engine"].startswith("gpu"))
+        assert omp < gpu
+
+    def test_omp16_never_faster_than_omp28(self, result):
+        for size in {r["table_size"] for r in result.rows}:
+            rows = {r["engine"]: r["simulated_s"] for r in result.filter(table_size=size).rows}
+            assert rows["omp16"] >= rows["omp28"]
+
+    def test_crossover_helper(self, result):
+        # With tables only up to 40k the crossover may or may not appear;
+        # the helper must return either None or a size in range.
+        cross = fig3.crossover_size(result)
+        if cross is not None:
+            assert cross in {r["table_size"] for r in result.rows}
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run(sizes=(3456,), dims_settings=(3, 4, 5, 6, 7))
+
+    def test_rows_per_shape(self, result):
+        n_shapes = len(TABLES_I_TO_VI[3456])
+        assert len(result.rows) == n_shapes * 5
+
+    def test_dim3_never_best(self, result):
+        for row in TABLES_I_TO_VI[3456]:
+            best = fig4.best_partition_dim(result, 3456, row.n_dims)
+            assert best != 3  # paper: GPU-DIM3 is the weakest setting
+
+    def test_interior_optimum(self, result):
+        # The best setting lies strictly inside the sweep for at least
+        # most shapes (the paper's block-complexity tradeoff).
+        interior = 0
+        for row in TABLES_I_TO_VI[3456]:
+            if fig4.best_partition_dim(result, 3456, row.n_dims) in (4, 5, 6):
+                interior += 1
+        assert interior >= len(TABLES_I_TO_VI[3456]) - 1
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(KeyError):
+            fig4.run(sizes=(999,))
+
+
+class TestTablesIVI:
+    def test_majority_verbatim(self):
+        result = tables_i_vi.run()
+        matches = sum(1 for r in result.rows if r["match_dim3"] and r["match_best"])
+        assert matches >= 12  # 13/18 at the time of calibration
+
+    def test_dim3_column_overwhelmingly_verbatim(self):
+        result = tables_i_vi.run()
+        matches = sum(1 for r in result.rows if r["match_dim3"])
+        assert matches >= 15  # 16/18
+
+    def test_block_shapes_divide_dimension_sizes(self):
+        result = tables_i_vi.run()
+        for r in result.rows:
+            for extent, block in zip(r["shape"], r["ours_dim3"]):
+                assert extent % block == 0
+
+
+class TestAblations:
+    def test_stream_count_concurrency_helps(self):
+        result = ablations.stream_count(streams=(1, 2, 4, 8))
+        times = {r["streams"]: r["simulated_s"] for r in result.rows}
+        # Monotone gain with diminishing returns: the 2->4 gain exceeds
+        # the 4->8 gain.  (The paper picks 4 as the sweet spot; our
+        # model shows mild further gains beyond 4 because it omits
+        # per-stream scheduling overheads — noted in EXPERIMENTS.md.)
+        assert times[4] < times[2] < times[1]
+        assert (times[2] - times[4]) > (times[4] - times[8]) * 0.9
+
+    def test_coalescing_report(self):
+        result = ablations.coalescing()
+        by_engine = {r["engine"]: r for r in result.rows}
+        naive = by_engine["gpu-naive"]
+        part = [v for k, v in by_engine.items() if k.startswith("gpu-dim")][0]
+        assert part["bus_utilization"] > naive["bus_utilization"]
+        assert part["scan_scope"] < naive["scan_scope"]
+        assert part["simulated_s"] < naive["simulated_s"]
+
+
+class TestCensus:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.analysis.experiments import census
+
+        return census.run(population=8, seed=41)
+
+    def test_row_per_instance(self, result):
+        assert len(result.rows) == 8
+
+    def test_sizes_bracketed(self, result):
+        for r in result.rows:
+            assert r["min_size"] <= r["max_size"]
+            assert r["min_dims"] <= r["max_dims"]
+            assert r["distinct_sizes"] <= r["probes"]
+
+    def test_within_instance_spread_exists(self, result):
+        # The paper's point: one instance yields tables of many sizes.
+        assert any(r["distinct_sizes"] >= 3 for r in result.rows)
+
+    def test_notes_summarise(self, result):
+        assert any("grouping results by table size" in n for n in result.notes)
+
+    def test_deterministic(self):
+        from repro.analysis.experiments import census
+
+        a = census.run(population=4, seed=9)
+        b = census.run(population=4, seed=9)
+        assert a.rows == b.rows
+
+
+class TestFig1:
+    def test_default_matches_paper(self):
+        from repro.analysis.experiments import fig1
+
+        result = fig1.run()
+        assert len(result.rows) == 12  # OPT(2,3): 3x4 cells
+        levels = [r["level"] for r in result.rows]
+        assert max(levels) == 5
+        # Level sizes 1,2,3,3,2,1 — the diamond of Fig. 1.
+        from collections import Counter
+
+        assert sorted(Counter(levels).values()) == [1, 1, 2, 2, 3, 3]
+
+    def test_cores_cycle_within_level(self):
+        from repro.analysis.experiments import fig1
+
+        result = fig1.run(counts=(3, 3), cores=2)
+        level3 = [r["core"] for r in result.rows if r["level"] == 3]
+        assert level3 == [0, 1, 0, 1]  # 4 cells round-robin on 2 cores
+
+    def test_core_never_exceeds_count(self):
+        from repro.analysis.experiments import fig1
+
+        result = fig1.run(counts=(4, 4), cores=3)
+        assert all(0 <= r["core"] < 3 for r in result.rows)

@@ -1,0 +1,55 @@
+"""Consistency checks on the transcribed paper data."""
+
+import numpy as np
+
+from repro.analysis.paper_data import (
+    FIG3_GROUPS,
+    FIG4_SIZES,
+    GPU_DIMS,
+    TABLE_VII,
+    TABLES_I_TO_VI,
+)
+
+
+class TestTablesIToVI:
+    def test_dimension_sizes_multiply_to_table_size(self):
+        for size, rows in TABLES_I_TO_VI.items():
+            for row in rows:
+                assert int(np.prod(row.dimension_sizes)) == size
+
+    def test_n_dims_matches_shape(self):
+        for rows in TABLES_I_TO_VI.values():
+            for row in rows:
+                assert len(row.dimension_sizes) == row.n_dims
+                assert len(row.gpu_dim3_blocks) == row.n_dims
+                assert len(row.gpu_best_blocks) == row.n_dims
+
+    def test_all_fig4_sizes_covered(self):
+        assert set(FIG4_SIZES) == set(TABLES_I_TO_VI)
+
+    def test_best_dim_in_sweep(self):
+        for rows in TABLES_I_TO_VI.values():
+            for row in rows:
+                assert row.best_dim in GPU_DIMS
+
+
+class TestTableVII:
+    def test_gpu_needs_fewer_iterations(self):
+        for row in TABLE_VII:
+            assert row.gpu_iterations < row.openmp_iterations
+
+    def test_speedup_grows_with_size(self):
+        speedups = [row.gpu_speedup for row in TABLE_VII]
+        assert speedups[-1] > 30  # 403200: ~32x
+        assert speedups[0] < 1  # 12960: GPU slightly behind
+
+    def test_sizes_ascending(self):
+        sizes = [row.table_size for row in TABLE_VII]
+        assert sizes == sorted(sizes)
+
+
+class TestFig3Groups:
+    def test_three_disjoint_ascending_groups(self):
+        assert len(FIG3_GROUPS) == 3
+        for (lo1, hi1), (lo2, _) in zip(FIG3_GROUPS, FIG3_GROUPS[1:]):
+            assert lo1 <= hi1 < lo2

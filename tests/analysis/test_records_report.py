@@ -1,0 +1,100 @@
+"""Unit tests for repro.analysis.records and repro.analysis.report."""
+
+import json
+
+import pytest
+
+from repro.analysis.records import ExperimentResult
+from repro.analysis.report import ascii_plot, render_table
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult(exhibit="x", description="demo")
+    r.rows = [
+        {"size": 100, "engine": "omp", "t": 1.5},
+        {"size": 100, "engine": "gpu", "t": 0.5},
+        {"size": 200, "engine": "omp", "t": 4.0},
+    ]
+    return r
+
+
+class TestExperimentResult:
+    def test_column(self, result):
+        assert result.column("size") == [100, 100, 200]
+        assert result.column("missing") == [None, None, None]
+
+    def test_filter(self, result):
+        sub = result.filter(engine="omp")
+        assert len(sub.rows) == 2
+        assert all(r["engine"] == "omp" for r in sub.rows)
+
+    def test_filter_multiple_conditions(self, result):
+        sub = result.filter(engine="omp", size=200)
+        assert len(sub.rows) == 1
+
+    def test_to_json_round_trips(self, result):
+        data = json.loads(result.to_json())
+        assert data["exhibit"] == "x"
+        assert len(data["rows"]) == 3
+
+    def test_to_json_handles_numpy(self):
+        import numpy as np
+
+        r = ExperimentResult(exhibit="x", description="d")
+        r.rows = [{"v": np.int64(3), "a": np.array([1, 2])}]
+        data = json.loads(r.to_json())
+        assert data["rows"][0]["a"] == [1, 2]
+
+
+class TestRenderTable:
+    def test_contains_all_values(self, result):
+        text = render_table(result.rows)
+        assert "100" in text and "omp" in text and "1.5" in text
+
+    def test_column_selection_and_order(self, result):
+        text = render_table(result.rows, columns=["engine", "size"])
+        header = text.splitlines()[0]
+        assert header.index("engine") < header.index("size")
+        assert "t" not in header.split()
+
+    def test_alignment(self, result):
+        lines = render_table(result.rows).splitlines()
+        assert len({len(l) for l in lines[1:]}) == 1  # rectangular
+
+    def test_title(self, result):
+        assert render_table(result.rows, title="T7").startswith("T7")
+
+    def test_empty(self):
+        assert "empty" in render_table([])
+
+
+class TestAsciiPlot:
+    def test_markers_present(self):
+        text = ascii_plot(
+            {"omp": [(100, 1.0), (1000, 10.0)], "gpu": [(100, 2.0), (1000, 1.0)]},
+            width=40,
+            height=10,
+        )
+        assert "O" in text and "G" in text
+        assert "legend" in text
+
+    def test_axis_ranges_reported(self):
+        text = ascii_plot({"s": [(10, 1.0), (1000, 100.0)]}, xlabel="size")
+        assert "size" in text
+        assert "10" in text
+
+    def test_no_data(self):
+        assert "no data" in ascii_plot({"s": []})
+
+    def test_nonpositive_filtered_in_log(self):
+        text = ascii_plot({"s": [(0, 1.0), (10, 1.0)]})
+        assert "no data" not in text  # the (10, 1) point survives
+
+    def test_duplicate_marker_disambiguation(self):
+        text = ascii_plot(
+            {"gpu-a": [(1, 1)], "gpu-b": [(2, 2)]}, width=20, height=5
+        )
+        legend = [l for l in text.splitlines() if l.startswith("legend")][0]
+        marks = [part.split("=")[0] for part in legend.replace("legend: ", "").split("  ")]
+        assert len(set(marks)) == 2

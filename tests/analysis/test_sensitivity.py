@@ -1,0 +1,56 @@
+"""Tests for the device-sensitivity experiment (beyond the paper)."""
+
+import pytest
+
+from repro.analysis.experiments import sensitivity
+from repro.analysis.workloads import harvest_tables
+from repro.gpusim.spec import KEPLER_K20, KEPLER_K40, MODERN_DATACENTER
+
+
+@pytest.fixture(scope="module")
+def result():
+    tables = harvest_tables(
+        [(500, 5_000), (20_000, 80_000)], per_group=2, seed=77, pool_size=1500
+    )
+    return sensitivity.run(tables=tables)
+
+
+class TestSensitivity:
+    def test_row_per_device_table(self, result):
+        devices = {r["device"] for r in result.rows}
+        assert len(devices) == 3
+        sizes = {r["table_size"] for r in result.rows}
+        for device in devices:
+            assert len([r for r in result.rows if r["device"] == device]) == len(sizes)
+
+    def test_omp_reference_identical_across_devices(self, result):
+        # The CPU side does not depend on the GPU model.
+        by_size: dict[int, set[float]] = {}
+        for r in result.rows:
+            by_size.setdefault(r["table_size"], set()).add(r["omp28_s"])
+        assert all(len(v) == 1 for v in by_size.values())
+
+    def test_modern_gpu_faster_than_k40(self, result):
+        for size in {r["table_size"] for r in result.rows}:
+            rows = {r["device"]: r["gpu_s"] for r in result.rows if r["table_size"] == size}
+            assert rows[MODERN_DATACENTER.name] < rows[KEPLER_K40.name]
+
+    def test_k20_never_faster_than_k40(self, result):
+        for size in {r["table_size"] for r in result.rows}:
+            rows = {r["device"]: r["gpu_s"] for r in result.rows if r["table_size"] == size}
+            assert rows[KEPLER_K20.name] >= rows[KEPLER_K40.name] * 0.999
+
+    def test_crossover_moves_down_on_modern_gpu(self, result):
+        crossovers = sensitivity.crossover_per_device(result)
+        modern = crossovers[MODERN_DATACENTER.name]
+        k40 = crossovers[KEPLER_K40.name]
+        assert modern is not None
+        if k40 is not None:
+            assert modern <= k40
+
+    def test_small_tables_still_cpu_territory(self, result):
+        # Even the modern device loses the tiniest tables: the
+        # wavefront cannot feed it (the paper's core observation).
+        smallest = min(r["table_size"] for r in result.rows)
+        rows = [r for r in result.rows if r["table_size"] == smallest]
+        assert all(not r["gpu_wins"] for r in rows)

@@ -1,0 +1,107 @@
+"""Tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    BootstrapCI,
+    bootstrap_geomean_ci,
+    geometric_mean,
+    speedups,
+    summarize_speedup,
+)
+from repro.errors import ReproError
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity_on_constant(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_reciprocal_consistency(self):
+        # gm(1/x) == 1/gm(x) — the property arithmetic means lack.
+        values = [0.5, 2.0, 4.0, 1.25]
+        assert geometric_mean([1 / v for v in values]) == pytest.approx(
+            1 / geometric_mean(values)
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestSpeedups:
+    def test_basic(self):
+        out = speedups([10.0, 4.0], [5.0, 8.0])
+        assert out.tolist() == [2.0, 0.5]
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ReproError):
+            speedups([1.0], [1.0, 2.0])
+
+    def test_rejects_zero_times(self):
+        with pytest.raises(ReproError):
+            speedups([0.0], [1.0])
+
+
+class TestBootstrap:
+    def test_estimate_is_geomean(self):
+        ratios = [1.5, 2.0, 3.0, 2.5]
+        ci = bootstrap_geomean_ci(ratios, seed=1)
+        assert ci.estimate == pytest.approx(geometric_mean(ratios))
+
+    def test_interval_brackets_estimate(self):
+        ci = bootstrap_geomean_ci([1.2, 1.8, 2.2, 0.9, 3.0], seed=2)
+        assert ci.lower <= ci.estimate <= ci.upper
+
+    def test_deterministic_given_seed(self):
+        a = bootstrap_geomean_ci([1.0, 2.0, 3.0], seed=7)
+        b = bootstrap_geomean_ci([1.0, 2.0, 3.0], seed=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_tightens_with_sample_size(self):
+        rng = np.random.default_rng(0)
+        small = rng.lognormal(0.5, 0.3, size=8)
+        large = rng.lognormal(0.5, 0.3, size=200)
+        wide = bootstrap_geomean_ci(small, seed=3)
+        narrow = bootstrap_geomean_ci(large, seed=3)
+        assert (narrow.upper - narrow.lower) < (wide.upper - wide.lower)
+
+    def test_contains(self):
+        ci = BootstrapCI(estimate=2.0, lower=1.5, upper=2.5, confidence=0.95)
+        assert ci.contains(2.0) and not ci.contains(3.0)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ReproError):
+            bootstrap_geomean_ci([1.0, 2.0], confidence=1.0)
+
+    def test_rejects_few_resamples(self):
+        with pytest.raises(ReproError):
+            bootstrap_geomean_ci([1.0, 2.0], resamples=5)
+
+
+class TestSummary:
+    def test_fields(self):
+        out = summarize_speedup([10.0, 8.0, 6.0], [5.0, 9.0, 2.0])
+        assert out["n"] == 3
+        assert out["win_rate"] == pytest.approx(2 / 3)
+        assert out["min"] <= out["geomean_speedup"] <= out["max"]
+
+    def test_ci_brackets_geomean(self):
+        out = summarize_speedup([10.0, 8.0, 6.0, 12.0], [5.0, 9.0, 2.0, 3.0])
+        assert out["ci_lower"] <= out["geomean_speedup"] <= out["ci_upper"]
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=30))
+def test_geomean_between_min_and_max(values):
+    gm = geometric_mean(values)
+    assert min(values) - 1e-12 <= gm <= max(values) + 1e-12

@@ -1,0 +1,59 @@
+"""Unit tests for repro.analysis.synthetic."""
+
+import pytest
+
+from repro.analysis.synthetic import synthetic_probe
+from repro.core.dp_vectorized import dp_vectorized
+from repro.core.rounding import accuracy_k, rounding_unit
+from repro.errors import InvalidInstanceError
+
+
+class TestSyntheticProbe:
+    def test_exact_shape(self):
+        probe = synthetic_probe((6, 4, 6, 6, 4))
+        assert probe.table_shape == (6, 4, 6, 6, 4)
+        assert probe.table_size == 3456
+
+    def test_paper_sizes_reachable(self):
+        for shape, size in [
+            ((5, 3, 6, 3, 4, 4, 2), 8640),
+            ((3, 16, 15, 18), 12960),
+            ((4, 4, 6, 6, 2, 3, 3, 2), 20736),
+        ]:
+            assert synthetic_probe(shape).table_size == size
+
+    def test_consistent_with_ptas_rounding(self):
+        # Class sizes must be multiples of the PTAS unit and lie in
+        # (T/k, T] — i.e. genuinely long-job classes.
+        probe = synthetic_probe((4, 5, 6), eps=0.3)
+        k = accuracy_k(0.3)
+        unit = rounding_unit(probe.target, k)
+        for size in probe.class_sizes:
+            assert size % unit == 0
+            assert probe.target / k < size <= probe.target
+
+    def test_distinct_class_sizes(self):
+        probe = synthetic_probe((2,) * 11)
+        assert len(set(probe.class_sizes)) == 11
+
+    def test_dp_solvable(self):
+        probe = synthetic_probe((4, 3, 5))
+        result = dp_vectorized(probe.counts, probe.class_sizes, probe.target)
+        assert result.feasible
+
+    def test_configs_nonempty(self):
+        probe = synthetic_probe((3, 3, 3))
+        assert probe.configs().shape[0] >= probe.dims  # at least the units
+
+    def test_rejects_extent_one(self):
+        with pytest.raises(InvalidInstanceError):
+            synthetic_probe((4, 1, 3))
+
+    def test_rejects_too_many_dims(self):
+        with pytest.raises(InvalidInstanceError):
+            synthetic_probe((2,) * 13, eps=0.3)  # only 12 classes at k=4
+
+    def test_dims_capacity_scales_with_eps(self):
+        # eps=0.2 -> k=5 -> 20 classes.
+        probe = synthetic_probe((2,) * 15, eps=0.2)
+        assert probe.dims == 15

@@ -1,0 +1,46 @@
+"""Unit tests for repro.analysis.workloads (the Fig. 3 harvesting)."""
+
+import pytest
+
+from repro.analysis.workloads import harvest_tables
+from repro.core.dp_vectorized import dp_vectorized
+from repro.errors import InvalidInstanceError
+
+
+class TestHarvestTables:
+    def test_sizes_in_groups(self):
+        groups = [(100, 5000), (5001, 40000)]
+        tables = harvest_tables(groups, per_group=3, seed=1, pool_size=800)
+        for t in tables:
+            assert any(lo <= t.table_size <= hi for lo, hi in groups)
+
+    def test_sorted_by_size(self):
+        tables = harvest_tables([(100, 20000)], per_group=5, seed=2, pool_size=800)
+        sizes = [t.table_size for t in tables]
+        assert sizes == sorted(sizes)
+
+    def test_distinct_sizes(self):
+        tables = harvest_tables([(100, 20000)], per_group=6, seed=3, pool_size=800)
+        sizes = [t.table_size for t in tables]
+        assert len(set(sizes)) == len(sizes)
+
+    def test_deterministic(self):
+        a = harvest_tables([(100, 10000)], per_group=3, seed=5, pool_size=500)
+        b = harvest_tables([(100, 10000)], per_group=3, seed=5, pool_size=500)
+        assert [t.table_size for t in a] == [t.table_size for t in b]
+
+    def test_probes_are_solvable(self):
+        tables = harvest_tables([(100, 3000)], per_group=2, seed=4, pool_size=500)
+        for t in tables:
+            result = dp_vectorized(t.counts, t.class_sizes, t.target)
+            assert result.table.size == t.table_size
+
+    def test_unfillable_group_raises(self):
+        with pytest.raises(InvalidInstanceError, match="pool_size"):
+            harvest_tables(
+                [(10**9, 10**9 + 1)], per_group=1, seed=0, pool_size=50
+            )
+
+    def test_rejects_bad_per_group(self):
+        with pytest.raises(InvalidInstanceError):
+            harvest_tables([(1, 10)], per_group=0)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Fixtures provide small, deterministic instances/probes so individual
+test modules stay focused on behaviour, not setup.  Anything larger
+than a few thousand DP cells belongs in ``benchmarks/``, not here.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Hypothesis profiles: the default keeps the suite fast; set
+# REPRO_SLOW_TESTS=1 for a deeper property-testing pass (more examples
+# per property, same invariants).
+settings.register_profile(
+    "fast", deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.register_profile(
+    "thorough",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=300,
+)
+settings.load_profile(
+    "thorough" if os.environ.get("REPRO_SLOW_TESTS") else "fast"
+)
+
+from repro.core.instance import Instance, uniform_instance
+from repro.core.rounding import round_instance
+
+
+@pytest.fixture
+def tiny_instance() -> Instance:
+    """Eight jobs, three machines — hand-checkable."""
+    return Instance(times=(27, 19, 19, 15, 12, 8, 8, 5), machines=3)
+
+
+@pytest.fixture
+def small_instance() -> Instance:
+    """Seeded 12-job instance used across integration tests."""
+    return uniform_instance(12, 3, low=1, high=50, seed=42)
+
+
+@pytest.fixture
+def medium_instance() -> Instance:
+    """Seeded 25-job instance whose probes produce multi-dim tables."""
+    return uniform_instance(25, 4, low=5, high=60, seed=3)
+
+
+@pytest.fixture
+def medium_probe(medium_instance):
+    """A rounding of ``medium_instance``: a 7-dim, 2304-cell DP-table."""
+    return round_instance(medium_instance, 80, 0.3)
+
+
+@pytest.fixture
+def small_probe(small_instance):
+    """A rounding of ``small_instance`` — a few hundred DP cells."""
+    return round_instance(small_instance, 60, 0.3)

@@ -1,0 +1,56 @@
+"""Unit tests for repro.core.backtrack (schedule extraction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.backtrack import extract_machine_configurations
+from repro.core.dp_common import empty_dp_result
+from repro.core.dp_reference import dp_reference
+from repro.core.dp_vectorized import dp_vectorized_for
+from repro.errors import InfeasibleError
+
+
+class TestExtract:
+    def test_configurations_sum_to_n(self):
+        r = dp_reference([3, 2], [3, 7], 12)
+        chosen = extract_machine_configurations(r)
+        total = np.sum(chosen, axis=0)
+        assert total.tolist() == [3, 2]
+
+    def test_count_equals_opt(self):
+        r = dp_reference([5], [4], 10)
+        assert len(extract_machine_configurations(r)) == r.opt
+
+    def test_every_chosen_config_is_valid(self):
+        r = dp_reference([3, 3], [4, 5], 13)
+        valid = set(map(tuple, r.configs.tolist()))
+        for cfg in extract_machine_configurations(r):
+            assert cfg in valid
+
+    def test_each_machine_fits_budget(self, medium_probe):
+        r = dp_vectorized_for(medium_probe)
+        sizes = np.asarray(medium_probe.class_sizes)
+        for cfg in extract_machine_configurations(r):
+            assert int(np.asarray(cfg) @ sizes) <= medium_probe.target
+
+    def test_infeasible_raises(self):
+        r = dp_reference([1], [50], 10)
+        with pytest.raises(InfeasibleError):
+            extract_machine_configurations(r)
+
+    def test_empty_result_yields_no_machines(self):
+        assert extract_machine_configurations(empty_dp_result()) == []
+
+    def test_randomized_consistency(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            d = int(rng.integers(1, 4))
+            counts = rng.integers(1, 4, size=d).tolist()
+            sizes = rng.integers(2, 9, size=d).tolist()
+            target = int(rng.integers(8, 25))
+            r = dp_reference(counts, sizes, target)
+            if not r.feasible:
+                continue
+            chosen = extract_machine_configurations(r)
+            assert len(chosen) == r.opt
+            assert np.sum(chosen, axis=0).tolist() == counts

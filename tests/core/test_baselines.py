@@ -1,0 +1,135 @@
+"""Tests for the baseline schedulers and the exact solver."""
+
+import pytest
+
+from repro.core.baselines.exact import branch_and_bound_optimal
+from repro.core.baselines.listsched import list_schedule
+from repro.core.baselines.lpt import lpt_bound, lpt_schedule
+from repro.core.baselines.multifit import ffd_pack, multifit_schedule
+from repro.core.instance import Instance, adversarial_lpt_instance, uniform_instance
+from repro.errors import InvalidInstanceError
+
+
+class TestListSchedule:
+    def test_feasible(self, small_instance):
+        s = list_schedule(small_instance)
+        assert len(s.assignment) == small_instance.n_jobs
+
+    def test_greedy_on_known_example(self):
+        inst = Instance(times=(3, 3, 2, 2, 2), machines=2)
+        s = list_schedule(inst)
+        # 3->m0, 3->m1, 2->m0 (tie by index), 2->m1, 2->m0 -> loads (7, 5).
+        assert s.makespan == 7
+        assert list(s.loads()) == [7, 5]
+
+    def test_graham_bound(self):
+        for seed in range(10):
+            inst = uniform_instance(12, 3, low=1, high=30, seed=seed)
+            opt = branch_and_bound_optimal(inst).makespan
+            s = list_schedule(inst)
+            assert s.makespan <= (2 - 1 / inst.machines) * opt + 1e-9
+
+    def test_custom_order(self):
+        inst = Instance(times=(1, 100), machines=2)
+        s = list_schedule(inst, order=[1, 0])
+        assert s.makespan == 100
+
+    def test_rejects_non_permutation(self, small_instance):
+        with pytest.raises(InvalidInstanceError):
+            list_schedule(small_instance, order=[0, 0, 1])
+
+
+class TestLPT:
+    def test_beats_or_equals_arbitrary_order(self):
+        for seed in range(8):
+            inst = uniform_instance(15, 4, low=1, high=50, seed=seed)
+            assert lpt_schedule(inst).makespan <= list_schedule(inst).makespan
+
+    def test_lpt_bound_formula(self):
+        assert lpt_bound(1) == pytest.approx(1.0)
+        assert lpt_bound(3) == pytest.approx(4 / 3 - 1 / 9)
+
+    def test_bound_holds_randomized(self):
+        for seed in range(10):
+            inst = uniform_instance(11, 3, low=1, high=40, seed=seed)
+            opt = branch_and_bound_optimal(inst).makespan
+            assert lpt_schedule(inst).makespan <= lpt_bound(3) * opt + 1e-9
+
+    def test_adversarial_family_is_tight(self):
+        # The classic construction: LPT achieves exactly (4m-1)/(3m) OPT.
+        for m in (2, 3, 4):
+            inst = adversarial_lpt_instance(m)
+            opt = branch_and_bound_optimal(inst).makespan
+            lpt = lpt_schedule(inst).makespan
+            assert opt == 3 * m
+            assert lpt == 4 * m - 1
+
+    def test_rejects_bad_machine_count(self):
+        with pytest.raises(ValueError):
+            lpt_bound(0)
+
+
+class TestMultifit:
+    def test_feasible(self, small_instance):
+        s = multifit_schedule(small_instance)
+        assert len(s.assignment) == small_instance.n_jobs
+
+    def test_beats_or_matches_lpt_usually(self):
+        wins = 0
+        for seed in range(12):
+            inst = uniform_instance(20, 5, low=1, high=60, seed=seed)
+            if multifit_schedule(inst).makespan <= lpt_schedule(inst).makespan:
+                wins += 1
+        assert wins >= 9
+
+    def test_13_over_11_bound(self):
+        for seed in range(8):
+            inst = uniform_instance(10, 3, low=1, high=30, seed=seed)
+            opt = branch_and_bound_optimal(inst).makespan
+            assert multifit_schedule(inst).makespan <= 13 / 11 * opt + 1e-9
+
+    def test_ffd_none_when_capacity_too_small(self, small_instance):
+        assert ffd_pack(small_instance, 1) is None
+
+    def test_ffd_succeeds_at_total(self, small_instance):
+        assert ffd_pack(small_instance, small_instance.total_time) is not None
+
+    def test_rejects_zero_rounds(self, small_instance):
+        with pytest.raises(InvalidInstanceError):
+            multifit_schedule(small_instance, rounds=0)
+
+
+class TestExact:
+    def test_known_optimum(self):
+        inst = Instance(times=(5, 4, 3, 3, 3), machines=2)
+        assert branch_and_bound_optimal(inst).makespan == 9
+
+    def test_perfect_packing(self):
+        inst = Instance(times=(4, 4, 4, 4, 4, 4), machines=3)
+        assert branch_and_bound_optimal(inst).makespan == 8
+
+    def test_never_below_bounds(self):
+        from repro.core.bounds import makespan_bounds
+
+        for seed in range(8):
+            inst = uniform_instance(10, 3, low=1, high=25, seed=seed)
+            opt = branch_and_bound_optimal(inst).makespan
+            b = makespan_bounds(inst)
+            assert b.lower <= opt <= b.upper
+
+    def test_at_most_lpt(self):
+        for seed in range(8):
+            inst = uniform_instance(10, 3, low=1, high=25, seed=50 + seed)
+            assert (
+                branch_and_bound_optimal(inst).makespan
+                <= lpt_schedule(inst).makespan
+            )
+
+    def test_node_limit_enforced(self):
+        inst = uniform_instance(30, 5, low=1, high=1000, seed=0)
+        with pytest.raises(InvalidInstanceError, match="node"):
+            branch_and_bound_optimal(inst, node_limit=10)
+
+    def test_reports_nodes(self, small_instance):
+        result = branch_and_bound_optimal(small_instance)
+        assert result.nodes_explored >= 1

@@ -1,0 +1,67 @@
+"""Unit tests for repro.core.bounds (Algorithm 1, lines 2-3)."""
+
+import pytest
+
+from repro.core.bounds import MakespanBounds, makespan_bounds
+from repro.core.instance import Instance, uniform_instance
+from repro.core.baselines.exact import branch_and_bound_optimal
+
+
+class TestMakespanBounds:
+    def test_tiny_example(self, tiny_instance):
+        b = makespan_bounds(tiny_instance)
+        # total=113, m=3 -> area bound ceil(113/3)=38; max job 27.
+        assert b.lower == 38
+        assert b.upper == 38 + 27
+
+    def test_max_job_dominates_lower(self):
+        inst = Instance(times=(100, 1, 1), machines=3)
+        assert makespan_bounds(inst).lower == 100
+
+    def test_bounds_bracket_optimum(self):
+        for seed in range(8):
+            inst = uniform_instance(10, 3, low=1, high=30, seed=seed)
+            b = makespan_bounds(inst)
+            opt = branch_and_bound_optimal(inst).makespan
+            assert b.lower <= opt <= b.upper
+
+    def test_single_machine(self):
+        inst = Instance(times=(3, 4, 5), machines=1)
+        b = makespan_bounds(inst)
+        assert b.lower == 12  # the exact optimum on one machine
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MakespanBounds(lower=10, upper=5)
+        with pytest.raises(ValueError):
+            MakespanBounds(lower=0, upper=5)
+
+    def test_width(self):
+        assert MakespanBounds(10, 25).width == 15
+
+
+class TestQuarterPoints:
+    def test_tiles_interval(self):
+        b = MakespanBounds(100, 200)
+        segments = b.quarter_points(4)
+        assert segments[0][0] == 100
+        assert segments[-1][1] == 200
+        for (lo1, hi1), (lo2, _) in zip(segments, segments[1:]):
+            assert hi1 == lo2  # UB_p == LB_{p+1} (Alg. 3 line 3)
+
+    def test_four_equal_segments(self):
+        segments = MakespanBounds(0 + 1, 1 + 400).quarter_points(4)
+        widths = [hi - lo for lo, hi in segments]
+        assert max(widths) - min(widths) <= 1
+
+    def test_narrow_interval_degenerates(self):
+        segments = MakespanBounds(10, 12).quarter_points(4)
+        assert segments[0][0] == 10 and segments[-1][1] == 12
+        assert all(lo <= hi for lo, hi in segments)
+
+    def test_single_segment(self):
+        assert MakespanBounds(5, 9).quarter_points(1) == [(5, 9)]
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ValueError):
+            MakespanBounds(5, 9).quarter_points(0)

@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.configs (the set C of Equation 1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.configs import (
+    configurations_for,
+    count_subconfigurations,
+    enumerate_configurations,
+    max_jobs_per_machine,
+)
+from repro.errors import DPError
+
+
+def brute_force(sizes, counts, target, include_zero=False):
+    """Oracle: filter the full product lattice."""
+    out = []
+    for s in itertools.product(*(range(c + 1) for c in counts)):
+        if sum(si * wi for si, wi in zip(s, sizes)) <= target:
+            if include_zero or any(s):
+                out.append(s)
+    return sorted(out)
+
+
+class TestEnumerateConfigurations:
+    def test_matches_brute_force(self):
+        sizes, counts, target = [3, 5, 7], [4, 3, 2], 15
+        got = enumerate_configurations(sizes, counts, target)
+        assert sorted(map(tuple, got.tolist())) == brute_force(sizes, counts, target)
+
+    def test_matches_brute_force_many_shapes(self):
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            d = int(rng.integers(1, 5))
+            sizes = rng.integers(2, 12, size=d).tolist()
+            counts = rng.integers(0, 5, size=d).tolist()
+            target = int(rng.integers(5, 40))
+            got = enumerate_configurations(sizes, counts, target)
+            assert sorted(map(tuple, got.tolist())) == brute_force(
+                sizes, counts, target
+            ), (sizes, counts, target)
+
+    def test_lexicographic_order(self):
+        got = enumerate_configurations([2, 3], [2, 2], 10)
+        assert got.tolist() == sorted(got.tolist())
+
+    def test_excludes_zero_by_default(self):
+        got = enumerate_configurations([5], [3], 20)
+        assert [0] not in got.tolist()
+
+    def test_include_zero(self):
+        got = enumerate_configurations([5], [3], 20, include_zero=True)
+        assert [0] in got.tolist()
+
+    def test_budget_prunes(self):
+        got = enumerate_configurations([10], [5], 25)
+        assert got.tolist() == [[1], [2]]
+
+    def test_counts_cap(self):
+        got = enumerate_configurations([1], [2], 100)
+        assert got.tolist() == [[1], [2]]
+
+    def test_zero_dimensional(self):
+        got = enumerate_configurations([], [], 10)
+        assert got.shape == (0, 0)
+
+    def test_empty_when_nothing_fits(self):
+        got = enumerate_configurations([50], [3], 10)
+        assert got.shape == (0, 1)
+
+    def test_contiguous_int64(self):
+        got = enumerate_configurations([3, 4], [2, 2], 10)
+        assert got.dtype == np.int64 and got.flags["C_CONTIGUOUS"]
+
+    def test_rejects_mismatched_arity(self):
+        with pytest.raises(DPError):
+            enumerate_configurations([3, 4], [2], 10)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(DPError):
+            enumerate_configurations([0], [2], 10)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(DPError):
+            enumerate_configurations([3], [-1], 10)
+
+    def test_rejects_negative_target(self):
+        with pytest.raises(DPError):
+            enumerate_configurations([3], [1], -5)
+
+
+class TestConfigurationsFor:
+    def test_respects_probe_budget(self, medium_probe):
+        configs = configurations_for(medium_probe)
+        sizes = np.asarray(medium_probe.class_sizes)
+        assert (configs @ sizes <= medium_probe.target).all()
+        assert (configs <= np.asarray(medium_probe.counts)).all()
+
+    def test_single_job_configs_present(self, medium_probe):
+        # Every class size <= T admits the unit configuration.
+        configs = set(map(tuple, configurations_for(medium_probe).tolist()))
+        d = medium_probe.dims
+        for i, size in enumerate(medium_probe.class_sizes):
+            if size <= medium_probe.target:
+                unit = tuple(1 if j == i else 0 for j in range(d))
+                assert unit in configs
+
+
+class TestHelpers:
+    def test_count_subconfigurations(self):
+        configs = enumerate_configurations([2, 3], [3, 3], 12)
+        cell = np.array([1, 1])
+        expected = sum(1 for c in configs if (c <= cell).all())
+        assert count_subconfigurations(configs, cell) == expected
+
+    def test_count_subconfigurations_empty(self):
+        empty = np.zeros((0, 2), dtype=np.int64)
+        assert count_subconfigurations(empty, np.array([5, 5])) == 0
+
+    def test_max_jobs_per_machine_bounded_by_k(self, medium_probe):
+        # Long jobs exceed T/k, so at most k fit in budget T.
+        configs = configurations_for(medium_probe)
+        assert max_jobs_per_machine(configs) <= medium_probe.k
+
+    def test_max_jobs_empty(self):
+        assert max_jobs_per_machine(np.zeros((0, 3), dtype=np.int64)) == 0

@@ -1,0 +1,160 @@
+"""Tests for the DP solvers: reference, vectorized, and their agreement.
+
+The reference solver is the oracle (a literal transcription of
+Equation 1); the vectorized solver must match it cell-for-cell, and
+both must satisfy the recurrence's semantic characterisation: OPT(u) is
+the minimum number of configurations from C summing componentwise to u.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.configs import enumerate_configurations
+from repro.core.dp_common import DPResult, UNREACHABLE, empty_dp_result
+from repro.core.dp_reference import dp_reference, dp_reference_for
+from repro.core.dp_vectorized import dp_vectorized, dp_vectorized_for
+from repro.errors import DPError
+
+
+def min_cover_oracle(counts, configs, limit=6):
+    """Exhaustive: least number of configs (with repetition) summing to N."""
+    target = tuple(counts)
+    frontier = {(0,) * len(counts)}
+    for machines in range(1, limit + 1):
+        nxt = set()
+        for u in frontier:
+            for c in configs:
+                v = tuple(a + b for a, b in zip(u, c))
+                if all(x <= t for x, t in zip(v, target)):
+                    if v == target:
+                        return machines
+                    nxt.add(v)
+        frontier = nxt
+        if not frontier:
+            break
+    return None
+
+
+class TestDPReference:
+    def test_origin_is_zero(self):
+        r = dp_reference([2, 2], [3, 5], 10)
+        assert r.table[0, 0] == 0
+
+    def test_single_class_exact(self):
+        # sizes (4), budget 10 -> 2 jobs per machine; OPT(n) = ceil(n/2).
+        r = dp_reference([5], [4], 10)
+        assert r.table.tolist() == [0, 1, 1, 2, 2, 3]
+
+    def test_matches_min_cover_oracle(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            d = int(rng.integers(1, 4))
+            counts = rng.integers(1, 4, size=d).tolist()
+            sizes = rng.integers(2, 9, size=d).tolist()
+            target = int(rng.integers(6, 25))
+            r = dp_reference(counts, sizes, target)
+            configs = [tuple(c) for c in r.configs.tolist()]
+            oracle = min_cover_oracle(counts, configs, limit=sum(counts))
+            if oracle is None:
+                assert not r.feasible
+            else:
+                assert r.opt == oracle, (counts, sizes, target)
+
+    def test_unreachable_when_job_too_large(self):
+        r = dp_reference([1], [50], 10)
+        assert not r.feasible
+        assert r.opt >= UNREACHABLE
+
+    def test_partial_reachability(self):
+        # One class fits, the other does not.
+        r = dp_reference([1, 1], [5, 50], 10)
+        assert r.table[1, 0] == 1
+        assert r.table[0, 1] >= UNREACHABLE
+        assert not r.feasible
+
+    def test_monotone_in_levels(self):
+        # OPT never decreases when adding jobs componentwise.
+        r = dp_reference([3, 2], [3, 7], 12)
+        t = r.table
+        for idx in np.ndindex(t.shape):
+            for axis in range(t.ndim):
+                if idx[axis] + 1 < t.shape[axis]:
+                    nxt = list(idx)
+                    nxt[axis] += 1
+                    assert t[tuple(nxt)] >= t[idx]
+
+    def test_empty_counts(self):
+        r = dp_reference([], [], 10)
+        assert r.opt == 0 and r.shape == ()
+
+    def test_rejects_mismatched_arity(self):
+        with pytest.raises(DPError):
+            dp_reference([1, 2], [3], 10)
+
+
+class TestDPVectorized:
+    def test_equals_reference_randomized(self):
+        rng = np.random.default_rng(2)
+        for _ in range(12):
+            d = int(rng.integers(1, 5))
+            counts = rng.integers(1, 4, size=d).tolist()
+            sizes = rng.integers(2, 10, size=d).tolist()
+            target = int(rng.integers(5, 30))
+            a = dp_reference(counts, sizes, target)
+            b = dp_vectorized(counts, sizes, target)
+            assert np.array_equal(a.table, b.table), (counts, sizes, target)
+
+    def test_equals_reference_on_probe(self, medium_probe):
+        a = dp_reference_for(medium_probe)
+        b = dp_vectorized_for(medium_probe)
+        assert np.array_equal(a.table, b.table)
+
+    def test_no_configs_leaves_table_unreachable(self):
+        r = dp_vectorized([2], [50], 10)
+        assert r.table[0] == 0
+        assert (r.table[1:] >= UNREACHABLE).all()
+
+    def test_max_rounds_guard(self):
+        with pytest.raises(DPError, match="converge"):
+            dp_vectorized([5], [4], 10, max_rounds=0)
+
+    def test_converges_within_default_rounds(self):
+        # Defensive: the default cap (n' + 1) always suffices.
+        r = dp_vectorized([6, 6], [3, 5], 11)
+        assert r.feasible
+
+    def test_empty_counts(self):
+        assert dp_vectorized([], [], 5).opt == 0
+
+    def test_shared_configs_reused(self, medium_probe):
+        configs = enumerate_configurations(
+            medium_probe.class_sizes, medium_probe.counts, medium_probe.target
+        )
+        r = dp_vectorized_for(medium_probe, configs)
+        assert r.configs is configs
+
+
+class TestDPResult:
+    def test_fits_predicate(self):
+        r = dp_reference([5], [4], 10)
+        assert r.fits(3) and not r.fits(2)  # OPT = 3
+
+    def test_empty_result(self):
+        r = empty_dp_result()
+        assert r.opt == 0 and r.feasible and r.fits(0)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(DPError):
+            DPResult(
+                table=np.zeros((2, 2), dtype=np.int32),
+                configs=np.zeros((0, 2), dtype=np.int64),
+            )
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(DPError):
+            DPResult(
+                table=np.zeros((2, 2), dtype=np.int64),
+                configs=np.zeros((1, 3), dtype=np.int64),
+            )

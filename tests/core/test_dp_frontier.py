@@ -1,0 +1,80 @@
+"""Tests for the memory-light frontier DP solver."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.configs import enumerate_configurations
+from repro.core.dp_common import UNREACHABLE
+from repro.core.dp_frontier import dp_frontier, frontier_depth
+from repro.core.dp_vectorized import dp_vectorized
+from repro.errors import DPError
+
+
+class TestFrontierDepth:
+    def test_depth_is_max_config_sum(self):
+        configs = np.array([[1, 0], [2, 1], [0, 3]], dtype=np.int64)
+        assert frontier_depth(configs) == 3
+
+    def test_empty_configs(self):
+        assert frontier_depth(np.zeros((0, 2), dtype=np.int64)) == 0
+
+    def test_depth_bounded_by_k_for_ptas_probes(self, medium_probe):
+        # Long jobs exceed T/k, so configurations hold <= k jobs.
+        configs = enumerate_configurations(
+            medium_probe.class_sizes, medium_probe.counts, medium_probe.target
+        )
+        assert frontier_depth(configs) <= medium_probe.k
+
+
+class TestDPFrontier:
+    def test_matches_dense_randomized(self):
+        rng = np.random.default_rng(9)
+        for _ in range(15):
+            d = int(rng.integers(1, 5))
+            counts = rng.integers(1, 4, size=d).tolist()
+            sizes = rng.integers(2, 10, size=d).tolist()
+            target = int(rng.integers(4, 30))
+            dense = dp_vectorized(counts, sizes, target).opt
+            assert dp_frontier(counts, sizes, target) == dense
+
+    def test_matches_dense_on_probe(self, medium_probe):
+        args = (medium_probe.counts, medium_probe.class_sizes, medium_probe.target)
+        assert dp_frontier(*args) == dp_vectorized(*args).opt
+
+    def test_single_class(self):
+        assert dp_frontier([5], [4], 10) == 3  # 2 jobs per machine
+
+    def test_unreachable(self):
+        assert dp_frontier([2], [50], 10) >= UNREACHABLE
+
+    def test_partially_unreachable_final(self):
+        # One class fits, the other never does -> N unreachable.
+        assert dp_frontier([1, 1], [5, 50], 10) >= UNREACHABLE
+
+    def test_empty_counts(self):
+        assert dp_frontier([], [], 7) == 0
+
+    def test_no_configs(self):
+        configs = np.zeros((0, 1), dtype=np.int64)
+        assert dp_frontier([3], [99], 10, configs) >= UNREACHABLE
+
+    def test_rejects_arity_mismatch(self):
+        with pytest.raises(DPError):
+            dp_frontier([1, 2], [3], 10)
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=40)
+@given(
+    data=st.integers(1, 4).flatmap(
+        lambda d: st.tuples(
+            st.lists(st.integers(1, 3), min_size=d, max_size=d),
+            st.lists(st.integers(2, 10), min_size=d, max_size=d),
+            st.integers(4, 25),
+        )
+    )
+)
+def test_frontier_equals_dense_property(data):
+    counts, sizes, target = data
+    assert dp_frontier(counts, sizes, target) == dp_vectorized(counts, sizes, target).opt

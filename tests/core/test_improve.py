@@ -1,0 +1,90 @@
+"""Tests for the local-search schedule polish."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines.exact import branch_and_bound_optimal
+from repro.core.improve import improve_schedule
+from repro.core.instance import Instance, uniform_instance
+from repro.core.ptas import ptas_schedule
+from repro.core.schedule import Schedule
+from repro.errors import InvalidInstanceError
+
+
+class TestImproveSchedule:
+    def test_fixes_obviously_bad_schedule(self):
+        inst = Instance(times=(5, 5, 5, 5), machines=2)
+        bad = Schedule(inst, assignment=(0, 0, 0, 0))  # everything on one machine
+        result = improve_schedule(bad)
+        assert result.schedule.makespan == 10  # the optimum
+        assert result.improvement == 10
+
+    def test_never_worse(self):
+        for seed in range(10):
+            inst = uniform_instance(15, 4, low=1, high=50, seed=seed)
+            start = ptas_schedule(inst, eps=0.5).schedule
+            result = improve_schedule(start)
+            assert result.schedule.makespan <= start.makespan
+
+    def test_local_optimum_is_stable(self):
+        inst = uniform_instance(12, 3, low=1, high=30, seed=4)
+        once = improve_schedule(ptas_schedule(inst, eps=0.5).schedule)
+        twice = improve_schedule(once.schedule)
+        assert twice.improvement == 0
+
+    def test_schedule_stays_feasible(self):
+        inst = uniform_instance(20, 5, low=1, high=40, seed=5)
+        result = improve_schedule(ptas_schedule(inst, eps=0.5).schedule)
+        assert result.schedule.loads().sum() == inst.total_time
+
+    def test_counts_reported(self):
+        inst = Instance(times=(9, 9, 1, 1), machines=2)
+        bad = Schedule(inst, assignment=(0, 0, 1, 1))
+        result = improve_schedule(bad)
+        assert result.moves + result.swaps >= 1
+        assert result.rounds >= 1
+
+    def test_swap_needed_case(self):
+        # Moves alone cannot fix (9+2 | 8+3 is optimal; start 9+3 | 8+2);
+        # only a swap of the 3 and the 2 improves.
+        inst = Instance(times=(9, 3, 8, 2), machines=2)
+        start = Schedule(inst, assignment=(0, 0, 1, 1))
+        result = improve_schedule(start)
+        assert result.schedule.makespan == 11
+
+    def test_often_closes_gap_to_optimum(self):
+        closed = 0
+        for seed in range(8):
+            inst = uniform_instance(12, 3, low=1, high=30, seed=100 + seed)
+            opt = branch_and_bound_optimal(inst).makespan
+            raw = ptas_schedule(inst, eps=0.5).schedule
+            polished = improve_schedule(raw).schedule
+            if polished.makespan - opt < raw.makespan - opt:
+                closed += 1
+            assert polished.makespan >= opt
+        assert closed >= 3  # polish usually helps coarse-eps schedules
+
+    def test_rejects_bad_rounds(self):
+        inst = Instance(times=(1, 2), machines=1)
+        with pytest.raises(InvalidInstanceError):
+            improve_schedule(Schedule(inst, (0, 0)), max_rounds=0)
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=30)
+@given(
+    times=st.lists(st.integers(1, 30), min_size=2, max_size=12).map(tuple),
+    machines=st.integers(1, 4),
+    data=st.data(),
+)
+def test_improvement_invariants_property(times, machines, data):
+    inst = Instance(times=times, machines=machines)
+    assignment = tuple(
+        data.draw(st.integers(0, machines - 1)) for _ in range(len(times))
+    )
+    start = Schedule(inst, assignment)
+    result = improve_schedule(start)
+    # Never worse, always feasible, improvement consistent.
+    assert result.schedule.makespan <= start.makespan
+    assert result.schedule.loads().sum() == inst.total_time
+    assert result.improvement == start.makespan - result.schedule.makespan

@@ -1,0 +1,90 @@
+"""Tests for instance/schedule file I/O."""
+
+import pytest
+
+from repro.core.instance import Instance, uniform_instance
+from repro.core.io import (
+    dumps_instance,
+    dumps_schedule,
+    load_instance,
+    load_schedule,
+    loads_instance,
+    loads_schedule,
+    save_instance,
+    save_schedule,
+)
+from repro.core.schedule import Schedule
+from repro.errors import InvalidInstanceError
+
+
+class TestInstanceRoundTrip:
+    def test_string_round_trip(self, tiny_instance):
+        text = dumps_instance(tiny_instance)
+        back = loads_instance(text)
+        assert back.times == tiny_instance.times
+        assert back.machines == tiny_instance.machines
+
+    def test_file_round_trip(self, tmp_path, small_instance):
+        path = tmp_path / "inst.txt"
+        save_instance(small_instance, path)
+        back = load_instance(path)
+        assert back.times == small_instance.times
+        assert back.name == "inst"
+
+    def test_comment_with_name(self):
+        inst = uniform_instance(5, 2, seed=1, name="demo")
+        assert dumps_instance(inst).startswith("# demo")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "\n# a comment\nmachines 2\n\ntimes 3 4 5\n# trailing\n"
+        inst = loads_instance(text)
+        assert inst.machines == 2 and inst.times == (3, 4, 5)
+
+
+class TestScheduleRoundTrip:
+    def test_string_round_trip(self, tiny_instance):
+        sched = Schedule(tiny_instance, (0, 1, 2, 0, 1, 2, 2, 0))
+        back = loads_schedule(dumps_schedule(sched))
+        assert back.assignment == sched.assignment
+        assert back.makespan == sched.makespan
+
+    def test_file_round_trip(self, tmp_path, small_instance):
+        sched = Schedule(small_instance, tuple(j % 3 for j in range(12)))
+        path = tmp_path / "sched.txt"
+        save_schedule(sched, path)
+        assert load_schedule(path).assignment == sched.assignment
+
+    def test_invalid_assignment_rejected_on_load(self):
+        text = "machines 2\ntimes 3 4\nassignment 0 5\n"
+        with pytest.raises(Exception):
+            loads_schedule(text)
+
+
+class TestParseErrors:
+    def test_missing_machines(self):
+        with pytest.raises(InvalidInstanceError, match="machines"):
+            loads_instance("times 1 2 3\n")
+
+    def test_missing_times(self):
+        with pytest.raises(InvalidInstanceError, match="times"):
+            loads_instance("machines 2\n")
+
+    def test_missing_assignment(self):
+        with pytest.raises(InvalidInstanceError, match="assignment"):
+            loads_schedule("machines 2\ntimes 1 2\n")
+
+    def test_duplicate_field(self):
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            loads_instance("machines 2\nmachines 3\ntimes 1\n")
+
+    def test_unknown_field_with_line_number(self):
+        with pytest.raises(InvalidInstanceError, match="line 2"):
+            loads_instance("machines 2\nwat 5\ntimes 1\n")
+
+    def test_non_integer_times(self):
+        with pytest.raises(InvalidInstanceError, match="integers"):
+            loads_instance("machines 2\ntimes 1 x 3\n")
+
+    def test_non_integer_machines(self):
+        with pytest.raises(InvalidInstanceError, match="integer"):
+            loads_instance("machines two\ntimes 1\n")

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the load-bearing guarantees of the reproduction:
+
+1. the PTAS always returns a feasible schedule within ``(1+eps)`` of
+   the brute-force optimum;
+2. both DP solvers agree cell-for-cell on arbitrary inputs;
+3. quarter split and bisection converge to the same target;
+4. schedule extraction always partitions the job vector exactly.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.backtrack import extract_machine_configurations
+from repro.core.baselines.exact import branch_and_bound_optimal
+from repro.core.baselines.lpt import lpt_schedule
+from repro.core.bisection import bisection_search
+from repro.core.dp_reference import dp_reference
+from repro.core.dp_vectorized import dp_vectorized
+from repro.core.instance import Instance
+from repro.core.ptas import ptas_schedule
+from repro.core.quarter_split import quarter_split_search
+
+# Small instances: brute force must stay cheap.
+instances = st.builds(
+    Instance,
+    times=st.lists(st.integers(1, 40), min_size=2, max_size=10).map(tuple),
+    machines=st.integers(1, 4),
+)
+
+eps_values = st.sampled_from([0.2, 0.3, 0.5, 1.0])
+
+dp_inputs = st.integers(1, 4).flatmap(
+    lambda d: st.tuples(
+        st.lists(st.integers(1, 3), min_size=d, max_size=d),
+        st.lists(st.integers(2, 10), min_size=d, max_size=d),
+        st.integers(4, 30),
+    )
+)
+
+COMMON = dict(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=40
+)
+
+
+@settings(**COMMON)
+@given(inst=instances, eps=eps_values)
+def test_ptas_within_guarantee(inst, eps):
+    optimum = branch_and_bound_optimal(inst).makespan
+    result = ptas_schedule(inst, eps=eps)
+    assert result.makespan <= (1 + eps) * optimum + 1e-9
+    # The schedule really is a schedule: all loads consistent.
+    assert result.schedule.loads().sum() == inst.total_time
+
+
+@settings(**COMMON)
+@given(inst=instances)
+def test_ptas_never_worse_than_twice_lpt_bound(inst):
+    # Cross-check with an independent algorithm: LPT is a 4/3-approx,
+    # PTAS(0.3) a 1.3-approx, so they can differ by at most ~1.3x.
+    ptas = ptas_schedule(inst, eps=0.3).makespan
+    lpt = lpt_schedule(inst).makespan
+    assert ptas <= lpt * 1.3 + 1e-9
+    assert lpt <= ptas * (4 / 3) + 1e-9
+
+
+@settings(**COMMON)
+@given(args=dp_inputs)
+def test_dp_solvers_agree(args):
+    counts, sizes, target = args
+    a = dp_reference(counts, sizes, target)
+    b = dp_vectorized(counts, sizes, target)
+    assert np.array_equal(a.table, b.table)
+
+
+@settings(**COMMON)
+@given(args=dp_inputs)
+def test_backtrack_partitions_exactly(args):
+    counts, sizes, target = args
+    result = dp_reference(counts, sizes, target)
+    if not result.feasible:
+        return
+    chosen = extract_machine_configurations(result)
+    assert len(chosen) == result.opt
+    assert np.sum(chosen, axis=0).tolist() == counts if chosen else all(
+        c == 0 for c in counts
+    )
+
+
+@settings(**COMMON)
+@given(inst=instances, eps=eps_values)
+def test_search_strategies_converge_identically(inst, eps):
+    b = bisection_search(inst, eps)
+    q = quarter_split_search(inst, eps)
+    # Both converge to the same smallest accepted target (the quantity
+    # the dual approximation argues about)...
+    assert b.final_target == q.final_target
+    # ...and both schedules honour that target's guarantee.  The
+    # realised makespans may differ by a little: each search returns
+    # its best schedule over *its own* accepted probes, and the quarter
+    # split probes more targets.
+    bound = (1 + eps) * b.final_target + 1e-9
+    assert b.makespan <= bound
+    assert q.makespan <= bound
+    assert q.iterations <= b.iterations
+
+
+@settings(**COMMON)
+@given(inst=instances)
+def test_dp_monotone_under_more_budget(inst):
+    # A larger target never needs more machines for the rounded jobs.
+    from repro.core.rounding import round_instance
+
+    t1 = max(inst.max_time, inst.area_bound)
+    t2 = t1 + max(1, t1 // 3)
+    r1 = round_instance(inst, t1, 0.3)
+    r2 = round_instance(inst, t2, 0.3)
+    opt1 = dp_vectorized(r1.counts, r1.class_sizes, r1.target).opt
+    opt2 = dp_vectorized(r2.counts, r2.class_sizes, r2.target).opt
+    assert opt2 <= opt1

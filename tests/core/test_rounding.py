@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.rounding (Algorithm 1, lines 7-8)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.rounding import accuracy_k, round_instance, rounding_unit
+from repro.errors import InvalidInstanceError
+
+
+class TestAccuracyK:
+    def test_paper_epsilon(self):
+        assert accuracy_k(0.3) == 4  # the paper's setting -> k^2 = 16 dims
+
+    def test_exact_reciprocal(self):
+        assert accuracy_k(0.5) == 2
+        assert accuracy_k(0.25) == 4
+
+    def test_eps_one(self):
+        assert accuracy_k(1.0) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidInstanceError):
+            accuracy_k(0.0)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(InvalidInstanceError):
+            accuracy_k(1.5)
+
+
+class TestRoundingUnit:
+    def test_basic(self):
+        assert rounding_unit(160, 4) == 10  # floor(160/16)
+
+    def test_clamps_to_one(self):
+        assert rounding_unit(5, 4) == 1  # T < k^2
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(InvalidInstanceError):
+            rounding_unit(0, 4)
+
+
+class TestRoundInstance:
+    def test_split_threshold(self):
+        # T=40, k=4 -> long iff t > 10; unit = floor(40/16) = 2.
+        inst = Instance(times=(40, 25, 11, 10, 3), machines=2)
+        r = round_instance(inst, 40, 0.3)
+        assert sorted(j for grp in r.long_indices for j in grp) == [0, 1, 2]
+        assert r.short_indices == (3, 4)
+        assert r.unit == 2
+
+    def test_rounded_sizes_are_multiples_of_unit(self):
+        inst = Instance(times=(40, 25, 11), machines=2)
+        r = round_instance(inst, 40, 0.3)
+        assert all(s % r.unit == 0 for s in r.class_sizes)
+        # 40 -> 40, 25 -> 24, 11 -> 10
+        assert r.class_sizes == (10, 24, 40)
+
+    def test_rounding_never_rounds_up(self):
+        inst = Instance(times=(17, 23, 39, 40), machines=2)
+        r = round_instance(inst, 40, 0.3)
+        for cls, jobs in enumerate(r.long_indices):
+            for j in jobs:
+                assert r.class_sizes[cls] <= inst.times[j]
+                assert inst.times[j] - r.class_sizes[cls] < r.unit
+
+    def test_counts_align_with_long_indices(self, medium_probe):
+        assert medium_probe.counts == tuple(
+            len(g) for g in medium_probe.long_indices
+        )
+        assert all(c >= 1 for c in medium_probe.counts)
+
+    def test_class_sizes_strictly_increasing(self, medium_probe):
+        sizes = medium_probe.class_sizes
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    def test_every_job_classified_once(self, medium_probe):
+        inst = medium_probe.instance
+        longs = [j for grp in medium_probe.long_indices for j in grp]
+        assert sorted(longs + list(medium_probe.short_indices)) == list(
+            range(inst.n_jobs)
+        )
+
+    def test_table_shape_and_size(self):
+        inst = Instance(times=(40, 40, 25, 11), machines=2)
+        r = round_instance(inst, 40, 0.3)
+        assert r.table_shape == tuple(c + 1 for c in r.counts)
+        size = 1
+        for s in r.table_shape:
+            size *= s
+        assert r.table_size == size
+
+    def test_all_short_gives_zero_dims(self):
+        inst = Instance(times=(2, 3, 2), machines=2)
+        r = round_instance(inst, 100, 0.3)
+        assert r.dims == 0
+        assert r.table_size == 1
+        assert r.n_long == 0
+
+    def test_jobs_above_target_still_classified(self):
+        # t > T is infeasible for the probe but rounding stays defined.
+        inst = Instance(times=(100, 5), machines=2)
+        r = round_instance(inst, 40, 0.3)
+        assert r.dims == 1
+        assert r.class_sizes[0] == 100  # 100 // 2 * 2
+
+    def test_true_size_bound(self, medium_probe):
+        bound = medium_probe.true_size_bound(rounded_load=50, jobs_on_machine=3)
+        assert bound == 50 + 3 * medium_probe.unit
+
+    def test_rejects_bad_target(self, small_instance):
+        with pytest.raises(InvalidInstanceError):
+            round_instance(small_instance, 0, 0.3)
+
+    def test_rounding_loss_bounded_per_machine(self, medium_probe):
+        # <= k jobs fit per machine, each loses < unit: total loss per
+        # machine < k * unit <= eps * T — the PTAS guarantee's engine.
+        k, unit, target = medium_probe.k, medium_probe.unit, medium_probe.target
+        assert k * unit <= 0.3 * target + k  # slack for integer floors

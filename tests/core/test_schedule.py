@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.schedule."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.errors import InvalidScheduleError
+
+
+@pytest.fixture
+def inst():
+    return Instance(times=(10, 7, 5, 3), machines=2)
+
+
+class TestSchedule:
+    def test_loads_and_makespan(self, inst):
+        s = Schedule(inst, assignment=(0, 1, 1, 0))
+        assert list(s.loads()) == [13, 12]
+        assert s.makespan == 13
+
+    def test_machines_used_counts_nonempty(self, inst):
+        s = Schedule(inst, assignment=(0, 0, 0, 0))
+        assert s.machines_used == 1
+
+    def test_empty_machines_are_legal(self, inst):
+        s = Schedule(inst, assignment=(1, 1, 1, 1))
+        assert list(s.loads()) == [0, 25]
+
+    def test_jobs_on(self, inst):
+        s = Schedule(inst, assignment=(0, 1, 0, 1))
+        assert s.jobs_on(0) == (0, 2)
+        assert s.jobs_on(1) == (1, 3)
+
+    def test_jobs_on_rejects_bad_machine(self, inst):
+        s = Schedule(inst, assignment=(0, 0, 0, 0))
+        with pytest.raises(InvalidScheduleError):
+            s.jobs_on(5)
+
+    def test_rejects_wrong_length(self, inst):
+        with pytest.raises(InvalidScheduleError, match="covers"):
+            Schedule(inst, assignment=(0, 1))
+
+    def test_rejects_machine_out_of_range(self, inst):
+        with pytest.raises(InvalidScheduleError, match="job 2"):
+            Schedule(inst, assignment=(0, 1, 2, 0))
+
+    def test_rejects_negative_machine(self, inst):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(inst, assignment=(0, -1, 0, 0))
+
+    def test_imbalance_perfect(self):
+        inst = Instance(times=(5, 5), machines=2)
+        s = Schedule(inst, assignment=(0, 1))
+        assert s.imbalance() == pytest.approx(1.0)
+
+    def test_imbalance_skewed(self, inst):
+        s = Schedule(inst, assignment=(0, 0, 0, 0))
+        assert s.imbalance() == pytest.approx(2.0)  # 25 / 12.5
+
+
+class TestFromMachineLists:
+    def test_round_trip(self, inst):
+        s = Schedule.from_machine_lists(inst, [[0, 3], [1, 2]])
+        assert s.assignment == (0, 1, 1, 0)
+
+    def test_fewer_lists_than_machines_ok(self, inst):
+        s = Schedule.from_machine_lists(inst, [[0, 1, 2, 3]])
+        assert s.machines_used == 1
+
+    def test_rejects_too_many_lists(self, inst):
+        with pytest.raises(InvalidScheduleError):
+            Schedule.from_machine_lists(inst, [[0], [1], [2, 3]])
+
+    def test_rejects_double_assignment(self, inst):
+        with pytest.raises(InvalidScheduleError, match="two machines"):
+            Schedule.from_machine_lists(inst, [[0, 1], [1, 2, 3]])
+
+    def test_rejects_missing_job(self, inst):
+        with pytest.raises(InvalidScheduleError, match="not assigned"):
+            Schedule.from_machine_lists(inst, [[0, 1], [2]])
+
+    def test_rejects_unknown_job(self, inst):
+        with pytest.raises(InvalidScheduleError, match="out of range"):
+            Schedule.from_machine_lists(inst, [[0, 9], [1, 2, 3]])

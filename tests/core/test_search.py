@@ -1,0 +1,94 @@
+"""Tests for the two target-search strategies (Algorithm 1 vs Algorithm 3)."""
+
+import math
+
+import pytest
+
+from repro.core.bisection import bisection_search
+from repro.core.bounds import makespan_bounds
+from repro.core.instance import Instance, uniform_instance
+from repro.core.quarter_split import quarter_split_search, segment_targets
+
+
+class TestSegmentTargets:
+    def test_four_targets_for_wide_interval(self):
+        targets = segment_targets(100, 500)
+        assert len(targets) == 4
+        assert targets == sorted(targets)
+
+    def test_targets_inside_interval(self):
+        targets = segment_targets(10, 50)
+        assert all(10 <= t < 50 for t in targets)
+
+    def test_narrow_interval_dedupes(self):
+        targets = segment_targets(10, 12)
+        assert len(targets) == len(set(targets))
+        assert len(targets) <= 3
+
+    def test_unit_interval(self):
+        assert segment_targets(10, 11) == [10]
+
+    def test_segment_midpoints(self):
+        # [0+100]: segments (100,125),(125,150),(150,175),(175,200).
+        assert segment_targets(100, 200) == [112, 137, 162, 187]
+
+
+class TestBisection:
+    def test_iteration_count_is_logarithmic(self, medium_instance):
+        result = bisection_search(medium_instance, 0.3)
+        width = makespan_bounds(medium_instance).width
+        assert result.iterations <= math.ceil(math.log2(width)) + 1
+
+    def test_final_target_is_minimal_accepted(self, small_instance):
+        result = bisection_search(small_instance, 0.3)
+        # Probing one below the final target must reject (minimality).
+        from repro.core.ptas import probe_target
+
+        if result.final_target > makespan_bounds(small_instance).lower:
+            below = probe_target(small_instance, result.final_target - 1, 0.3)
+            assert not below.accepted
+
+    def test_single_job_instance(self):
+        # Bounds are [10, 20]; the search must still land exactly on 10.
+        inst = Instance(times=(10,), machines=1)
+        result = bisection_search(inst, 0.3)
+        assert result.makespan == 10
+        assert result.final_target == 10
+
+
+class TestQuarterSplit:
+    def test_matches_bisection_final_target(self):
+        for seed in range(8):
+            inst = uniform_instance(13, 4, low=2, high=50, seed=seed)
+            b = bisection_search(inst, 0.3)
+            q = quarter_split_search(inst, 0.3)
+            assert q.final_target == b.final_target, seed
+
+    def test_fewer_or_equal_iterations(self):
+        for seed in range(8):
+            inst = uniform_instance(13, 4, low=2, high=50, seed=seed)
+            b = bisection_search(inst, 0.3)
+            q = quarter_split_search(inst, 0.3)
+            assert q.iterations <= b.iterations
+
+    def test_iteration_count_is_log4ish(self, medium_instance):
+        result = quarter_split_search(medium_instance, 0.3)
+        width = makespan_bounds(medium_instance).width
+        assert result.iterations <= math.ceil(math.log(width, 3)) + 1
+
+    def test_more_probes_per_iteration(self, medium_instance):
+        q = quarter_split_search(medium_instance, 0.3)
+        # Up to 4 probes per iteration (plus at most one clean-up).
+        assert len(q.probes) <= 4 * q.iterations + 1
+
+    def test_segments_parameter(self, small_instance):
+        wide = quarter_split_search(small_instance, 0.3, segments=8)
+        narrow = quarter_split_search(small_instance, 0.3, segments=2)
+        assert wide.final_target == narrow.final_target
+        assert wide.iterations <= narrow.iterations
+
+    def test_single_job_instance(self):
+        inst = Instance(times=(10,), machines=1)
+        result = quarter_split_search(inst, 0.3)
+        assert result.makespan == 10
+        assert result.final_target == 10

@@ -1,0 +1,124 @@
+"""Tests for the OpenMP fork-join cost model."""
+
+import numpy as np
+import pytest
+
+from repro.cpusim.openmp import OpenMPModel
+from repro.cpusim.spec import CpuSpec, XEON_E5_2697V3_DUAL
+from repro.errors import SimulationError
+
+FAST = CpuSpec(
+    name="test", total_cores=8, clock_hz=1e9,
+    mem_bandwidth_bytes_per_s=1e12, fork_join_overhead_s=1e-6,
+)
+
+
+class TestSpec:
+    def test_paper_host(self):
+        assert XEON_E5_2697V3_DUAL.total_cores == 28
+        assert XEON_E5_2697V3_DUAL.clock_hz == pytest.approx(2.6e9)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(SimulationError):
+            CpuSpec(name="x", total_cores=0, clock_hz=1e9)
+
+
+class TestParallelFor:
+    def test_balanced_static_speedup(self):
+        costs = np.full(800, 1e-4)
+        serial = OpenMPModel(FAST, threads=1).parallel_for(costs).compute_s
+        par = OpenMPModel(FAST, threads=8).parallel_for(costs).compute_s
+        assert par == pytest.approx(serial / 8)
+
+    def test_static_imbalance_visible(self):
+        # One huge item at the front: static chunking puts it on thread 0.
+        costs = np.full(80, 1e-5)
+        costs[0] = 1e-2
+        result = OpenMPModel(FAST, threads=8).parallel_for(costs, schedule="static")
+        assert result.imbalance > 4.0
+
+    def test_dynamic_beats_static_on_skew(self):
+        costs = np.concatenate([np.full(8, 1e-2), np.full(792, 1e-5)])
+        static = OpenMPModel(FAST, threads=8).parallel_for(costs, schedule="static")
+        dynamic = OpenMPModel(FAST, threads=8).parallel_for(costs, schedule="dynamic")
+        assert dynamic.compute_s <= static.compute_s
+
+    def test_memory_floor(self):
+        slow_mem = CpuSpec(
+            name="x", total_cores=8, clock_hz=1e9,
+            mem_bandwidth_bytes_per_s=1e6, fork_join_overhead_s=0.0,
+        )
+        model = OpenMPModel(slow_mem, threads=8)
+        result = model.parallel_for(np.full(8, 1e-9), mem_bytes=1_000_000)
+        assert result.elapsed_s == pytest.approx(1.0)  # 1 MB at 1 MB/s
+
+    def test_overhead_always_charged(self):
+        model = OpenMPModel(FAST, threads=4)
+        result = model.parallel_for(np.array([]))
+        assert result.elapsed_s == pytest.approx(FAST.fork_join_overhead_s)
+
+    def test_elapsed_accumulates(self):
+        model = OpenMPModel(FAST, threads=2)
+        model.parallel_for(np.full(10, 1e-4))
+        first = model.elapsed_s
+        model.parallel_for(np.full(10, 1e-4))
+        assert model.elapsed_s == pytest.approx(2 * first)
+        assert model.regions == 2
+
+    def test_serial_section(self):
+        model = OpenMPModel(FAST, threads=4)
+        model.serial(0.5)
+        assert model.elapsed_s == pytest.approx(0.5)
+
+    def test_more_threads_never_slower_compute(self):
+        costs = np.abs(np.random.default_rng(0).normal(1e-4, 5e-5, size=500))
+        t8 = OpenMPModel(FAST, threads=8).parallel_for(costs).compute_s
+        t4 = OpenMPModel(FAST, threads=4).parallel_for(costs).compute_s
+        assert t8 <= t4 + 1e-12
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(SimulationError):
+            OpenMPModel(FAST, threads=2).parallel_for(np.array([-1.0]))
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(SimulationError):
+            OpenMPModel(FAST, threads=2).parallel_for(np.ones(3), schedule="guided2")
+
+    def test_rejects_heavy_oversubscription(self):
+        with pytest.raises(SimulationError):
+            OpenMPModel(FAST, threads=1000)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(SimulationError):
+            OpenMPModel(FAST, threads=0)
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(SimulationError):
+            OpenMPModel(FAST, threads=2).parallel_for(
+                np.ones(3), schedule="dynamic", chunk=0
+            )
+
+
+class TestStaticChunks:
+    def test_contiguous_assignment(self):
+        model = OpenMPModel(FAST, threads=3)
+        loads = model._static_loads(np.array([1.0, 1.0, 1.0, 1.0, 1.0]))
+        # chunks of ceil(5/3)=2: [2, 2, 1].
+        assert loads.tolist() == [2.0, 2.0, 1.0]
+
+    def test_sum_preserved(self):
+        costs = np.random.default_rng(1).random(97)
+        model = OpenMPModel(FAST, threads=8)
+        assert model._static_loads(costs).sum() == pytest.approx(costs.sum())
+
+
+class TestDynamicChunks:
+    def test_sum_preserved(self):
+        costs = np.random.default_rng(2).random(61)
+        model = OpenMPModel(FAST, threads=4)
+        assert model._dynamic_loads(costs, chunk=3).sum() == pytest.approx(costs.sum())
+
+    def test_greedy_is_balanced_on_uniform(self):
+        model = OpenMPModel(FAST, threads=4)
+        loads = model._dynamic_loads(np.full(64, 1.0), chunk=1)
+        assert loads.max() == pytest.approx(loads.min())

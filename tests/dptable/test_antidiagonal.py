@@ -1,0 +1,95 @@
+"""Unit tests for repro.dptable.antidiagonal (the wavefront of Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configs import enumerate_configurations
+from repro.dptable.antidiagonal import (
+    cell_levels,
+    cells_at_level,
+    is_topological_order,
+    level_sizes,
+    wavefront,
+)
+from repro.dptable.table import TableGeometry
+from repro.errors import DPError
+
+
+class TestCellLevels:
+    def test_levels_are_coordinate_sums(self):
+        g = TableGeometry((2, 3))
+        assert cell_levels(g).tolist() == [0, 1, 2, 1, 2, 3]
+
+    def test_fig1_example(self):
+        # Fig. 1: OPT(2,3) -> a 3x4 table, levels 0..5.
+        g = TableGeometry((3, 4))
+        levels = cell_levels(g)
+        assert levels.min() == 0 and levels.max() == 5
+
+
+class TestLevelSizes:
+    def test_sums_to_table_size(self):
+        g = TableGeometry((4, 5, 3))
+        assert level_sizes(g).sum() == g.size
+
+    def test_known_profile(self):
+        # 3x3: level sizes 1,2,3,2,1 (the diamond).
+        assert level_sizes(TableGeometry((3, 3))).tolist() == [1, 2, 3, 2, 1]
+
+    def test_symmetric_profile(self):
+        sizes = level_sizes(TableGeometry((4, 6, 3)))
+        assert sizes.tolist() == sizes.tolist()[::-1]
+
+    def test_peak_bounds_parallelism(self):
+        # The widest level is the max wavefront concurrency.
+        sizes = level_sizes(TableGeometry((6, 6, 6)))
+        assert sizes.max() == sizes[7]  # middle level of 0..15
+
+
+class TestCellsAtLevel:
+    def test_level_zero_is_origin(self):
+        g = TableGeometry((3, 3))
+        assert cells_at_level(g, 0).tolist() == [0]
+
+    def test_levels_partition_table(self):
+        g = TableGeometry((3, 2, 4))
+        seen = np.concatenate([cells_at_level(g, l) for l in range(g.max_level + 1)])
+        assert sorted(seen.tolist()) == list(range(g.size))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DPError):
+            cells_at_level(TableGeometry((2, 2)), 5)
+
+
+class TestWavefront:
+    def test_matches_cells_at_level(self):
+        g = TableGeometry((3, 4, 2))
+        for lvl, cells in enumerate(wavefront(g)):
+            assert cells.tolist() == cells_at_level(g, lvl).tolist()
+
+    def test_covers_all_cells_once(self):
+        g = TableGeometry((5, 3))
+        flat = np.concatenate(list(wavefront(g)))
+        assert sorted(flat.tolist()) == list(range(g.size))
+
+    def test_is_topological_for_any_configs(self):
+        g = TableGeometry((3, 3, 3))
+        configs = enumerate_configurations([2, 3, 4], [2, 2, 2], 9)
+        order = np.concatenate(list(wavefront(g)))
+        assert is_topological_order(g, order, configs)
+
+
+class TestIsTopologicalOrder:
+    def test_detects_violation(self):
+        g = TableGeometry((2, 2))
+        configs = np.array([[1, 0]], dtype=np.int64)
+        # Reverse order: cell (1,0) before (0,0) violates the dependency.
+        bad = np.array([2, 3, 0, 1])
+        assert not is_topological_order(g, bad, configs)
+
+    def test_flat_order_is_topological_for_positive_configs(self):
+        # Row-major order itself is topological (dependencies point to
+        # smaller indices when configs are non-negative, non-zero).
+        g = TableGeometry((3, 4))
+        configs = enumerate_configurations([2, 3], [2, 3], 12)
+        assert is_topological_order(g, np.arange(g.size), configs)

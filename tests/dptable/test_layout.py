@@ -1,0 +1,98 @@
+"""Unit tests for repro.dptable.layout (Algorithm 4's memory reorganization)."""
+
+import numpy as np
+import pytest
+
+from repro.dptable.layout import BlockedLayout
+from repro.dptable.partition import BlockPartition
+from repro.dptable.table import TableGeometry
+from repro.errors import PartitionError
+
+
+@pytest.fixture
+def layout():
+    return BlockedLayout(BlockPartition(TableGeometry((6, 6, 6)), (3, 3, 3)))
+
+
+class TestPermutation:
+    def test_is_bijection(self, layout):
+        fwd = layout.to_blocked
+        assert sorted(fwd.tolist()) == list(range(fwd.size))
+
+    def test_inverse_composes_to_identity(self, layout):
+        fwd, inv = layout.to_blocked, layout.to_rowmajor
+        assert np.array_equal(fwd[inv], np.arange(fwd.size))
+        assert np.array_equal(inv[fwd], np.arange(fwd.size))
+
+    def test_block_cells_contiguous(self, layout):
+        # Every block occupies one contiguous run in blocked storage —
+        # the property that makes warp loads coalesced.
+        part = layout.partition
+        for block in [(0, 0, 0), (1, 2, 0), (2, 2, 2)]:
+            cells = part.cells_of_block(block)
+            flats = np.ravel_multi_index(tuple(cells.T), part.geometry.shape)
+            offsets = np.sort(layout.to_blocked[flats])
+            assert offsets.tolist() == list(
+                range(int(offsets[0]), int(offsets[0]) + part.cells_per_block)
+            )
+
+    def test_block_slice_matches_offsets(self, layout):
+        part = layout.partition
+        block = (1, 0, 2)
+        sl = layout.block_slice(block)
+        cells = part.cells_of_block(block)
+        flats = np.ravel_multi_index(tuple(cells.T), part.geometry.shape)
+        assert sorted(layout.to_blocked[flats].tolist()) == list(
+            range(sl.start, sl.stop)
+        )
+
+    def test_inblock_order_is_row_major(self, layout):
+        # Within a block, cells are stored row-major by relative coords
+        # ("stored consecutively in row-major order", §III-C).
+        part = layout.partition
+        cells = part.cells_of_block((0, 1, 2))
+        flats = np.ravel_multi_index(tuple(cells.T), part.geometry.shape)
+        offsets = layout.to_blocked[flats]
+        assert offsets.tolist() == sorted(offsets.tolist())
+
+
+class TestReorganize:
+    def test_round_trip(self, layout):
+        table = np.arange(216).reshape(6, 6, 6)
+        assert np.array_equal(layout.restore(layout.reorganize(table)), table)
+
+    def test_blocked_offset_scalar(self, layout):
+        flat = layout.partition.geometry.ravel((2, 3, 1))
+        assert layout.blocked_offset((2, 3, 1)) == layout.to_blocked[flat]
+
+    def test_rejects_wrong_shape(self, layout):
+        with pytest.raises(PartitionError):
+            layout.reorganize(np.zeros((6, 6)))
+
+    def test_rejects_wrong_size_restore(self, layout):
+        with pytest.raises(PartitionError):
+            layout.restore(np.zeros(10))
+
+    def test_values_preserved(self, layout):
+        rng = np.random.default_rng(0)
+        table = rng.integers(0, 1000, size=(6, 6, 6))
+        blocked = layout.reorganize(table)
+        assert sorted(blocked.tolist()) == sorted(table.reshape(-1).tolist())
+
+
+class TestStridedSpan:
+    def test_origin_block_span(self, layout):
+        # Block (0,0,0) holds cells (0..1)^3; row-major span is
+        # 1*36 + 1*6 + 1 + 1 = 44 addresses for 8 cells.
+        assert layout.strided_span((0, 0, 0)) == 44
+
+    def test_span_shrinks_to_block_after_reorg(self, layout):
+        # After reorganization the same cells span exactly the block.
+        part = layout.partition
+        assert part.cells_per_block == 8
+        sl = layout.block_slice((0, 0, 0))
+        assert sl.stop - sl.start == 8
+
+    def test_rejects_bad_block(self, layout):
+        with pytest.raises(PartitionError):
+            layout.strided_span((3, 0, 0))

@@ -1,0 +1,168 @@
+"""Unit tests for repro.dptable.partition (Algorithm 4's scheme)."""
+
+import numpy as np
+import pytest
+
+from repro.dptable.partition import (
+    BlockPartition,
+    compute_divisor,
+    dimension_divisor,
+)
+from repro.dptable.table import TableGeometry
+from repro.errors import PartitionError
+
+
+class TestDimensionDivisor:
+    @pytest.mark.parametrize(
+        "extent,expected",
+        [(1, 1), (2, 1), (3, 1), (4, 2), (6, 2), (8, 2), (9, 3), (12, 3), (16, 4), (18, 3)],
+    )
+    def test_known_values(self, extent, expected):
+        assert dimension_divisor(extent) == expected
+
+    def test_divides_exactly(self):
+        for extent in range(1, 60):
+            div = dimension_divisor(extent)
+            assert extent % div == 0
+            assert div * div <= extent
+
+    def test_rejects_zero(self):
+        with pytest.raises(PartitionError):
+            dimension_divisor(0)
+
+
+class TestComputeDivisor:
+    def test_paper_table1_row5(self):
+        # Table I, 5 dims: shape (6,4,6,6,4).
+        assert compute_divisor((6, 4, 6, 6, 4), 3) == (2, 1, 2, 2, 1)
+        assert compute_divisor((6, 4, 6, 6, 4), 5) == (2, 2, 2, 2, 2)
+
+    def test_prime_extents_fully_split(self):
+        # Inferred from Tables I-VI: a cut prime dimension splits fully.
+        assert compute_divisor((5, 3, 7), 3) == (5, 3, 7)
+
+    def test_largest_extents_chosen(self):
+        assert compute_divisor((2, 9, 2, 8), 2) == (1, 3, 1, 2)
+
+    def test_tie_break_earlier_index(self):
+        assert compute_divisor((4, 4, 4), 2) == (2, 2, 1)
+
+    def test_dim_exceeding_ndim_cuts_everything(self):
+        assert compute_divisor((4, 6), 9) == (2, 2)
+
+    def test_extent_one_never_split(self):
+        assert compute_divisor((1, 4), 2) == (1, 2)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(PartitionError):
+            compute_divisor((4, 4), 0)
+
+    def test_divisor_always_valid_for_partition(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            shape = tuple(int(x) for x in rng.integers(2, 12, size=rng.integers(2, 7)))
+            for dim in (3, 5, 9):
+                divisor = compute_divisor(shape, dim)
+                BlockPartition(TableGeometry(shape), divisor)  # must not raise
+
+
+class TestBlockPartition:
+    @pytest.fixture
+    def fig2(self):
+        """The paper's Fig. 2: 6x6x6 under divisor (3,3,3)."""
+        return BlockPartition(TableGeometry((6, 6, 6)), (3, 3, 3))
+
+    def test_fig2_counts(self, fig2):
+        assert fig2.num_blocks == 27
+        assert fig2.block_shape == (2, 2, 2)
+        assert fig2.cells_per_block == 8
+        assert fig2.num_block_levels == 7
+        assert fig2.num_inblock_levels == 4
+
+    def test_block_of_cell(self, fig2):
+        assert fig2.block_of_cell((0, 0, 0)) == (0, 0, 0)
+        assert fig2.block_of_cell((5, 5, 5)) == (2, 2, 2)
+        assert fig2.block_of_cell((2, 3, 1)) == (1, 1, 0)
+
+    def test_inblock_coords(self, fig2):
+        assert fig2.inblock_coords((2, 3, 1)) == (0, 1, 1)
+
+    def test_block_index_formula(self, fig2):
+        # The paper's i*b*c + j*c + k indexing == our row-major ravel.
+        for block in [(0, 0, 0), (1, 2, 0), (2, 2, 2)]:
+            i, j, k = block
+            assert fig2.block_grid.ravel(block) == i * 9 + j * 3 + k
+
+    def test_cells_of_block_tile_table(self, fig2):
+        seen = set()
+        for level_blocks in fig2.iter_block_levels():
+            for block in level_blocks:
+                for cell in map(tuple, fig2.cells_of_block(block).tolist()):
+                    assert cell not in seen
+                    seen.add(cell)
+        assert len(seen) == 216
+
+    def test_blocks_at_level_sizes(self, fig2):
+        # Block-level sizes of a 3x3x3 grid: 1,3,6,7,6,3,1.
+        sizes = [len(b) for b in fig2.iter_block_levels()]
+        assert sizes == [1, 3, 6, 7, 6, 3, 1]
+
+    def test_dependency_safety(self, fig2):
+        # A cell's predecessor lives in the same block or a strictly
+        # lower block-level — the invariant that makes the blocked
+        # schedule race-free (§III-C).
+        rng = np.random.default_rng(0)
+        cells = fig2.geometry.all_cells()
+        for _ in range(10):
+            cfg = rng.integers(0, 3, size=3)
+            if not cfg.any():
+                continue
+            prev = cells - cfg
+            ok = (prev >= 0).all(axis=1)
+            here = cells[ok]
+            there = prev[ok]
+            bs = np.asarray(fig2.block_shape)
+            same_block = (here // bs == there // bs).all(axis=1)
+            lower_level = (there // bs).sum(axis=1) < (here // bs).sum(axis=1)
+            assert (same_block | lower_level).all()
+
+    def test_vectorized_maps_match_scalar(self, fig2):
+        g = fig2.geometry
+        for flat in [0, 7, 100, 215]:
+            cell = g.unravel(flat)
+            assert fig2.cell_block_ids[flat] == fig2.block_grid.ravel(
+                fig2.block_of_cell(cell)
+            )
+            assert fig2.cell_block_levels[flat] == fig2.block_level_of_cell(cell)
+            assert fig2.cell_inblock_levels[flat] == sum(fig2.inblock_coords(cell))
+
+    def test_stream_assignment_cyclic(self, fig2):
+        streams = fig2.stream_assignment(4)
+        level2 = fig2.blocks_at_level(2)
+        assert [streams[b] for b in level2] == [0, 1, 2, 3, 0, 1]
+
+    def test_stream_assignment_rejects_zero(self, fig2):
+        with pytest.raises(PartitionError):
+            fig2.stream_assignment(0)
+
+    def test_trivial_divisor(self):
+        p = BlockPartition(TableGeometry((4, 4)), (1, 1))
+        assert p.num_blocks == 1
+        assert p.cells_per_block == 16
+        assert p.num_inblock_levels == 7
+
+    def test_rejects_non_dividing_divisor(self):
+        with pytest.raises(PartitionError):
+            BlockPartition(TableGeometry((6, 6)), (4, 2))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(PartitionError):
+            BlockPartition(TableGeometry((6, 6)), (2,))
+
+    def test_rejects_cell_out_of_bounds(self, fig2):
+        with pytest.raises(PartitionError):
+            fig2.block_of_cell((6, 0, 0))
+
+    def test_from_counts(self):
+        p = BlockPartition.from_counts((5, 3, 5), dim=3)
+        assert p.geometry.shape == (6, 4, 6)

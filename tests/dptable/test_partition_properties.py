@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for the partitioning machinery.
+
+Invariants under arbitrary shapes and divisors:
+
+* the blocked layout is always a bijection with contiguous blocks;
+* blocks tile the table exactly;
+* the (block-level, in-block-level) order is a topological order of
+  the DP dependency DAG for any configuration set;
+* Algorithm 4's divisor always divides the shape it was computed for.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.configs import enumerate_configurations
+from repro.dptable.antidiagonal import is_topological_order
+from repro.dptable.layout import BlockedLayout
+from repro.dptable.partition import BlockPartition, compute_divisor
+from repro.dptable.table import TableGeometry
+
+shapes = st.lists(st.integers(1, 8), min_size=1, max_size=4).map(tuple)
+dims = st.integers(1, 9)
+
+COMMON = dict(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=50
+)
+
+
+def partition_for(shape, dim):
+    return BlockPartition(TableGeometry(shape), compute_divisor(shape, dim))
+
+
+@settings(**COMMON)
+@given(shape=shapes, dim=dims)
+def test_divisor_divides_shape(shape, dim):
+    divisor = compute_divisor(shape, dim)
+    assert len(divisor) == len(shape)
+    for extent, a in zip(shape, divisor):
+        assert a >= 1 and extent % a == 0
+
+
+@settings(**COMMON)
+@given(shape=shapes, dim=dims)
+def test_at_most_dim_dimensions_cut(shape, dim):
+    divisor = compute_divisor(shape, dim)
+    assert sum(1 for a in divisor if a > 1) <= dim
+
+
+@settings(**COMMON)
+@given(shape=shapes, dim=dims)
+def test_layout_bijection(shape, dim):
+    layout = BlockedLayout(partition_for(shape, dim))
+    fwd = layout.to_blocked
+    assert sorted(fwd.tolist()) == list(range(fwd.size))
+    table = np.arange(fwd.size).reshape(shape)
+    assert np.array_equal(layout.restore(layout.reorganize(table)), table)
+
+
+@settings(**COMMON)
+@given(shape=shapes, dim=dims)
+def test_blocks_tile_table(shape, dim):
+    part = partition_for(shape, dim)
+    total = 0
+    for level_blocks in part.iter_block_levels():
+        for block in level_blocks:
+            total += part.cells_of_block(block).shape[0]
+    assert total == part.geometry.size
+    assert part.num_blocks * part.cells_per_block == part.geometry.size
+
+
+@settings(**COMMON)
+@given(
+    shape=st.lists(st.integers(2, 6), min_size=1, max_size=3).map(tuple),
+    dim=dims,
+    data=st.data(),
+)
+def test_blocked_order_is_topological(shape, dim, data):
+    part = partition_for(shape, dim)
+    d = len(shape)
+    sizes = data.draw(st.lists(st.integers(1, 6), min_size=d, max_size=d))
+    target = data.draw(st.integers(1, 20))
+    configs = enumerate_configurations(sizes, [s - 1 for s in shape], target)
+    if configs.shape[0] == 0:
+        return
+    # The partitioned engine's execution order: block-levels ascending,
+    # in-block levels ascending inside each block-level.
+    key = part.cell_block_levels * (part.num_inblock_levels + 1) + part.cell_inblock_levels
+    order = np.argsort(key, kind="stable")
+    assert is_topological_order(part.geometry, order, configs)
+
+
+@settings(**COMMON)
+@given(shape=shapes, dim=dims)
+def test_inblock_levels_bound(shape, dim):
+    part = partition_for(shape, dim)
+    assert part.num_inblock_levels == sum(b - 1 for b in part.block_shape) + 1
+    assert 1 <= part.num_inblock_levels <= part.cells_per_block

@@ -1,0 +1,79 @@
+"""Unit tests for repro.dptable.table."""
+
+import numpy as np
+import pytest
+
+from repro.dptable.table import TableGeometry
+from repro.errors import DPError
+
+
+class TestTableGeometry:
+    def test_size_and_ndim(self):
+        g = TableGeometry((3, 4, 2))
+        assert g.size == 24 and g.ndim == 3
+
+    def test_strides_row_major(self):
+        g = TableGeometry((3, 4, 2))
+        assert g.strides == (8, 2, 1)
+
+    def test_strides_match_numpy(self):
+        g = TableGeometry((5, 2, 7, 3))
+        arr = np.zeros(g.shape, dtype=np.int64)
+        assert g.strides == tuple(s // 8 for s in arr.strides)
+
+    def test_ravel_unravel_round_trip(self):
+        g = TableGeometry((3, 4, 2))
+        for flat in range(g.size):
+            assert g.ravel(g.unravel(flat)) == flat
+
+    def test_ravel_matches_numpy(self):
+        g = TableGeometry((4, 3, 5))
+        for cell in [(0, 0, 0), (3, 2, 4), (1, 0, 3)]:
+            assert g.ravel(cell) == np.ravel_multi_index(cell, g.shape)
+
+    def test_ravel_bounds_checked(self):
+        g = TableGeometry((3, 3))
+        with pytest.raises(DPError):
+            g.ravel((3, 0))
+        with pytest.raises(DPError):
+            g.ravel((0, -1))
+        with pytest.raises(DPError):
+            g.ravel((0, 0, 0))
+
+    def test_unravel_bounds_checked(self):
+        g = TableGeometry((3, 3))
+        with pytest.raises(DPError):
+            g.unravel(9)
+        with pytest.raises(DPError):
+            g.unravel(-1)
+
+    def test_all_cells_order_and_shape(self):
+        g = TableGeometry((2, 3))
+        cells = g.all_cells()
+        assert cells.shape == (6, 2)
+        assert cells.tolist() == [[0, 0], [0, 1], [0, 2], [1, 0], [1, 1], [1, 2]]
+
+    def test_iter_cells_matches_all_cells(self):
+        g = TableGeometry((2, 2, 2))
+        assert list(g.iter_cells()) == [tuple(c) for c in g.all_cells().tolist()]
+
+    def test_max_level(self):
+        assert TableGeometry((3, 4, 2)).max_level == 2 + 3 + 1
+
+    def test_contains(self):
+        g = TableGeometry((2, 2))
+        assert g.contains((1, 1))
+        assert not g.contains((2, 0))
+        assert not g.contains((0,))
+
+    def test_from_counts(self):
+        g = TableGeometry.from_counts((2, 0, 5))
+        assert g.shape == (3, 1, 6)
+
+    def test_rejects_zero_extent(self):
+        with pytest.raises(DPError):
+            TableGeometry((3, 0))
+
+    def test_scalar_table(self):
+        g = TableGeometry((1,))
+        assert g.size == 1 and g.max_level == 0

@@ -1,0 +1,75 @@
+"""Tests for the ASCII table/partition visualiser."""
+
+import pytest
+
+from repro.dptable.partition import BlockPartition
+from repro.dptable.table import TableGeometry
+from repro.dptable.visualize import render_levels, render_partition, render_stream_map
+from repro.errors import PartitionError
+
+
+class TestRenderLevels:
+    def test_small_grid(self):
+        text = render_levels(TableGeometry((3, 4)))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].split() == ["0", "1", "2", "3"]
+        assert lines[2].split() == ["2", "3", "4", "5"]
+
+    def test_wide_labels_aligned(self):
+        text = render_levels(TableGeometry((8, 8)))
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(PartitionError):
+            render_levels(TableGeometry((2, 2, 2)))
+
+
+class TestRenderPartition:
+    @pytest.fixture
+    def partition(self):
+        return BlockPartition(TableGeometry((6, 6)), (3, 3))
+
+    def test_block_levels_shown(self, partition):
+        text = render_partition(partition)
+        # Top-left block is level 0, bottom-right is level 4.
+        rows = [l for l in text.splitlines() if not set(l) <= {"-"}]
+        assert rows[0].split("|")[0].split() == ["0", "0"]
+        assert rows[-1].split("|")[-1].split() == ["4", "4"]
+
+    def test_separators_present(self, partition):
+        text = render_partition(partition)
+        assert "|" in text
+        assert any(set(l) <= {"-"} and l for l in text.splitlines())
+
+    def test_cell_rows_match_table(self, partition):
+        rows = [l for l in render_partition(partition).splitlines() if "|" in l or l.split()]
+        cell_rows = [l for l in rows if not set(l) <= {"-"}]
+        assert len(cell_rows) == 6
+
+    def test_trivial_partition_no_separators(self):
+        part = BlockPartition(TableGeometry((4, 4)), (1, 1))
+        text = render_partition(part)
+        assert "|" not in text
+
+    def test_rejects_non_2d(self):
+        part = BlockPartition(TableGeometry((4, 4, 4)), (2, 2, 2))
+        with pytest.raises(PartitionError):
+            render_partition(part)
+
+
+class TestRenderStreamMap:
+    def test_streams_within_range(self):
+        part = BlockPartition(TableGeometry((6, 6)), (3, 3))
+        text = render_stream_map(part, num_streams=4)
+        digits = {c for c in text if c.isdigit()}
+        assert digits <= {"0", "1", "2", "3"}
+
+    def test_cyclic_within_level(self):
+        part = BlockPartition(TableGeometry((8, 8)), (4, 4))
+        text = render_stream_map(part, num_streams=2)
+        # Level-1 blocks (0,1) and (1,0) get streams 0 and 1.
+        rows = [l for l in text.splitlines() if not set(l) <= {"-"}]
+        assert rows[0].split("|")[1].strip().split()[0] == "0"
+        assert rows[-1].split("|")[0].strip().split()[0] == "1"

@@ -1,0 +1,85 @@
+"""Unit tests for repro.engines.base (the shared group-fill kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configs import enumerate_configurations
+from repro.core.dp_reference import dp_reference
+from repro.dptable.antidiagonal import wavefront
+from repro.dptable.table import TableGeometry
+from repro.engines.base import EngineRun, degenerate_run, fill_by_groups
+from repro.errors import DPError
+
+
+@pytest.fixture
+def setup():
+    counts, sizes, target = [3, 2, 2], [3, 5, 7], 14
+    geometry = TableGeometry.from_counts(counts)
+    configs = enumerate_configurations(sizes, counts, target)
+    oracle = dp_reference(counts, sizes, target, configs).table
+    return geometry, configs, oracle
+
+
+class TestFillByGroups:
+    def test_wavefront_matches_oracle(self, setup):
+        geometry, configs, oracle = setup
+        table = fill_by_groups(geometry, configs, wavefront(geometry))
+        assert np.array_equal(table.reshape(geometry.shape), oracle)
+
+    def test_flat_order_matches_oracle(self, setup):
+        # Row-major order is also topological; one group per cell.
+        geometry, configs, oracle = setup
+        groups = [np.array([i]) for i in range(geometry.size)]
+        table = fill_by_groups(geometry, configs, groups)
+        assert np.array_equal(table.reshape(geometry.shape), oracle)
+
+    def test_single_group_whole_table_rejected(self, setup):
+        # All cells at once violates dependencies (cells read peers).
+        geometry, configs, _ = setup
+        with pytest.raises(DPError, match="dependency"):
+            fill_by_groups(geometry, configs, [np.arange(geometry.size)])
+
+    def test_reversed_order_rejected(self, setup):
+        geometry, configs, _ = setup
+        groups = [np.array([i]) for i in range(geometry.size - 1, -1, -1)]
+        with pytest.raises(DPError, match="dependency"):
+            fill_by_groups(geometry, configs, groups)
+
+    def test_incomplete_coverage_rejected(self, setup):
+        geometry, configs, _ = setup
+        with pytest.raises(DPError, match="tile"):
+            fill_by_groups(geometry, configs, [np.array([0, 1])])
+
+    def test_empty_groups_skipped(self, setup):
+        geometry, configs, oracle = setup
+        groups = []
+        for g in wavefront(geometry):
+            groups.append(np.array([], dtype=np.int64))
+            groups.append(g)
+        table = fill_by_groups(geometry, configs, groups)
+        assert np.array_equal(table.reshape(geometry.shape), oracle)
+
+    def test_no_configs(self):
+        geometry = TableGeometry((3,))
+        empty = np.zeros((0, 1), dtype=np.int64)
+        table = fill_by_groups(geometry, empty, wavefront(geometry))
+        assert table[0] == 0 and (table[1:] > 1 << 40).all()
+
+
+class TestEngineRun:
+    def test_table_size(self, setup):
+        geometry, configs, oracle = setup
+        from repro.core.dp_common import DPResult
+
+        run = EngineRun(
+            engine="x",
+            dp_result=DPResult(table=oracle, configs=configs),
+            simulated_s=1.0,
+        )
+        assert run.table_size == geometry.size
+
+    def test_degenerate_run(self):
+        run = degenerate_run("test")
+        assert run.simulated_s == 0.0
+        assert run.dp_result.opt == 0
+        assert run.table_size == 1

@@ -1,0 +1,166 @@
+"""Tests for the multidimensional knapsack extension (future work §V)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DPError, InvalidInstanceError
+from repro.extensions.knapsack import (
+    KnapsackGpuEngine,
+    KnapsackInstance,
+    knapsack_dp,
+    knapsack_exact_bruteforce,
+    knapsack_greedy,
+    random_knapsack,
+)
+
+
+class TestInstance:
+    def test_basic_properties(self):
+        inst = KnapsackInstance(
+            weights=((1, 2), (3, 0)), values=(10, 5), capacity=(4, 4)
+        )
+        assert inst.n_items == 2 and inst.dims == 2
+        assert inst.table_shape == (5, 5)
+        assert inst.table_size == 25
+
+    def test_rejects_arity_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            KnapsackInstance(weights=((1,),), values=(1,), capacity=(3, 3))
+
+    def test_rejects_value_count_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            KnapsackInstance(weights=((1, 1),), values=(1, 2), capacity=(3, 3))
+
+    def test_rejects_nonpositive_value(self):
+        with pytest.raises(InvalidInstanceError):
+            KnapsackInstance(weights=((1, 1),), values=(0,), capacity=(3, 3))
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(InvalidInstanceError):
+            KnapsackInstance(weights=((-1, 1),), values=(1,), capacity=(3, 3))
+
+    def test_random_generator_no_zero_rows(self):
+        inst = random_knapsack(50, capacity=(5, 5, 5), seed=0)
+        assert all(any(row) for row in inst.weights)
+
+
+class TestKnapsackDP:
+    def test_single_item(self):
+        inst = KnapsackInstance(weights=((2, 1),), values=(7,), capacity=(3, 3))
+        table = knapsack_dp(inst)
+        assert table[3, 3] == 7
+        assert table[1, 3] == 0  # too narrow in dim 0
+
+    def test_zero_one_semantics(self):
+        # One item must not be taken twice even if it fits twice.
+        inst = KnapsackInstance(weights=((1,),), values=(5,), capacity=(10,))
+        assert knapsack_dp(inst)[10] == 5
+
+    def test_matches_bruteforce_randomized(self):
+        for seed in range(10):
+            inst = random_knapsack(9, capacity=(6, 5, 4), seed=seed)
+            dp = int(knapsack_dp(inst)[tuple(inst.capacity)])
+            assert dp == knapsack_exact_bruteforce(inst), seed
+
+    def test_monotone_in_capacity(self):
+        inst = random_knapsack(10, capacity=(6, 6), seed=3)
+        table = knapsack_dp(inst)
+        assert (np.diff(table, axis=0) >= 0).all()
+        assert (np.diff(table, axis=1) >= 0).all()
+
+    def test_zero_capacity_axis(self):
+        inst = KnapsackInstance(
+            weights=((1, 0), (0, 1)), values=(3, 4), capacity=(0, 2)
+        )
+        table = knapsack_dp(inst)
+        assert table[0, 2] == 4  # only the dim-0-free item fits
+
+    def test_greedy_never_beats_dp(self):
+        for seed in range(10):
+            inst = random_knapsack(14, capacity=(8, 8), seed=100 + seed)
+            assert knapsack_greedy(inst) <= int(knapsack_dp(inst)[tuple(inst.capacity)])
+
+    def test_greedy_strictly_loses_sometimes(self):
+        losses = 0
+        for seed in range(20):
+            inst = random_knapsack(12, capacity=(7, 7), seed=seed)
+            if knapsack_greedy(inst) < int(knapsack_dp(inst)[tuple(inst.capacity)]):
+                losses += 1
+        assert losses >= 3
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=25)
+@given(
+    n=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+    cap=st.lists(st.integers(1, 6), min_size=1, max_size=3),
+)
+def test_dp_equals_bruteforce_property(n, seed, cap):
+    inst = random_knapsack(n, capacity=tuple(cap), max_weight=4, seed=seed)
+    dp = int(knapsack_dp(inst)[tuple(inst.capacity)])
+    assert dp == knapsack_exact_bruteforce(inst)
+
+
+class TestKnapsackGpuEngine:
+    def test_values_match_plain_dp(self):
+        inst = random_knapsack(10, capacity=(9, 9, 9), seed=5)
+        run = KnapsackGpuEngine(dim=3).run(inst)
+        assert np.array_equal(run.table, knapsack_dp(inst))
+
+    def test_simulated_time_positive_and_deterministic(self):
+        inst = random_knapsack(8, capacity=(9, 9), seed=6)
+        a = KnapsackGpuEngine(dim=2).run(inst)
+        b = KnapsackGpuEngine(dim=2).run(inst)
+        assert a.simulated_s == b.simulated_s > 0
+
+    def test_metrics_report_partition(self):
+        inst = random_knapsack(6, capacity=(9, 9), seed=7)
+        run = KnapsackGpuEngine(dim=2).run(inst)
+        assert run.metrics["num_blocks"] >= 1
+        assert run.metrics["kernels_launched"] >= inst.n_items
+
+    def test_more_items_cost_more(self):
+        small = KnapsackGpuEngine(dim=2).run(random_knapsack(5, (9, 9), seed=8))
+        big = KnapsackGpuEngine(dim=2).run(random_knapsack(25, (9, 9), seed=8))
+        assert big.simulated_s > small.simulated_s
+
+
+class TestBruteforceGuard:
+    def test_rejects_large_n(self):
+        inst = random_knapsack(23, capacity=(3,), seed=0)
+        with pytest.raises(DPError):
+            knapsack_exact_bruteforce(inst)
+
+
+class TestKnapsackItems:
+    def test_items_achieve_optimal_value(self):
+        from repro.extensions.knapsack import knapsack_items
+
+        for seed in range(10):
+            inst = random_knapsack(10, capacity=(7, 6, 5), seed=seed)
+            items = knapsack_items(inst)
+            value = sum(inst.values[i] for i in items)
+            assert value == int(knapsack_dp(inst)[tuple(inst.capacity)]), seed
+
+    def test_items_respect_capacity(self):
+        from repro.extensions.knapsack import knapsack_items
+
+        inst = random_knapsack(12, capacity=(8, 8), seed=3)
+        items = knapsack_items(inst)
+        total = np.sum([inst.weights[i] for i in items], axis=0)
+        assert (total <= np.asarray(inst.capacity)).all()
+
+    def test_items_unique_and_sorted(self):
+        from repro.extensions.knapsack import knapsack_items
+
+        inst = random_knapsack(12, capacity=(8, 8), seed=4)
+        items = knapsack_items(inst)
+        assert list(items) == sorted(set(items))
+
+    def test_empty_when_nothing_fits(self):
+        from repro.extensions.knapsack import knapsack_items
+
+        inst = KnapsackInstance(weights=((9, 9),), values=(5,), capacity=(3, 3))
+        assert knapsack_items(inst) == ()

@@ -1,0 +1,127 @@
+"""Tests for the block-residency analysis (future work §V)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configs import enumerate_configurations
+from repro.dptable.partition import BlockPartition
+from repro.dptable.table import TableGeometry
+from repro.errors import PartitionError
+from repro.extensions.residency import BlockResidency
+
+
+def make(shape, divisor, sizes, target):
+    geometry = TableGeometry(shape)
+    partition = BlockPartition(geometry, divisor)
+    configs = enumerate_configurations(sizes, [s - 1 for s in shape], target)
+    return partition, BlockResidency(partition, configs)
+
+
+class TestDependencySpan:
+    def test_span_formula(self):
+        # Max config offset 3 over block extent 2 -> ceil(3/2) = 2.
+        partition, res = make((8, 8), (4, 4), sizes=[2, 5], target=6)
+        max_offset = res.configs.max(axis=0)
+        expected = tuple(-(-int(o) // b) for o, b in zip(max_offset, partition.block_shape))
+        assert res.dependency_span == expected
+
+    def test_no_configs_zero_span(self):
+        partition, res = make((4, 4), (2, 2), sizes=[50, 60], target=10)
+        assert res.configs.shape[0] == 0
+        assert res.dependency_span == (0, 0)
+
+    def test_span_covers_all_dependencies(self):
+        partition, res = make((9, 9, 9), (3, 3, 3), sizes=[3, 4, 5], target=9)
+        cells = partition.geometry.all_cells()
+        bs = np.asarray(partition.block_shape)
+        span = np.asarray(res.dependency_span)
+        for cfg in res.configs:
+            prev = cells - cfg
+            ok = (prev >= 0).all(axis=1)
+            jump = cells[ok] // bs - prev[ok] // bs
+            assert (jump <= span).all()
+
+
+class TestBlocksNeededBy:
+    def test_includes_self(self):
+        _, res = make((8, 8), (4, 4), sizes=[2, 3], target=5)
+        assert (2, 2) in res.blocks_needed_by((2, 2))
+
+    def test_origin_needs_only_itself(self):
+        _, res = make((8, 8), (4, 4), sizes=[2, 3], target=5)
+        assert res.blocks_needed_by((0, 0)) == {(0, 0)}
+
+    def test_clipped_at_grid_edge(self):
+        _, res = make((8, 8), (4, 4), sizes=[2, 3], target=5)
+        needed = res.blocks_needed_by((1, 0))
+        assert all(b[1] == 0 for b in needed)
+
+    def test_rejects_bad_block(self):
+        _, res = make((8, 8), (4, 4), sizes=[2, 3], target=5)
+        with pytest.raises(PartitionError):
+            res.blocks_needed_by((4, 0))
+
+
+class TestPlan:
+    @pytest.fixture
+    def analysis(self):
+        # A fine 4x4x4 grid with short-range configs: real savings.
+        return make((12, 12, 12), (4, 4, 4), sizes=[4, 5, 6], target=12)
+
+    def test_every_block_executed_once(self, analysis):
+        partition, res = analysis
+        executed = []
+        for step in res.plan():
+            executed.extend(step.execute)
+        assert len(executed) == partition.num_blocks
+        assert len(set(executed)) == partition.num_blocks
+
+    def test_dependencies_resident_at_execution(self, analysis):
+        _, res = analysis
+        for step in res.plan():
+            resident = set(step.resident)
+            for block in step.execute:
+                assert res.blocks_needed_by(block) <= resident
+
+    def test_loads_and_evictions_consistent(self, analysis):
+        _, res = analysis
+        on_device: set = set()
+        for step in res.plan():
+            assert not (set(step.load) & on_device), "re-loading a resident block"
+            on_device |= set(step.load)
+            assert set(step.resident) == on_device
+            on_device -= set(step.evict)
+
+    def test_evicted_blocks_never_needed_again(self, analysis):
+        _, res = analysis
+        steps = list(res.plan())
+        for i, step in enumerate(steps):
+            gone = set(step.evict)
+            for later in steps[i + 1 :]:
+                for block in later.execute:
+                    assert not (res.blocks_needed_by(block) & gone)
+
+
+class TestHeadlineNumbers:
+    def test_savings_on_fine_grid(self):
+        _, res = make((12, 12, 12), (4, 4, 4), sizes=[4, 5, 6], target=12)
+        assert 0.0 < res.savings_ratio() < 1.0
+        assert res.peak_resident_bytes() < res.full_table_bytes()
+
+    def test_no_savings_on_trivial_partition(self):
+        _, res = make((6, 6), (1, 1), sizes=[2, 3], target=5)
+        assert res.peak_resident_blocks == 1
+        assert res.savings_ratio() == pytest.approx(0.0)
+
+    def test_peak_at_least_span_neighbourhood(self):
+        partition, res = make((12, 12), (4, 4), sizes=[3, 4], target=8)
+        assert res.peak_resident_blocks >= max(len(b) for b in partition.iter_block_levels())
+
+    def test_bytes_scale_with_element_size(self):
+        _, res = make((8, 8), (4, 4), sizes=[2, 3], target=5)
+        assert res.peak_resident_bytes(16) == 2 * res.peak_resident_bytes(8)
+
+    def test_rejects_bad_configs_arity(self):
+        partition = BlockPartition(TableGeometry((8, 8)), (4, 4))
+        with pytest.raises(PartitionError):
+            BlockResidency(partition, np.zeros((2, 3), dtype=np.int64))

@@ -1,0 +1,190 @@
+"""Tests for the discrete-event GPU engine: streams, Hyper-Q, slots, memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.engine import GpuSimulator
+from repro.gpusim.kernel import KernelSpec
+from repro.gpusim.memory import AccessPattern
+from repro.gpusim.spec import DeviceSpec
+
+# A small deterministic device so arithmetic is hand-checkable.
+SMALL = DeviceSpec(
+    name="small",
+    num_sms=2,
+    cores_per_sm=64,  # 4 warp slots
+    clock_hz=1e9,
+    max_concurrent_kernels=3,
+    kernel_launch_overhead_s=1e-6,
+    dynamic_launch_overhead_s=1e-7,
+    dynamic_sync_overhead_s=0.0,
+    cycles_per_op=1.0,
+)
+
+
+def kernel(n_threads=32, per_thread=1e-3, **kw):
+    return KernelSpec("k", thread_times=np.full(n_threads, per_thread), **kw)
+
+
+class TestBasicExecution:
+    def test_single_kernel_duration(self):
+        sim = GpuSimulator(SMALL)
+        sim.launch(kernel(n_threads=32, per_thread=2e-3))
+        elapsed = sim.synchronize()
+        # One warp: launch 1us + warp max 2ms.
+        assert elapsed == pytest.approx(1e-6 + 2e-3)
+
+    def test_work_spread_over_slots(self):
+        sim = GpuSimulator(SMALL)
+        # 8 warps of 1ms over 4 slots -> 2ms compute.
+        sim.launch(kernel(n_threads=256, per_thread=1e-3))
+        assert sim.synchronize() == pytest.approx(1e-6 + 2e-3)
+
+    def test_longest_warp_floors_duration(self):
+        sim = GpuSimulator(SMALL)
+        times = np.full(128, 1e-4)
+        times[0] = 5e-3  # one straggler warp
+        sim.launch(KernelSpec("k", thread_times=times))
+        assert sim.synchronize() >= 5e-3
+
+    def test_empty_kernel_costs_launch_overhead(self):
+        sim = GpuSimulator(SMALL)
+        sim.launch(KernelSpec("k", thread_times=np.array([])))
+        assert sim.synchronize() == pytest.approx(1e-6)
+
+    def test_time_monotone(self):
+        sim = GpuSimulator(SMALL)
+        sim.launch(kernel())
+        t1 = sim.synchronize()
+        sim.launch(kernel())
+        assert sim.synchronize() > t1
+
+
+class TestStreams:
+    def test_same_stream_serializes(self):
+        sim = GpuSimulator(SMALL)
+        sim.launch(kernel(n_threads=32, per_thread=1e-3), stream=0)
+        sim.launch(kernel(n_threads=32, per_thread=1e-3), stream=0)
+        assert sim.synchronize() == pytest.approx(2 * (1e-6 + 1e-3))
+
+    def test_different_streams_overlap(self):
+        sim = GpuSimulator(SMALL)
+        sim.launch(kernel(n_threads=32, per_thread=1e-3), stream=0)
+        sim.launch(kernel(n_threads=32, per_thread=1e-3), stream=1)
+        # Two 1-warp kernels on a 4-slot device run fully concurrent.
+        assert sim.synchronize() == pytest.approx(1e-6 + 1e-3)
+
+    def test_synchronize_resets_streams(self):
+        sim = GpuSimulator(SMALL)
+        sim.launch(kernel(), stream=0)
+        t = sim.synchronize()
+        sim.launch(kernel(), stream=1)
+        # Stream 1 starts at the barrier, not at zero.
+        assert sim.synchronize() > t
+
+
+class TestHyperQ:
+    def test_concurrency_cap(self):
+        sim = GpuSimulator(SMALL)  # max 3 concurrent kernels
+        for s in range(4):
+            sim.launch(kernel(n_threads=1, per_thread=1e-3), stream=s)
+        # Kernel 4 must wait for a slot: ~2 kernel durations.
+        assert sim.synchronize() >= 2e-3
+
+    def test_under_cap_fully_concurrent(self):
+        sim = GpuSimulator(SMALL)
+        for s in range(3):
+            sim.launch(kernel(n_threads=1, per_thread=1e-3), stream=s)
+        assert sim.synchronize() == pytest.approx(1e-6 + 1e-3)
+
+
+class TestSlotContention:
+    def test_big_kernel_starves_slots(self):
+        sim = GpuSimulator(SMALL)
+        # Kernel A wants all 4 slots; B must still get >= 1 (shrunk grant).
+        sim.launch(kernel(n_threads=4 * 32, per_thread=1e-3), stream=0)
+        sim.launch(kernel(n_threads=4 * 32, per_thread=1e-3), stream=1)
+        elapsed = sim.synchronize()
+        # Worst case full serialization; best case 2x slowdown of one.
+        assert 1e-3 < elapsed <= 2 * (1e-6 + 4e-3)
+
+
+class TestDynamicParallelism:
+    def test_children_add_time(self):
+        sim_plain = GpuSimulator(SMALL)
+        sim_plain.launch(kernel())
+        plain = sim_plain.synchronize()
+
+        sim_dyn = GpuSimulator(SMALL)
+        sim_dyn.launch(kernel(dynamic_children=100))
+        assert sim_dyn.synchronize() > plain
+
+    def test_children_counted(self):
+        sim = GpuSimulator(SMALL)
+        sim.launch(kernel(dynamic_children=7))
+        sim.synchronize()
+        assert sim.metrics.dynamic_kernels_launched == 7
+
+
+class TestMemorySystem:
+    def test_strided_kernel_slower(self):
+        a = GpuSimulator(SMALL)
+        a.launch(kernel(mem_elements=1_000_000, mem_pattern=AccessPattern.COALESCED))
+        b = GpuSimulator(SMALL)
+        b.launch(kernel(mem_elements=1_000_000, mem_pattern=AccessPattern.STRIDED))
+        assert b.synchronize() > a.synchronize()
+
+    def test_oom_raises(self):
+        sim = GpuSimulator(SMALL)
+        with pytest.raises(SimulationError, match="memory"):
+            sim.launch(kernel(mem_footprint_bytes=SMALL.global_mem_bytes + 1))
+
+    def test_oom_check_disabled(self):
+        sim = GpuSimulator(SMALL, check_memory=False)
+        sim.launch(kernel(mem_footprint_bytes=SMALL.global_mem_bytes + 1))
+        assert sim.synchronize() > 0
+
+    def test_concurrent_footprints_accumulate(self):
+        sim = GpuSimulator(SMALL)
+        half = SMALL.global_mem_bytes // 2 + 1
+        sim.launch(kernel(per_thread=1.0, mem_footprint_bytes=half), stream=0)
+        with pytest.raises(SimulationError):
+            sim.launch(kernel(per_thread=1.0, mem_footprint_bytes=half), stream=1)
+
+    def test_sequential_footprints_fine(self):
+        sim = GpuSimulator(SMALL)
+        half = SMALL.global_mem_bytes // 2 + 1
+        sim.launch(kernel(mem_footprint_bytes=half), stream=0)
+        sim.synchronize()
+        sim.launch(kernel(mem_footprint_bytes=half), stream=0)  # no raise
+        sim.synchronize()
+
+
+class TestMetrics:
+    def test_counters(self):
+        sim = GpuSimulator(SMALL)
+        sim.launch(kernel(n_threads=64, per_thread=1e-3))
+        sim.synchronize()
+        m = sim.metrics
+        assert m.kernels_launched == 1
+        assert m.warp_seconds_paid == pytest.approx(2e-3)
+        assert m.thread_seconds_useful == pytest.approx(64e-3)
+        assert 0.0 < m.utilization <= 1.0
+
+    def test_divergence_metric(self):
+        sim = GpuSimulator(SMALL)
+        times = np.zeros(32)
+        times[0] = 1e-3
+        sim.launch(KernelSpec("k", thread_times=times))
+        sim.synchronize()
+        assert sim.metrics.divergence_overhead == pytest.approx(32.0)
+
+    def test_determinism(self):
+        def run():
+            sim = GpuSimulator(SMALL)
+            for s in range(5):
+                sim.launch(kernel(n_threads=50 + s, per_thread=1e-4), stream=s % 2)
+            return sim.synchronize()
+
+        assert run() == run()

@@ -1,0 +1,122 @@
+"""Property-based tests for the GPU discrete-event engine.
+
+Invariants that must hold for *any* sequence of kernel launches
+(DESIGN.md obligation 9): time monotonicity, work conservation
+(busy warp-time never exceeds slots x elapsed), stream FIFO order,
+Hyper-Q concurrency cap, and determinism.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.engine import GpuSimulator
+from repro.gpusim.kernel import KernelSpec
+from repro.gpusim.spec import DeviceSpec
+
+DEVICE = DeviceSpec(
+    name="prop-test",
+    num_sms=2,
+    cores_per_sm=64,  # 4 warp slots
+    clock_hz=1e9,
+    max_concurrent_kernels=3,
+    kernel_launch_overhead_s=1e-6,
+    dynamic_sync_overhead_s=0.0,
+)
+
+# A launch plan: list of (threads, per-thread-time-us, stream, children).
+launches = st.lists(
+    st.tuples(
+        st.integers(0, 200),
+        st.floats(0.0, 50.0, allow_nan=False),
+        st.integers(0, 4),
+        st.integers(0, 20),
+    ).map(
+        # Children require threads (enforced by KernelSpec).
+        lambda t: (t[0], t[1], t[2], t[3] if t[0] > 0 else 0)
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+COMMON = dict(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=60
+)
+
+
+def run_plan(plan):
+    sim = GpuSimulator(DEVICE, check_memory=False)
+    ends = []
+    for threads, us, stream, children in plan:
+        kernel = KernelSpec(
+            name="k",
+            thread_times=np.full(threads, us * 1e-6),
+            dynamic_children=children,
+        )
+        ends.append((stream, sim.launch(kernel, stream=stream)))
+    elapsed = sim.synchronize()
+    return sim, ends, elapsed
+
+
+@settings(**COMMON)
+@given(plan=launches)
+def test_time_monotone_and_nonnegative(plan):
+    sim, ends, elapsed = run_plan(plan)
+    assert elapsed >= 0.0
+    assert all(end >= 0.0 for _, end in ends)
+    assert elapsed >= max(end for _, end in ends) - 1e-15
+
+
+@settings(**COMMON)
+@given(plan=launches)
+def test_work_conservation(plan):
+    sim, _, elapsed = run_plan(plan)
+    # Busy warp-seconds can never exceed what the device could supply.
+    assert sim.metrics.warp_seconds_paid <= DEVICE.warp_slots * elapsed + 1e-12
+    assert sim.metrics.utilization <= 1.0
+
+
+@settings(**COMMON)
+@given(plan=launches)
+def test_stream_fifo_order(plan):
+    _, ends, _ = run_plan(plan)
+    per_stream: dict[int, list[float]] = {}
+    for stream, end in ends:
+        per_stream.setdefault(stream, []).append(end)
+    for stream_ends in per_stream.values():
+        assert stream_ends == sorted(stream_ends)
+
+
+@settings(**COMMON)
+@given(plan=launches)
+def test_elapsed_at_least_critical_stream(plan):
+    sim, _, elapsed = run_plan(plan)
+    # Each stream's serial compute is a lower bound on the elapsed time.
+    per_stream: dict[int, float] = {}
+    for threads, us, stream, _ in plan:
+        if threads == 0:
+            continue
+        t = np.full(threads, us * 1e-6)
+        warps = -(-threads // DEVICE.warp_size)
+        best_case = float(t.max())  # even fully parallel pays the max warp
+        per_stream[stream] = per_stream.get(stream, 0.0) + best_case
+    if per_stream:
+        assert elapsed >= max(per_stream.values()) - 1e-12
+
+
+@settings(**COMMON)
+@given(plan=launches)
+def test_determinism(plan):
+    _, ends_a, elapsed_a = run_plan(plan)
+    _, ends_b, elapsed_b = run_plan(plan)
+    assert ends_a == ends_b
+    assert elapsed_a == elapsed_b
+
+
+@settings(**COMMON)
+@given(plan=launches)
+def test_metrics_consistency(plan):
+    sim, _, _ = run_plan(plan)
+    assert sim.metrics.kernels_launched == len(plan)
+    assert sim.metrics.dynamic_kernels_launched == sum(c for *_, c in plan)
+    assert sim.metrics.thread_seconds_useful <= sim.metrics.warp_seconds_paid * DEVICE.warp_size + 1e-12

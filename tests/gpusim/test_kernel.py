@@ -1,0 +1,71 @@
+"""Unit tests for repro.gpusim.kernel (warps and divergence)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.kernel import KernelSpec, warp_compute_times
+
+
+class TestWarpComputeTimes:
+    def test_single_full_warp(self):
+        times = np.arange(32, dtype=float)
+        assert warp_compute_times(times, 32).tolist() == [31.0]
+
+    def test_partial_warp_pays_slowest(self):
+        assert warp_compute_times(np.array([1.0, 5.0, 2.0]), 32).tolist() == [5.0]
+
+    def test_multiple_warps(self):
+        times = np.concatenate([np.full(32, 2.0), np.full(32, 7.0)])
+        assert warp_compute_times(times, 32).tolist() == [2.0, 7.0]
+
+    def test_warp_size_one_is_identity(self):
+        times = np.array([3.0, 1.0, 4.0])
+        assert warp_compute_times(times, 1).tolist() == [3.0, 1.0, 4.0]
+
+    def test_empty(self):
+        assert warp_compute_times(np.array([]), 32).size == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            warp_compute_times(np.array([-1.0]), 32)
+
+    def test_rejects_bad_warp_size(self):
+        with pytest.raises(SimulationError):
+            warp_compute_times(np.array([1.0]), 0)
+
+
+class TestKernelSpec:
+    def test_num_threads_and_warps(self):
+        k = KernelSpec("k", thread_times=np.ones(70))
+        assert k.num_threads == 70
+        assert k.num_warps(32) == 3
+
+    def test_empty_kernel(self):
+        k = KernelSpec("k", thread_times=np.array([]))
+        assert k.num_threads == 0 and k.num_warps(32) == 0
+
+    def test_divergence_balanced(self):
+        k = KernelSpec("k", thread_times=np.full(64, 3.0))
+        assert k.divergence_ratio(32) == pytest.approx(1.0)
+
+    def test_divergence_imbalanced(self):
+        # One busy thread per warp of 32: ratio = 32.
+        times = np.zeros(32)
+        times[0] = 10.0
+        k = KernelSpec("k", thread_times=times)
+        assert k.divergence_ratio(32) == pytest.approx(32.0)
+
+    def test_divergence_of_idle_kernel(self):
+        k = KernelSpec("k", thread_times=np.zeros(32))
+        assert k.divergence_ratio(32) == 1.0
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(SimulationError):
+            KernelSpec("k", thread_times=np.array([-0.5]))
+
+    def test_rejects_negative_work_terms(self):
+        with pytest.raises(SimulationError):
+            KernelSpec("k", thread_times=np.ones(2), mem_elements=-1)
+        with pytest.raises(SimulationError):
+            KernelSpec("k", thread_times=np.ones(2), dynamic_children=-1)

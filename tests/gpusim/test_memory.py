@@ -1,0 +1,86 @@
+"""Unit tests for repro.gpusim.memory (the coalescing model of §III-B)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.memory import (
+    AccessPattern,
+    MemoryModel,
+    transactions_for_addresses,
+)
+from repro.gpusim.spec import KEPLER_K40
+
+
+class TestTransactionsForAddresses:
+    def test_fully_coalesced_warp(self):
+        # 32 consecutive int64 = 256 bytes = 2 lines of 128.
+        assert transactions_for_addresses(range(32), 8, 128) == 2
+
+    def test_fully_strided_warp(self):
+        # Stride of 16 elements x 8 B = one line each.
+        addrs = [i * 16 for i in range(32)]
+        assert transactions_for_addresses(addrs, 8, 128) == 32
+
+    def test_same_address_broadcast(self):
+        assert transactions_for_addresses([7] * 32, 8, 128) == 1
+
+    def test_element_straddling_lines(self):
+        # A 12-byte element at byte offset 120..131 touches two lines.
+        assert transactions_for_addresses([15], 8, 128) == 1
+        assert transactions_for_addresses([10], 12, 128) == 2
+
+    def test_empty(self):
+        assert transactions_for_addresses([], 8, 128) == 0
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(SimulationError):
+            transactions_for_addresses([-1], 8, 128)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(SimulationError):
+            transactions_for_addresses([0], 0, 128)
+
+
+class TestMemoryModel:
+    @pytest.fixture
+    def model(self):
+        return MemoryModel(KEPLER_K40, element_bytes=8)
+
+    def test_coalesced_transactions(self, model):
+        assert model.transactions(32, AccessPattern.COALESCED) == 2
+        assert model.transactions(16, AccessPattern.COALESCED) == 1
+
+    def test_strided_transactions(self, model):
+        assert model.transactions(32, AccessPattern.STRIDED) == 32
+
+    def test_closed_form_matches_exact_coalesced(self, model):
+        for n in (1, 5, 16, 17, 100):
+            exact = transactions_for_addresses(range(n), 8, 128)
+            assert model.transactions(n, AccessPattern.COALESCED) == exact
+
+    def test_zero_elements(self, model):
+        assert model.transactions(0, AccessPattern.STRIDED) == 0
+        assert model.transfer_time(0, AccessPattern.STRIDED) == 0.0
+
+    def test_strided_slower_than_coalesced(self, model):
+        n = 10_000
+        assert model.transfer_time(n, AccessPattern.STRIDED) > model.transfer_time(
+            n, AccessPattern.COALESCED
+        )
+
+    def test_bus_utilization_bounds(self, model):
+        assert model.effective_bus_utilization(1000, AccessPattern.COALESCED) == pytest.approx(
+            1.0, abs=0.01
+        )
+        # Fully strided int64: 8 useful bytes per 128-byte line.
+        assert model.effective_bus_utilization(1000, AccessPattern.STRIDED) == pytest.approx(
+            8 / 128
+        )
+
+    def test_rejects_negative_elements(self, model):
+        with pytest.raises(SimulationError):
+            model.transactions(-1, AccessPattern.COALESCED)
+
+    def test_bytes_moved(self, model):
+        assert model.bytes_moved(16, AccessPattern.COALESCED) == 128
+        assert model.bytes_moved(16, AccessPattern.STRIDED) == 16 * 128

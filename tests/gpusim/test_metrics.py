@@ -1,0 +1,39 @@
+"""Unit tests for GpuMetrics bookkeeping."""
+
+import pytest
+
+from repro.gpusim.metrics import GpuMetrics
+
+
+class TestGpuMetrics:
+    def test_fresh_metrics_are_neutral(self):
+        m = GpuMetrics()
+        assert m.utilization == 0.0
+        assert m.divergence_overhead == 1.0
+        assert m.avg_bus_utilization == 1.0
+
+    def test_utilization_capped_at_one(self):
+        m = GpuMetrics(warp_seconds_paid=100.0)
+        m._slot_seconds_available = 50.0
+        assert m.utilization == 1.0
+
+    def test_utilization_fraction(self):
+        m = GpuMetrics(warp_seconds_paid=25.0)
+        m._slot_seconds_available = 100.0
+        assert m.utilization == pytest.approx(0.25)
+
+    def test_divergence_units(self):
+        # One warp of 32 lanes paid 1 s; only 1 lane-second was useful.
+        m = GpuMetrics(warp_seconds_paid=1.0, thread_seconds_useful=1.0)
+        assert m.divergence_overhead == pytest.approx(32.0)
+
+    def test_bus_utilization(self):
+        m = GpuMetrics(mem_bytes_moved=1280, mem_bytes_useful=80)
+        assert m.avg_bus_utilization == pytest.approx(80 / 1280)
+
+    def test_as_dict_round_trip(self):
+        m = GpuMetrics(kernels_launched=3, mem_transactions=7)
+        d = m.as_dict()
+        assert d["kernels_launched"] == 3
+        assert d["mem_transactions"] == 7
+        assert "utilization" in d and "warp_seconds_paid" in d

@@ -1,0 +1,53 @@
+"""Unit tests for repro.gpusim.spec."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.spec import DeviceSpec, KEPLER_K40
+
+
+class TestK40:
+    def test_paper_figures(self):
+        # §IV-A: 2880 cores, 745 MHz, 12 GB.
+        assert KEPLER_K40.total_cores == 2880
+        assert KEPLER_K40.clock_hz == pytest.approx(745e6)
+        assert KEPLER_K40.global_mem_bytes == 12 * 1024**3
+
+    def test_warp_slots(self):
+        assert KEPLER_K40.warp_slots == 2880 // 32
+
+    def test_hyper_q_width(self):
+        assert KEPLER_K40.max_concurrent_kernels == 32
+
+
+class TestDeviceSpec:
+    def test_op_time(self):
+        spec = DeviceSpec("x", num_sms=1, cores_per_sm=32, clock_hz=1e9, cycles_per_op=2.0)
+        assert spec.op_time_s == pytest.approx(2e-9)
+
+    def test_random_access_bandwidth_below_peak(self):
+        assert KEPLER_K40.random_access_bandwidth() <= KEPLER_K40.mem_bandwidth_bytes_per_s
+
+    def test_random_access_bandwidth_formula(self):
+        spec = DeviceSpec(
+            "x", num_sms=2, cores_per_sm=64, clock_hz=1e9,
+            mem_latency_s=1e-6, mem_max_inflight=4, mem_line_bytes=128,
+            mem_bandwidth_bytes_per_s=1e12,
+        )
+        assert spec.random_access_bandwidth() == pytest.approx(2 * 4 / 1e-6 * 128)
+
+    def test_rejects_zero_sms(self):
+        with pytest.raises(SimulationError):
+            DeviceSpec("x", num_sms=0, cores_per_sm=32, clock_hz=1e9)
+
+    def test_rejects_misaligned_cores(self):
+        with pytest.raises(SimulationError):
+            DeviceSpec("x", num_sms=1, cores_per_sm=33, clock_hz=1e9)
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(SimulationError):
+            DeviceSpec("x", num_sms=1, cores_per_sm=32, clock_hz=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            KEPLER_K40.num_sms = 1  # type: ignore[misc]

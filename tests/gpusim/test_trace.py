@@ -1,0 +1,107 @@
+"""Tests for the execution tracer and ASCII timeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.engine import GpuSimulator
+from repro.gpusim.kernel import KernelSpec
+from repro.gpusim.spec import DeviceSpec
+from repro.gpusim.trace import TraceRecorder, render_timeline
+
+DEVICE = DeviceSpec(
+    name="trace-test", num_sms=2, cores_per_sm=64, clock_hz=1e9,
+    kernel_launch_overhead_s=1e-6, dynamic_sync_overhead_s=0.0,
+)
+
+
+def kernel(n=32, t=1e-3):
+    return KernelSpec("k", thread_times=np.full(n, t))
+
+
+@pytest.fixture
+def traced():
+    sim = GpuSimulator(DEVICE)
+    recorder = TraceRecorder()
+    recorder.attach(sim)
+    return sim, recorder
+
+
+class TestTraceRecorder:
+    def test_records_every_launch(self, traced):
+        sim, rec = traced
+        sim.launch(kernel(), stream=0)
+        sim.launch(kernel(), stream=1)
+        sim.synchronize()
+        assert len(rec.events) == 2
+        assert {e.stream for e in rec.events} == {0, 1}
+
+    def test_events_match_simulated_time(self, traced):
+        sim, rec = traced
+        sim.launch(kernel(t=2e-3), stream=0)
+        elapsed = sim.synchronize()
+        assert rec.makespan == pytest.approx(elapsed)
+        assert rec.events[0].duration == pytest.approx(1e-6 + 2e-3)
+
+    def test_launch_return_value_preserved(self, traced):
+        sim, rec = traced
+        end = sim.launch(kernel(), stream=0)
+        assert end == rec.events[0].end
+
+    def test_stream_busy_totals(self, traced):
+        sim, rec = traced
+        sim.launch(kernel(t=1e-3), stream=0)
+        sim.launch(kernel(t=1e-3), stream=0)
+        sim.synchronize()
+        assert rec.stream_busy()[0] == pytest.approx(2 * (1e-6 + 1e-3))
+
+    def test_gaps_detected(self, traced):
+        sim, rec = traced
+        sim.launch(kernel(t=1e-3), stream=0)
+        sim.synchronize()
+        sim.launch(kernel(t=1e-3), stream=1)  # stream 1 idle until barrier
+        sim.synchronize()
+        gaps = rec.gaps(1)
+        assert len(gaps) == 1
+        assert gaps[0][0] == 0.0
+
+    def test_empty_recorder(self):
+        rec = TraceRecorder()
+        assert rec.makespan == 0.0
+        assert rec.stream_busy() == {}
+
+
+class TestRenderTimeline:
+    def test_rows_per_stream(self, traced):
+        sim, rec = traced
+        sim.launch(kernel(), stream=0)
+        sim.launch(kernel(), stream=2)
+        sim.synchronize()
+        text = render_timeline(rec, width=40)
+        assert "stream  0" in text and "stream  2" in text
+
+    def test_busy_markers_present(self, traced):
+        sim, rec = traced
+        sim.launch(kernel(), stream=0)
+        sim.synchronize()
+        text = render_timeline(rec, width=20)
+        assert "#" in text
+
+    def test_idle_fraction_visible(self, traced):
+        sim, rec = traced
+        sim.launch(kernel(t=1e-3), stream=0)
+        sim.synchronize()
+        sim.launch(kernel(t=1e-3), stream=1)
+        sim.synchronize()
+        text = render_timeline(rec, width=40)
+        stream1 = next(l for l in text.splitlines() if l.startswith("stream  1"))
+        assert "." in stream1  # idle first half
+
+    def test_empty(self):
+        assert "no kernels" in render_timeline(TraceRecorder())
+
+    def test_rejects_tiny_width(self, traced):
+        sim, rec = traced
+        sim.launch(kernel(), stream=0)
+        with pytest.raises(SimulationError):
+            render_timeline(rec, width=4)

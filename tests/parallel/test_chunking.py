@@ -1,0 +1,87 @@
+"""Unit tests for repro.parallel.chunking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.parallel.chunking import split_by_cost, split_evenly
+
+
+class TestSplitEvenly:
+    def test_exact_division(self):
+        assert split_evenly(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_spread(self):
+        ranges = split_evenly(10, 3)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sizes == [4, 3, 3]
+
+    def test_covers_everything(self):
+        for n, k in [(1, 1), (7, 3), (100, 7), (5, 10)]:
+            ranges = split_evenly(n, k)
+            covered = [i for lo, hi in ranges for i in range(lo, hi)]
+            assert covered == list(range(n))
+
+    def test_more_chunks_than_items(self):
+        ranges = split_evenly(3, 10)
+        assert len(ranges) == 3
+        assert all(hi - lo == 1 for lo, hi in ranges)
+
+    def test_empty(self):
+        assert split_evenly(0, 4) == []
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ReproError):
+            split_evenly(-1, 2)
+        with pytest.raises(ReproError):
+            split_evenly(5, 0)
+
+
+class TestSplitByCost:
+    def test_balances_skewed_costs(self):
+        costs = np.array([100.0] + [1.0] * 99)
+        ranges = split_by_cost(costs, 2)
+        # First chunk should be essentially just the heavy item.
+        lo, hi = ranges[0]
+        assert hi - lo < 55
+
+    def test_covers_everything(self):
+        rng = np.random.default_rng(0)
+        costs = rng.random(57)
+        ranges = split_by_cost(costs, 5)
+        covered = [i for lo, hi in ranges for i in range(lo, hi)]
+        assert covered == list(range(57))
+
+    def test_no_empty_ranges(self):
+        costs = np.array([1000.0, 0.0, 0.0, 0.0])
+        ranges = split_by_cost(costs, 4)
+        assert all(hi > lo for lo, hi in ranges)
+
+    def test_uniform_costs_even_split(self):
+        ranges = split_by_cost(np.ones(12), 4)
+        assert [hi - lo for lo, hi in ranges] == [3, 3, 3, 3]
+
+    def test_zero_total_falls_back(self):
+        ranges = split_by_cost(np.zeros(8), 4)
+        assert [hi - lo for lo, hi in ranges] == [2, 2, 2, 2]
+
+    def test_single_chunk(self):
+        assert split_by_cost(np.ones(5), 1) == [(0, 5)]
+
+    def test_empty(self):
+        assert split_by_cost(np.array([]), 3) == []
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ReproError):
+            split_by_cost(np.array([-1.0]), 2)
+
+    def test_rejects_zero_chunks(self):
+        with pytest.raises(ReproError):
+            split_by_cost(np.ones(3), 0)
+
+    def test_balance_quality(self):
+        rng = np.random.default_rng(7)
+        costs = rng.exponential(1.0, size=400)
+        ranges = split_by_cost(costs, 8)
+        sums = [costs[lo:hi].sum() for lo, hi in ranges]
+        assert max(sums) <= 2.2 * (costs.sum() / 8)

@@ -1,0 +1,63 @@
+"""Tests for the real host-parallel wavefront DP (shared memory)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dp_vectorized import dp_vectorized
+from repro.errors import DPError
+from repro.parallel.wavefront import parallel_wavefront_dp
+
+
+class TestParallelWavefront:
+    def test_matches_vectorized_serial_path(self):
+        counts, sizes, target = [3, 2, 2], [3, 5, 7], 14
+        ref = dp_vectorized(counts, sizes, target)
+        par = parallel_wavefront_dp(counts, sizes, target, workers=1)
+        assert np.array_equal(par.table, ref.table)
+
+    def test_matches_vectorized_parallel(self, medium_probe):
+        args = (medium_probe.counts, medium_probe.class_sizes, medium_probe.target)
+        ref = dp_vectorized(*args)
+        par = parallel_wavefront_dp(*args, workers=3, min_parallel_level=32)
+        assert np.array_equal(par.table, ref.table)
+
+    def test_worker_count_does_not_change_result(self):
+        counts, sizes, target = [4, 3, 2], [4, 6, 9], 18
+        results = [
+            parallel_wavefront_dp(
+                counts, sizes, target, workers=w, min_parallel_level=4
+            ).table
+            for w in (1, 2, 4)
+        ]
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[1], results[2])
+
+    def test_degenerate_no_long_jobs(self):
+        result = parallel_wavefront_dp([], [], 10, workers=2)
+        assert result.opt == 0
+
+    def test_infeasible_table(self):
+        result = parallel_wavefront_dp([2], [50], 10, workers=2, min_parallel_level=1)
+        assert not result.feasible
+
+    def test_small_levels_run_inline(self):
+        # min_parallel_level larger than any level: pure inline path.
+        counts, sizes, target = [2, 2], [3, 5], 9
+        ref = dp_vectorized(counts, sizes, target)
+        par = parallel_wavefront_dp(
+            counts, sizes, target, workers=4, min_parallel_level=10_000
+        )
+        assert np.array_equal(par.table, ref.table)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(DPError):
+            parallel_wavefront_dp([2], [3], 9, workers=0)
+
+    def test_rejects_arity_mismatch(self):
+        with pytest.raises(DPError):
+            parallel_wavefront_dp([2, 2], [3], 9)
+
+    def test_shared_memory_cleaned_up(self):
+        # Run twice: leaked segments would collide or exhaust /dev/shm.
+        for _ in range(2):
+            parallel_wavefront_dp([3, 3], [4, 5], 12, workers=2, min_parallel_level=1)

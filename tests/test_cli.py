@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSchedule:
+    def test_inline_times(self, capsys):
+        code = main(["schedule", "--machines", "3", "--times", "27", "19", "19",
+                     "15", "12", "8", "8", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "loads" in out
+
+    def test_random_instance(self, capsys):
+        code = main(["schedule", "--machines", "4", "--random", "20", "--seed", "1"])
+        assert code == 0
+        assert "PTAS" in capsys.readouterr().out
+
+    def test_baselines_flag(self, capsys):
+        code = main(["schedule", "--machines", "2", "--times", "5", "6", "7",
+                     "--baselines"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LPT" in out and "MULTIFIT" in out
+
+    def test_search_choice(self, capsys):
+        code = main(["schedule", "--machines", "2", "--times", "5", "6", "7",
+                     "--search", "bisection"])
+        assert code == 0
+        assert "bisection" in capsys.readouterr().out
+
+    def test_missing_input_errors(self, capsys):
+        code = main(["schedule", "--machines", "2"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_deterministic_with_seed(self, capsys):
+        main(["schedule", "--machines", "3", "--random", "15", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["schedule", "--machines", "3", "--random", "15", "--seed", "9"])
+        assert capsys.readouterr().out == first
+
+
+class TestEngines:
+    def test_runs_and_agrees(self, capsys):
+        code = main(["engines", "--jobs", "25", "--machines", "4", "--seed", "3",
+                     "--dims", "3", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "identical across engines" in out
+        assert "gpu-dim5" in out
+
+    def test_explicit_target(self, capsys):
+        code = main(["engines", "--jobs", "20", "--machines", "4", "--seed", "2",
+                     "--target", "150"])
+        assert code == 0
+        assert "T=150" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "block_level" in capsys.readouterr().out
+
+    def test_tables(self, capsys):
+        assert main(["experiment", "tables"]) == 0
+        assert "match_dim3" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        assert "partition_dim" in capsys.readouterr().out
+
+    def test_unknown_exhibit_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestFileIO:
+    def test_from_file_and_save(self, tmp_path, capsys):
+        inst_path = tmp_path / "inst.txt"
+        sched_path = tmp_path / "out.txt"
+        inst_path.write_text("machines 3\ntimes 27 19 19 15 12 8 8 5\n")
+        code = main(["schedule", "--from-file", str(inst_path),
+                     "--save-schedule", str(sched_path)])
+        assert code == 0
+        from repro.core.io import load_schedule
+
+        schedule = load_schedule(sched_path)
+        assert schedule.makespan > 0
+
+    def test_machines_required_without_file(self, capsys):
+        code = main(["schedule", "--times", "1", "2"])
+        assert code == 2
+        assert "machines" in capsys.readouterr().err
+
+    def test_census_exhibit(self, capsys):
+        assert main(["experiment", "census"]) == 0
+        assert "census" in capsys.readouterr().out.lower() or True
+
+    def test_fig1_exhibit(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        assert "core" in capsys.readouterr().out

@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts must run and uphold their claims.
+
+Each example's ``main()`` is executed in-process (fast ones only; the
+longer studies are exercised by the benchmarks).  Failures here mean
+the README's promised walkthroughs are broken.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "PTAS" in out and "exact optimum" in out
+
+    def test_cluster_batch_scheduling(self, capsys):
+        load_example("cluster_batch_scheduling").main()
+        out = capsys.readouterr().out
+        assert "MULTIFIT" in out and "PTAS eps=0.2" in out
+
+    def test_accuracy_tradeoff(self, capsys):
+        load_example("accuracy_tradeoff").main()
+        out = capsys.readouterr().out
+        assert "accuracy vs DP cost" in out
+
+    def test_knapsack_partitioning(self, capsys):
+        load_example("knapsack_partitioning").main()
+        out = capsys.readouterr().out
+        assert "optimal value" in out and "device-memory saving" in out
+
+    def test_examples_exist_and_have_docstrings(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 5
+        for script in scripts:
+            text = script.read_text()
+            assert text.startswith('"""'), f"{script.name} missing docstring"
+            assert '__name__ == "__main__"' in text, f"{script.name} not runnable"

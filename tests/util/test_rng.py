@@ -1,0 +1,50 @@
+"""Unit tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(123).integers(0, 1 << 30, size=10)
+        b = make_rng(123).integers(0, 1 << 30, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1 << 30, size=10)
+        b = make_rng(2).integers(0, 1 << 30, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(7, 2)
+        assert not np.array_equal(
+            a.integers(0, 1 << 30, size=20), b.integers(0, 1 << 30, size=20)
+        )
+
+    def test_deterministic_across_calls(self):
+        a1, _ = spawn_rngs(7, 2)
+        a2, _ = spawn_rngs(7, 2)
+        assert np.array_equal(
+            a1.integers(0, 1 << 30, size=20), a2.integers(0, 1 << 30, size=20)
+        )
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,42 @@
+"""Unit tests for repro.util.timing."""
+
+import time
+
+from repro.util.timing import Timer
+
+
+class TestTimer:
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_measures_sleep(self):
+        with Timer() as t:
+            time.sleep(0.02)
+        assert t.elapsed >= 0.015
+
+    def test_frozen_after_exit(self):
+        with Timer() as t:
+            pass
+        first = t.elapsed
+        time.sleep(0.01)
+        assert t.elapsed == first
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running
+        with t:
+            assert t.running
+        assert not t.running
+
+    def test_live_elapsed_while_running(self):
+        with Timer() as t:
+            time.sleep(0.01)
+            assert t.elapsed > 0.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.005

@@ -1,0 +1,100 @@
+"""Unit tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.util.validation import (
+    check_nonnegative_int,
+    check_positive_int,
+    check_positive_times,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_plain_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+        assert isinstance(check_positive_int(np.int64(5), "x"), int)
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidInstanceError, match="x"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidInstanceError):
+            check_positive_int(-2, "machines")
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidInstanceError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(InvalidInstanceError):
+            check_positive_int(2.0, "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(InvalidInstanceError, match="machines"):
+            check_positive_int(0, "machines")
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidInstanceError):
+            check_nonnegative_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidInstanceError):
+            check_nonnegative_int(False, "x")
+
+
+class TestCheckPositiveTimes:
+    def test_returns_tuple(self):
+        out = check_positive_times([3, 1, 2])
+        assert out == (3, 1, 2)
+        assert isinstance(out, tuple)
+
+    def test_accepts_numpy_values(self):
+        out = check_positive_times(np.array([4, 5], dtype=np.int32))
+        assert out == (4, 5)
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(InvalidInstanceError, match=r"\[1\]"):
+            check_positive_times([3, 0, 2])
+
+    def test_rejects_float_time(self):
+        with pytest.raises(InvalidInstanceError):
+            check_positive_times([3, 1.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInstanceError, match="at least one job"):
+            check_positive_times([])
+
+
+class TestCheckProbability:
+    def test_accepts_one(self):
+        assert check_probability(1.0, "eps") == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidInstanceError):
+            check_probability(0.0, "eps")
+
+    def test_rejects_above_one(self):
+        with pytest.raises(InvalidInstanceError):
+            check_probability(1.2, "eps")
+
+
+class TestCheckSameLength:
+    def test_accepts_equal(self):
+        check_same_length([1, 2], (3, 4), "a", "b")  # no raise
+
+    def test_rejects_unequal(self):
+        with pytest.raises(InvalidInstanceError, match="a .*b"):
+            check_same_length([1], [1, 2], "a", "b")
