@@ -8,14 +8,18 @@ heuristics leave machines unbalanced and the PTAS's rounding pays off.
 
 The script schedules the same batch with list scheduling, LPT,
 MULTIFIT, and the PTAS at several accuracies, and reports makespans,
-machine utilisation, and the PTAS's proven bounds.
+machine utilisation, and the PTAS's proven bounds.  One
+``ProbeCache`` is shared across every PTAS run of the batch — probes
+from different accuracies that round to the same geometry reuse each
+other's configuration sets and DP-tables (the cache stats printed at
+the end show how much of the batch was served from cache).
 
 Usage:  python examples/cluster_batch_scheduling.py
 """
 
 from __future__ import annotations
 
-from repro import ptas_schedule
+from repro import ProbeCache, ptas_schedule
 from repro.core.baselines import list_schedule, lpt_schedule, multifit_schedule
 from repro.core.improve import improve_schedule
 from repro.core.instance import bimodal_instance
@@ -55,8 +59,9 @@ def main() -> None:
     s = multifit_schedule(batch)
     describe("MULTIFIT", s.makespan, s.loads(), "(bin-packing bisection)")
 
+    cache = ProbeCache()  # shared across the whole batch of PTAS runs
     for eps in (0.5, 0.3, 0.2):
-        result = ptas_schedule(batch, eps=eps, search="quarter")
+        result = ptas_schedule(batch, eps=eps, search="quarter", cache=cache)
         describe(
             f"PTAS eps={eps}",
             result.makespan,
@@ -74,6 +79,13 @@ def main() -> None:
     )
 
     print()
+    stats = cache.stats
+    print(
+        f"shared probe cache: {stats.total_hits} hits / "
+        f"{stats.total_hits + stats.total_misses} lookups "
+        f"(DP-table hit rate {stats.hit_rate('dp'):.0%}) — "
+        "see docs/PERFORMANCE.md"
+    )
     print(
         "The PTAS bounds are *guarantees*: even without knowing the "
         "optimum, the batch provably cannot finish more than (1+eps)x "

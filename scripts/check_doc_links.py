@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Verify that the documentation's cross-references resolve.
+
+Checks, across README.md / DESIGN.md / EXPERIMENTS.md / docs/*.md /
+benchmarks & examples READMEs:
+
+* every markdown link target (``[text](target)``) that is not an
+  external URL or a pure anchor points at an existing file/directory;
+* every backticked repo path (contains a ``/`` and a known extension,
+  e.g. ``benchmarks/results/fig3.txt`` or
+  ``benchmarks/test_bench_fig4.py::test_x``) exists;
+* every backticked ``tests/...`` or ``benchmarks/...`` pytest node id
+  names a real file.
+
+Run from the repository root (CI does)::
+
+    python scripts/check_doc_links.py
+
+Exit code 0 when everything resolves, 1 otherwise (offenders listed).
+No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# ISSUE.md is a scratch work-ticket, not shipped documentation.
+SKIP = {"ISSUE.md"}
+
+DOC_FILES = sorted(
+    path
+    for path in [
+        *ROOT.glob("*.md"),
+        *(ROOT / "docs").glob("*.md"),
+        *(ROOT / "benchmarks").glob("*.md"),
+        *(ROOT / "examples").glob("*.md"),
+    ]
+    if path.name not in SKIP
+)
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_PATH = re.compile(r"`([A-Za-z0-9_./-]+/[A-Za-z0-9_.-]+\.(?:py|md|txt|sh|toml|yml|json))(?:::[A-Za-z0-9_.:]+)?`")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+# Result files are build artifacts of the *full* bench run; reduced
+# variants may be absent in a fresh checkout, so only warn about the
+# canonical names the docs quote.
+GENERATED_OK = re.compile(r"benchmarks/results/.*-reduced\.txt$")
+
+
+def targets_in(path: Path):
+    text = path.read_text(encoding="utf-8")
+    for match in MD_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        yield target.split("#", 1)[0]
+    for match in CODE_PATH.finditer(text):
+        yield match.group(1)
+
+
+def main() -> int:
+    broken: list[tuple[Path, str]] = []
+    checked = 0
+    for doc in DOC_FILES:
+        for target in targets_in(doc):
+            checked += 1
+            resolved = (doc.parent / target).resolve()
+            in_repo = (ROOT / target).resolve()
+            if resolved.exists() or in_repo.exists():
+                continue
+            if GENERATED_OK.search(target):
+                continue
+            broken.append((doc, target))
+    if broken:
+        print(f"{len(broken)} broken reference(s) (of {checked} checked):")
+        for doc, target in broken:
+            print(f"  {doc.relative_to(ROOT)}: {target}")
+        return 1
+    print(f"ok: {checked} references across {len(DOC_FILES)} docs all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,9 @@ Makespan"* (Li, Ghalami, Schwiebert, Grosu — IPDPS Workshops 2018):
   (:mod:`repro.engines`);
 * real multi-process execution of the wavefront DP
   (:mod:`repro.parallel`);
+* a cross-probe solver cache (:mod:`repro.core.probe_cache`) and the
+  observability layer that motivated it — per-phase timers, counters,
+  per-probe trace events (:mod:`repro.observability`);
 * the full evaluation harness regenerating every figure and table
   (:mod:`repro.analysis`).
 
@@ -29,6 +32,7 @@ Quickstart::
 
 from repro.core import (
     Instance,
+    ProbeCache,
     PtasResult,
     Schedule,
     bisection_search,
@@ -41,6 +45,7 @@ from repro.core import (
     uniform_instance,
 )
 from repro.errors import ReproError
+from repro.observability import TraceRecorder, Tracer
 
 __version__ = "1.0.0"
 
@@ -56,6 +61,9 @@ __all__ = [
     "makespan_bounds",
     "round_instance",
     "uniform_instance",
+    "ProbeCache",
+    "Tracer",
+    "TraceRecorder",
     "ReproError",
     "__version__",
 ]

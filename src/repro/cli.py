@@ -56,6 +56,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-schedule", metavar="PATH",
         help="write the resulting schedule to a text file",
     )
+    p_sched.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase timings and counters after the run "
+             "(see docs/PERFORMANCE.md for how to read them)",
+    )
+    p_sched.add_argument(
+        "--trace-json", metavar="PATH",
+        help="write one JSON record per DP probe (targets, timings, "
+             "cache hits) to PATH",
+    )
+    p_sched.add_argument(
+        "--cache", action="store_true",
+        help="enable the cross-probe solver cache (identical results, "
+             "fewer enumerations/DP fills; stats printed with --profile)",
+    )
 
     p_eng = sub.add_parser(
         "engines", help="compare simulated engines on one DP probe"
@@ -96,7 +111,19 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         print("error: provide --times, --random N, or --from-file", file=sys.stderr)
         return 2
 
-    result = ptas_schedule(inst, eps=args.eps, search=args.search)
+    cache = tracer = None
+    if args.cache:
+        from repro.core.probe_cache import ProbeCache
+
+        cache = ProbeCache()
+    if args.profile or args.trace_json:
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+
+    result = ptas_schedule(
+        inst, eps=args.eps, search=args.search, cache=cache, trace=tracer
+    )
     print(f"instance: {inst}")
     print(
         f"PTAS(eps={args.eps}, {args.search}): makespan {result.makespan} "
@@ -104,6 +131,22 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         f"{result.iterations} iterations, {len(result.probes)} DP probes)"
     )
     print(f"loads: {result.schedule.loads().tolist()}")
+    if tracer is not None and args.profile:
+        from repro.observability import render_profile
+
+        print(render_profile(tracer, title=f"profile ({args.search})"))
+        if cache is not None:
+            print(f"cache: {cache.stats}")
+    if tracer is not None and args.trace_json:
+        import json
+
+        try:
+            with open(args.trace_json, "w") as fh:
+                json.dump(tracer.report(), fh, indent=2)
+        except OSError as exc:
+            print(f"error: cannot write trace file: {exc}", file=sys.stderr)
+            return 2
+        print(f"trace written to {args.trace_json}")
     if args.save_schedule:
         from repro.core.io import save_schedule
 

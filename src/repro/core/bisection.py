@@ -10,21 +10,45 @@ schedule of makespan at most ``(1 + eps) T``.
 
 from __future__ import annotations
 
-from typing import Optional
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.bounds import makespan_bounds
 from repro.core.dp_vectorized import dp_vectorized
 from repro.core.instance import Instance
 from repro.core.ptas import DPSolver, ProbeResult, PtasResult, probe_target
 from repro.errors import ReproError
+from repro.observability import Tracer, TraceSink, as_tracer
+from repro.observability import context as obs
+
+if TYPE_CHECKING:
+    from repro.core.probe_cache import ProbeCache
 
 
 def bisection_search(
     instance: Instance,
     eps: float = 0.3,
     dp_solver: DPSolver = dp_vectorized,
+    cache: Optional["ProbeCache"] = None,
+    trace: Optional[Union[Tracer, TraceSink]] = None,
 ) -> PtasResult:
-    """Run the PTAS with plain bisection; see module docstring."""
+    """Run the PTAS with plain bisection; see module docstring.
+
+    ``cache`` and ``trace`` are the cross-probe cache and observability
+    hooks of :func:`repro.core.ptas.ptas_schedule` (both optional,
+    neither changes the result).
+    """
+    tracer = as_tracer(trace)
+    with tracer.activate() if tracer is not None else nullcontext():
+        return _bisection_search(instance, eps, dp_solver, cache)
+
+
+def _bisection_search(
+    instance: Instance,
+    eps: float,
+    dp_solver: DPSolver,
+    cache: Optional["ProbeCache"],
+) -> PtasResult:
     bounds = makespan_bounds(instance)
     lb, ub = bounds.lower, bounds.upper
 
@@ -34,8 +58,9 @@ def bisection_search(
 
     while lb < ub:
         iterations += 1
+        obs.count("search.iterations")
         target = (lb + ub) // 2
-        probe = probe_target(instance, target, eps, dp_solver)
+        probe = probe_target(instance, target, eps, dp_solver, cache=cache)
         probes.append(probe)
         if probe.accepted:
             ub = target
@@ -48,7 +73,9 @@ def bisection_search(
         # probe was at a larger T than the final UB (possible when LB
         # catches up from below).  One final probe at UB settles it; the
         # initial UB (Graham bound) is always feasible, so this accepts.
-        probe = probe_target(instance, ub, eps, dp_solver)
+        # With a cache this re-probe is (almost) free: its target was
+        # usually probed inside the loop already.
+        probe = probe_target(instance, ub, eps, dp_solver, cache=cache)
         probes.append(probe)
         if not probe.accepted:
             raise ReproError(

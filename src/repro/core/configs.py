@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.rounding import RoundedInstance
 from repro.errors import DPError
+from repro.observability import context as obs
 
 
 def enumerate_configurations(
@@ -70,6 +71,14 @@ def enumerate_configurations(
     if d == 0:
         return np.zeros((0, 0), dtype=np.int64)
 
+    with obs.phase("configs.enumerate"):
+        return _enumerate(sizes, caps, int(target), d, include_zero)
+
+
+def _enumerate(
+    sizes: list[int], caps: list[int], target: int, d: int, include_zero: bool
+) -> np.ndarray:
+    """The DFS enumeration body (validated arguments)."""
     # Visit classes in descending size so the budget shrinks fastest and
     # pruning is maximal; record the permutation to restore class order.
     order = sorted(range(d), key=lambda i: -sizes[i])
@@ -102,6 +111,8 @@ def enumerate_configurations(
     # Lexicographic order keeps engines and tests deterministic.
     if arr.shape[0] > 1:
         arr = arr[np.lexsort(arr.T[::-1])]
+    obs.count("configs.enumerations")
+    obs.count("configs.vectors", int(arr.shape[0]))
     return np.ascontiguousarray(arr)
 
 

@@ -29,6 +29,7 @@ from repro.core.configs import enumerate_configurations
 from repro.core.dp_common import UNREACHABLE
 from repro.dptable.table import TableGeometry
 from repro.errors import DPError
+from repro.observability import context as obs
 
 
 def frontier_depth(configs: np.ndarray) -> int:
@@ -124,6 +125,8 @@ def dp_frontier(
         current_cells = cells
 
         if level == max_level:
+            obs.count("dp.frontier.calls")
+            obs.count("dp.frontier.levels", max_level)
             lv_flat, lv_vals = window[level % (depth + 1)]
             pos = np.searchsorted(lv_flat, final_flat)
             if pos < lv_flat.size and lv_flat[pos] == final_flat:

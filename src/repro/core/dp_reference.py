@@ -22,6 +22,7 @@ from repro.core.configs import enumerate_configurations
 from repro.core.dp_common import DPResult, UNREACHABLE, empty_dp_result
 from repro.core.rounding import RoundedInstance
 from repro.errors import DPError
+from repro.observability import context as obs
 
 
 def dp_reference(
@@ -82,6 +83,8 @@ def dp_reference(
                     best = val
             if best < UNREACHABLE:
                 table[cell] = best + 1
+    obs.count("dp.reference.calls")
+    obs.count("dp.reference.cells", table.size)
     return DPResult(table=table, configs=configs)
 
 

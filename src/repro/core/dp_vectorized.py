@@ -32,6 +32,7 @@ from repro.core.configs import enumerate_configurations
 from repro.core.dp_common import DPResult, UNREACHABLE, empty_dp_result
 from repro.core.rounding import RoundedInstance
 from repro.errors import DPError
+from repro.observability import context as obs
 
 
 def _shift_views(table: np.ndarray, cfg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -85,17 +86,24 @@ def dp_vectorized(
     # accelerating convergence of the in-place propagation.
     order = np.argsort(-configs.sum(axis=1), kind="stable")
 
+    rounds = 0
+    passes = 0
     for _ in range(max_rounds):
+        rounds += 1
         changed = False
         for idx in order:
             cfg = configs[idx]
             dst, src = _shift_views(table, cfg)
             cand = src + 1  # temporary copy; src may alias dst
             improved = cand < dst
+            passes += 1
             if improved.any():
                 np.copyto(dst, cand, where=improved)
                 changed = True
         if not changed:
+            obs.count("dp.vectorized.calls")
+            obs.count("dp.vectorized.rounds", rounds)
+            obs.count("dp.vectorized.config_passes", passes)
             return DPResult(table=table, configs=configs)
     raise DPError(
         f"relaxation did not converge within {max_rounds} rounds "

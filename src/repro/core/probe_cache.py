@@ -1,0 +1,252 @@
+"""Cross-probe solver cache: stop re-deriving what adjacent probes share.
+
+Every dual-approximation probe at a target ``T`` performs three
+derivations before any scheduling happens: round the instance
+(:func:`repro.core.rounding.round_instance`), enumerate the machine
+configurations ``C`` (:func:`repro.core.configs.enumerate_configurations`),
+and fill the DP-table.  A PTAS search performs dozens of probes —
+and the instrumentation layer (:mod:`repro.observability`) shows that
+configuration enumeration plus the DP fill dominate every probe.
+Much of that work is *identical across probes*:
+
+* The final clean-up probe of both searches re-probes a target that
+  was usually already probed inside the loop.
+* Batch workloads (``examples/cluster_batch_scheduling.py``) schedule
+  related instances over several accuracies and searches, repeating
+  probes wholesale.
+* Most importantly, the rounded view is **scale-invariant**: rounding
+  maps each long job to class index ``c = t // unit`` with
+  ``unit = floor(T/k^2)``, and a configuration ``s`` is feasible iff
+  ``sum_i s_i * (c_i * unit) <= T``, i.e. iff
+  ``sum_i s_i * c_i <= T // unit``.  Two probes at *different* targets
+  whose rounding produced the same class-index vector, the same job
+  counts, and the same scaled budget ``T // unit`` therefore have
+  **bit-identical configuration sets and DP-tables**, even though
+  their absolute ``class_sizes`` differ.  Nearby targets frequently
+  collide this way — the sparsification observation of
+  Jansen–Klein–Verschae, applied at the probe level.
+
+:class:`ProbeCache` memoizes all three artifacts.  Rounding is keyed
+on the exact ``(instance, target, k)``; configurations and DP results
+are keyed on the *normalized* ``(class-index vector, counts,
+T // unit)`` so hits occur across targets, across the four concurrent
+quarter-split segments, across both search strategies, and across the
+instances of a batch run that happen to round identically.
+
+Correctness: the DP-table's values are machine counts determined
+solely by the configuration set and the count vector, both functions
+of the normalized key — so a cache hit returns exactly the table the
+solver would have produced (property-tested: cached and uncached runs
+yield identical final targets, makespans, and schedules).
+
+The cache is **opt-in** (``ptas_schedule(..., cache=ProbeCache())``):
+the simulated engines charge hardware time per DP fill as a side
+effect, and a cache hit legitimately skips that charge, which is the
+right accounting for a real system but not for reproducing the
+paper's no-cache Table VII numbers.
+
+Thread-safety: plain dicts guarded by the GIL; safe for the
+concurrent quarter-split segments (which in this reproduction execute
+sequentially) and for multi-threaded readers.  Do not share one cache
+across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.configs import enumerate_configurations
+from repro.core.dp_common import DPResult
+from repro.core.instance import Instance
+from repro.core.rounding import RoundedInstance, accuracy_k, round_instance
+from repro.dptable.table import TableGeometry
+from repro.observability import context as obs
+
+#: Normalized probe key: (class-index vector, counts, scaled target).
+NormalizedKey = Tuple[Tuple[int, ...], Tuple[int, ...], int]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss tallies per cached artifact kind."""
+
+    hits: Dict[str, int] = field(default_factory=dict)
+    misses: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, hit: bool) -> None:
+        """Tally one lookup of ``kind``."""
+        bucket = self.hits if hit else self.misses
+        bucket[kind] = bucket.get(kind, 0) + 1
+
+    def hit_rate(self, kind: str) -> float:
+        """Fraction of ``kind`` lookups served from the cache."""
+        h = self.hits.get(kind, 0)
+        m = self.misses.get(kind, 0)
+        return h / (h + m) if (h + m) else 0.0
+
+    @property
+    def total_hits(self) -> int:
+        """Hits summed over every artifact kind."""
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        """Misses summed over every artifact kind."""
+        return sum(self.misses.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view with per-kind rates."""
+        kinds = sorted(set(self.hits) | set(self.misses))
+        return {
+            kind: {
+                "hits": self.hits.get(kind, 0),
+                "misses": self.misses.get(kind, 0),
+                "hit_rate": round(self.hit_rate(kind), 4),
+            }
+            for kind in kinds
+        }
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{kind}={spec['hits']}/{spec['hits'] + spec['misses']}"  # type: ignore[index]
+            for kind, spec in self.as_dict().items()
+        )
+        return f"CacheStats({parts or 'empty'})"
+
+
+def normalized_probe_key(rounded: RoundedInstance) -> NormalizedKey:
+    """The scale-invariant identity of a rounded probe.
+
+    ``class_sizes[i] == index_i * unit`` exactly (rounding is a floor
+    to a multiple of ``unit``), so the integer divisions below are
+    lossless; see the module docstring for why ``target // unit``
+    completes the key.
+    """
+    unit = rounded.unit
+    indices = tuple(s // unit for s in rounded.class_sizes)
+    return (indices, rounded.counts, rounded.target // unit)
+
+
+class ProbeCache:
+    """Memoizes rounding, configuration enumeration, and DP-tables.
+
+    Share one instance across an entire search — and across searches
+    and instances of a batch — to reuse everything reusable.  See the
+    module docstring for the keying scheme and the opt-in rationale;
+    ``docs/PERFORMANCE.md`` for tuning guidance.
+
+    Parameters
+    ----------
+    share_dp:
+        When ``False``, only rounding and configuration enumeration
+        are cached and every probe still runs its DP solver.  Use
+        this when the solver's side effects matter (e.g. the
+        simulated engines accumulating per-probe hardware time).
+    """
+
+    def __init__(self, share_dp: bool = True) -> None:
+        self.share_dp = share_dp
+        self.stats = CacheStats()
+        self._rounding: Dict[Tuple[Instance, int, int], RoundedInstance] = {}
+        self._configs: Dict[NormalizedKey, np.ndarray] = {}
+        self._dp: Dict[NormalizedKey, DPResult] = {}
+        self._geometry: Dict[Tuple[int, ...], TableGeometry] = {}
+        #: cache outcomes of the most recent probe ("hit"/"miss" per
+        #: kind) — consumed by the per-probe trace events.
+        self.last_events: Dict[str, str] = {}
+
+    # -- artifacts ----------------------------------------------------------
+
+    def rounding(self, instance: Instance, target: int, eps: float) -> RoundedInstance:
+        """Memoized :func:`~repro.core.rounding.round_instance`.
+
+        Keyed on the exact ``(instance, target, k)`` — rounding
+        depends on nothing else (:class:`~repro.core.instance.Instance`
+        is frozen and hashable).
+        """
+        key = (instance, int(target), accuracy_k(eps))
+        hit = key in self._rounding
+        if not hit:
+            self._rounding[key] = round_instance(instance, target, eps)
+        self._note("rounding", hit)
+        return self._rounding[key]
+
+    def configurations(self, rounded: RoundedInstance) -> np.ndarray:
+        """Memoized configuration set ``C`` for a rounded probe.
+
+        Returned arrays are shared and marked read-only; copy before
+        mutating (no library code mutates them).
+        """
+        key = normalized_probe_key(rounded)
+        hit = key in self._configs
+        if not hit:
+            configs = enumerate_configurations(
+                rounded.class_sizes, rounded.counts, rounded.target
+            )
+            configs.setflags(write=False)
+            self._configs[key] = configs
+        self._note("configs", hit)
+        return self._configs[key]
+
+    def dp(self, rounded: RoundedInstance, solver) -> DPResult:
+        """DP-table for a rounded probe, via ``solver`` on a miss.
+
+        ``solver`` follows the :class:`~repro.core.ptas.DPSolver`
+        protocol and receives the (cached) configuration set, so a
+        miss still skips re-enumeration.  All solvers produce
+        identical tables for identical inputs (tested), so a table
+        cached under one solver is valid for any other.
+        """
+        if not self.share_dp:
+            configs = self.configurations(rounded)
+            return solver(
+                rounded.counts, rounded.class_sizes, rounded.target, configs=configs
+            )
+        key = normalized_probe_key(rounded)
+        hit = key in self._dp
+        if not hit:
+            configs = self.configurations(rounded)
+            self._dp[key] = solver(
+                rounded.counts, rounded.class_sizes, rounded.target, configs=configs
+            )
+        self._note("dp", hit)
+        return self._dp[key]
+
+    def geometry(self, counts: Tuple[int, ...]) -> TableGeometry:
+        """Memoized :meth:`TableGeometry.from_counts` (strides reuse)."""
+        counts = tuple(int(c) for c in counts)
+        hit = counts in self._geometry
+        if not hit:
+            self._geometry[counts] = TableGeometry.from_counts(counts)
+        self._note("geometry", hit)
+        return self._geometry[counts]
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _note(self, kind: str, hit: bool) -> None:
+        self.stats.record(kind, hit)
+        self.last_events[kind] = "hit" if hit else "miss"
+        obs.count(f"cache.{kind}.{'hit' if hit else 'miss'}")
+
+    def begin_probe(self) -> None:
+        """Reset the per-probe event snapshot (called by the probe)."""
+        self.last_events = {}
+
+    def clear(self) -> None:
+        """Drop every cached artifact (stats are retained)."""
+        self._rounding.clear()
+        self._configs.clear()
+        self._dp.clear()
+        self._geometry.clear()
+
+    def __len__(self) -> int:
+        """Total number of cached artifacts across all kinds."""
+        return (
+            len(self._rounding)
+            + len(self._configs)
+            + len(self._dp)
+            + len(self._geometry)
+        )

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Protocol, Sequence, Union
 
 import numpy as np
 
@@ -43,6 +43,14 @@ from repro.core.instance import Instance
 from repro.core.rounding import RoundedInstance, round_instance
 from repro.core.schedule import Schedule
 from repro.errors import InvalidInstanceError
+from repro.observability import context as obs
+from repro.observability.timers import PhaseTimer
+from repro.observability.trace import ProbeTrace, TraceSink
+
+if TYPE_CHECKING:  # import cycle: probe_cache imports nothing from here,
+    # but keeping the runtime import lazy keeps repro.core.ptas a light
+    # dependency for the DP-only users.
+    from repro.core.probe_cache import ProbeCache
 
 
 class DPSolver(Protocol):
@@ -135,19 +143,75 @@ def _add_short_jobs(
     return machine_jobs
 
 
+def _emit_probe_trace(
+    timer: PhaseTimer,
+    rounded: RoundedInstance,
+    dp_result: DPResult,
+    machines_needed: int,
+    accepted: bool,
+    cache: Optional["ProbeCache"],
+) -> None:
+    """Merge this probe's timings into the ambient tracer and emit one event."""
+    tracer = obs.current_tracer()
+    if tracer is None:
+        return
+    tracer.count("probe.count")
+    tracer.count("probe.cells", rounded.table_size)
+    tracer.count("probe.configs", int(dp_result.configs.shape[0]))
+    for name, seconds in timer.seconds.items():
+        tracer.timer.add(f"probe.{name}", seconds)
+    tracer.record_probe(
+        ProbeTrace(
+            target=rounded.target,
+            accepted=accepted,
+            machines_needed=machines_needed,
+            k=rounded.k,
+            dims=rounded.dims,
+            n_long=rounded.n_long,
+            table_size=rounded.table_size,
+            num_configs=int(dp_result.configs.shape[0]),
+            phase_seconds=timer.as_dict(),
+            cache_events=dict(cache.last_events) if cache is not None else {},
+        )
+    )
+
+
 def probe_target(
     instance: Instance,
     target: int,
     eps: float,
     dp_solver: DPSolver = dp_vectorized,
+    cache: Optional["ProbeCache"] = None,
 ) -> ProbeResult:
-    """Run one dual-approximation probe at makespan target ``target``."""
-    rounded = round_instance(instance, target, eps)
-    dp_result = dp_solver(rounded.counts, rounded.class_sizes, rounded.target)
+    """Run one dual-approximation probe at makespan target ``target``.
+
+    ``cache`` (a :class:`~repro.core.probe_cache.ProbeCache`) reuses
+    rounding, configuration enumeration, and DP-tables across probes;
+    the probe's outcome is bit-identical with or without it (tested).
+    Phase timings and one :class:`~repro.observability.trace.ProbeTrace`
+    flow to the ambient tracer when one is active
+    (:mod:`repro.observability`).
+    """
+    timer = PhaseTimer()
+    if cache is not None:
+        cache.begin_probe()
+    with timer.phase("rounding"):
+        if cache is not None:
+            rounded = cache.rounding(instance, target, eps)
+        else:
+            rounded = round_instance(instance, target, eps)
+    with timer.phase("dp"):
+        if cache is not None:
+            dp_result = cache.dp(rounded, dp_solver)
+        else:
+            dp_result = dp_solver(rounded.counts, rounded.class_sizes, rounded.target)
 
     if not dp_result.feasible:
         # Some long job (or combination) cannot fit within T at all —
         # e.g. a single job larger than T.  Certify OPT > T.
+        _emit_probe_trace(
+            timer, rounded, dp_result, instance.machines + 1, False, cache
+        )
         return ProbeResult(
             target=target,
             rounded=rounded,
@@ -156,9 +220,14 @@ def probe_target(
             schedule=None,
         )
 
-    machine_configs = extract_machine_configurations(dp_result)
-    machine_jobs = _place_long_jobs(rounded, machine_configs)
-    machine_jobs = _add_short_jobs(instance, target, machine_jobs, rounded.short_indices)
+    with timer.phase("extract"):
+        machine_configs = extract_machine_configurations(dp_result)
+    with timer.phase("place_long"):
+        machine_jobs = _place_long_jobs(rounded, machine_configs)
+    with timer.phase("short_jobs"):
+        machine_jobs = _add_short_jobs(
+            instance, target, machine_jobs, rounded.short_indices
+        )
 
     needed = len(machine_jobs)
     schedule: Optional[Schedule] = None
@@ -167,11 +236,15 @@ def probe_target(
         schedule = Schedule.from_machine_lists(
             instance, machine_jobs + [[] for _ in range(instance.machines - needed)]
         )
+    machines_needed = max(needed, len(machine_configs))
+    _emit_probe_trace(
+        timer, rounded, dp_result, machines_needed, schedule is not None, cache
+    )
     return ProbeResult(
         target=target,
         rounded=rounded,
         dp_result=dp_result,
-        machines_needed=max(needed, len(machine_configs)),
+        machines_needed=machines_needed,
         schedule=schedule,
     )
 
@@ -220,6 +293,8 @@ def ptas_schedule(
     eps: float = 0.3,
     dp_solver: DPSolver = dp_vectorized,
     search: str = "bisection",
+    cache: Optional["ProbeCache"] = None,
+    trace: Optional[Union["obs.Tracer", TraceSink]] = None,
 ) -> PtasResult:
     """Schedule ``instance`` within ``(1 + eps)`` of the optimal makespan.
 
@@ -228,6 +303,18 @@ def ptas_schedule(
     Algorithm 3).  Both return identical final makespans (tested); the
     quarter split needs fewer iterations, which is what Table VII
     measures.
+
+    ``cache`` is an optional
+    :class:`~repro.core.probe_cache.ProbeCache` shared across the
+    run's probes (and, if you pass the same object again, across
+    runs); results are bit-identical with or without it.
+
+    ``trace`` is an optional
+    :class:`~repro.observability.Tracer` (its phases/counters are
+    filled in place) or bare
+    :class:`~repro.observability.TraceSink` (receives one
+    :class:`~repro.observability.ProbeTrace` per probe).  See
+    ``docs/PERFORMANCE.md``.
     """
     # Imported here to avoid a circular import (the search modules call
     # probe_target from this module).
@@ -235,7 +322,7 @@ def ptas_schedule(
     from repro.core.quarter_split import quarter_split_search
 
     if search == "bisection":
-        return bisection_search(instance, eps, dp_solver)
+        return bisection_search(instance, eps, dp_solver, cache=cache, trace=trace)
     if search == "quarter":
-        return quarter_split_search(instance, eps, dp_solver)
+        return quarter_split_search(instance, eps, dp_solver, cache=cache, trace=trace)
     raise InvalidInstanceError(f"unknown search strategy {search!r}")

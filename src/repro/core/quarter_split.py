@@ -27,13 +27,19 @@ and remains sound even if a probe behaves non-monotonically.
 
 from __future__ import annotations
 
-from typing import Optional
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.bounds import MakespanBounds, makespan_bounds
 from repro.core.dp_vectorized import dp_vectorized
 from repro.core.instance import Instance
 from repro.core.ptas import DPSolver, ProbeResult, PtasResult, probe_target
 from repro.errors import ReproError
+from repro.observability import Tracer, TraceSink, as_tracer
+from repro.observability import context as obs
+
+if TYPE_CHECKING:
+    from repro.core.probe_cache import ProbeCache
 
 #: Number of concurrent interval segments.  The paper fixes this at 4
 #: ("quarter split") to match the 4 Hyper-Q process queues it uses.
@@ -63,8 +69,30 @@ def quarter_split_search(
     eps: float = 0.3,
     dp_solver: DPSolver = dp_vectorized,
     segments: int = DEFAULT_SEGMENTS,
+    cache: Optional["ProbeCache"] = None,
+    trace: Optional[Union[Tracer, TraceSink]] = None,
 ) -> PtasResult:
-    """Run the PTAS with the quarter-split search; see module docstring."""
+    """Run the PTAS with the quarter-split search; see module docstring.
+
+    ``cache`` and ``trace`` are the cross-probe cache and observability
+    hooks of :func:`repro.core.ptas.ptas_schedule` (both optional,
+    neither changes the result).  One cache serves all ``segments``
+    concurrent probes of an iteration — nearby targets frequently
+    normalize to the same rounded geometry, so segment probes feed
+    each other's lookups.
+    """
+    tracer = as_tracer(trace)
+    with tracer.activate() if tracer is not None else nullcontext():
+        return _quarter_split_search(instance, eps, dp_solver, segments, cache)
+
+
+def _quarter_split_search(
+    instance: Instance,
+    eps: float,
+    dp_solver: DPSolver,
+    segments: int,
+    cache: Optional["ProbeCache"],
+) -> PtasResult:
     bounds = makespan_bounds(instance)
     lb, ub = bounds.lower, bounds.upper
 
@@ -74,8 +102,11 @@ def quarter_split_search(
 
     while lb < ub:
         iterations += 1
+        obs.count("search.iterations")
         targets = segment_targets(lb, ub, segments)
-        round_probes = [probe_target(instance, t, eps, dp_solver) for t in targets]
+        round_probes = [
+            probe_target(instance, t, eps, dp_solver, cache=cache) for t in targets
+        ]
         probes.extend(round_probes)
 
         accepted = [p for p in round_probes if p.accepted]
@@ -96,7 +127,7 @@ def quarter_split_search(
             raise ReproError("quarter split produced no probes")  # unreachable
 
     if best_accept is None or best_accept.target != ub:
-        probe = probe_target(instance, ub, eps, dp_solver)
+        probe = probe_target(instance, ub, eps, dp_solver, cache=cache)
         probes.append(probe)
         if not probe.accepted:
             raise ReproError(

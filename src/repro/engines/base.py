@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.dp_common import DPResult, UNREACHABLE
 from repro.dptable.table import TableGeometry
 from repro.errors import DPError
+from repro.observability import context as obs
 
 
 def fill_by_groups(
@@ -81,7 +82,20 @@ def fill_by_groups(
         raise DPError(
             f"schedule covered {covered} of {size} cells; groups must tile the table"
         )
+    obs.count("engine.fill.calls")
+    obs.count("engine.fill.cells", covered)
     return table
+
+
+def note_engine_run(run: "EngineRun") -> None:
+    """Report one engine probe to the ambient tracer (no-op untraced).
+
+    Called by every engine at the end of :meth:`run` so PTAS-level
+    traces can attribute simulated hardware time per engine without
+    the engines knowing about the tracer's lifetime.
+    """
+    obs.count(f"engine.{run.engine}.probes")
+    obs.count(f"engine.{run.engine}.simulated_s", run.simulated_s)
 
 
 def degenerate_run(engine: str) -> "EngineRun":
@@ -93,7 +107,9 @@ def degenerate_run(engine: str) -> "EngineRun":
     """
     from repro.core.dp_common import empty_dp_result
 
-    return EngineRun(engine=engine, dp_result=empty_dp_result(), simulated_s=0.0)
+    run = EngineRun(engine=engine, dp_result=empty_dp_result(), simulated_s=0.0)
+    note_engine_run(run)
+    return run
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.dp_common import DPResult
 from repro.dptable.antidiagonal import wavefront
-from repro.engines.base import EngineRun, degenerate_run, fill_by_groups
+from repro.engines.base import EngineRun, degenerate_run, fill_by_groups, note_engine_run
 from repro.engines.costmodel import CostConstants, DEFAULT_COSTS, WorkProfile
 from repro.gpusim.engine import GpuSimulator
 from repro.gpusim.kernel import KernelSpec
@@ -112,6 +112,7 @@ class GpuNaiveEngine:
         )
         self.total_simulated_s += run.simulated_s
         self.runs.append(run)
+        note_engine_run(run)
         return run
 
     def __call__(

@@ -36,7 +36,7 @@ from repro.core.dp_common import DPResult
 from repro.dptable.layout import BlockedLayout
 from repro.dptable.partition import BlockPartition, compute_divisor
 from repro.extensions.residency import BlockResidency
-from repro.engines.base import EngineRun, degenerate_run, fill_by_groups
+from repro.engines.base import EngineRun, degenerate_run, fill_by_groups, note_engine_run
 from repro.engines.costmodel import CostConstants, DEFAULT_COSTS, WorkProfile
 from repro.gpusim.engine import GpuSimulator
 from repro.gpusim.kernel import KernelSpec
@@ -233,6 +233,7 @@ class GpuPartitionedEngine:
         )
         self.total_simulated_s += run.simulated_s
         self.runs.append(run)
+        note_engine_run(run)
         return run
 
     def __call__(

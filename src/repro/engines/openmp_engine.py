@@ -23,7 +23,7 @@ from repro.core.dp_common import DPResult
 from repro.cpusim.openmp import OpenMPModel
 from repro.cpusim.spec import CpuSpec, XEON_E5_2697V3_DUAL
 from repro.dptable.antidiagonal import wavefront
-from repro.engines.base import EngineRun, degenerate_run, fill_by_groups
+from repro.engines.base import EngineRun, degenerate_run, fill_by_groups, note_engine_run
 from repro.engines.costmodel import CostConstants, DEFAULT_COSTS, WorkProfile
 
 
@@ -111,6 +111,7 @@ class OpenMPEngine:
         )
         self.total_simulated_s += run.simulated_s
         self.runs.append(run)
+        note_engine_run(run)
         return run
 
     def __call__(

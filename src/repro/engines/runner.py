@@ -26,6 +26,7 @@ from typing import Optional
 
 from repro.core.bounds import makespan_bounds
 from repro.core.instance import Instance
+from repro.core.probe_cache import ProbeCache
 from repro.core.ptas import ProbeResult, PtasResult, probe_target
 from repro.core.quarter_split import segment_targets
 from repro.engines.base import EngineRun
@@ -66,12 +67,22 @@ def run_ptas_openmp(
     eps: float = 0.3,
     threads: int = 28,
     engine: Optional[OpenMPEngine] = None,
+    cache: Optional[ProbeCache] = None,
 ) -> PtasRun:
-    """Algorithm 1 with plain bisection on the OpenMP cost model."""
+    """Algorithm 1 with plain bisection on the OpenMP cost model.
+
+    ``cache`` should be a ``ProbeCache(share_dp=False)`` when faithful
+    per-probe simulated-time accounting matters: rounding and
+    configuration enumeration are then reused (pure harness speedup)
+    while the engine still fills — and charges — every probe.  A
+    full ``ProbeCache()`` also skips the engine on repeated probes,
+    which understates ``simulated_s`` relative to the paper's
+    cacheless implementation.
+    """
     from repro.core.bisection import bisection_search
 
     engine = engine or OpenMPEngine(threads=threads)
-    result = bisection_search(instance, eps, dp_solver=engine)
+    result = bisection_search(instance, eps, dp_solver=engine, cache=cache)
     return PtasRun(
         engine=engine.name,
         result=result,
@@ -81,13 +92,19 @@ def run_ptas_openmp(
 
 
 def run_ptas_serial(
-    instance: Instance, eps: float = 0.3, engine: Optional[SequentialEngine] = None
+    instance: Instance,
+    eps: float = 0.3,
+    engine: Optional[SequentialEngine] = None,
+    cache: Optional[ProbeCache] = None,
 ) -> PtasRun:
-    """Algorithm 1 with plain bisection on a single simulated core."""
+    """Algorithm 1 with plain bisection on a single simulated core.
+
+    See :func:`run_ptas_openmp` for the ``cache`` accounting caveat.
+    """
     from repro.core.bisection import bisection_search
 
     engine = engine or SequentialEngine()
-    result = bisection_search(instance, eps, dp_solver=engine)
+    result = bisection_search(instance, eps, dp_solver=engine, cache=cache)
     return PtasRun(
         engine=engine.name,
         result=result,
@@ -112,6 +129,7 @@ def run_ptas_gpu(
     segments: int = 4,
     streams_per_segment: int = 4,
     engine: Optional[GpuPartitionedEngine] = None,
+    cache: Optional[ProbeCache] = None,
 ) -> PtasRun:
     """Algorithm 3 (quarter split) on the partitioned GPU engine.
 
@@ -119,6 +137,11 @@ def run_ptas_gpu(
     groups each iteration's probes to charge them as concurrent device
     work.  The returned makespan is identical to the plain search
     (property-tested).
+
+    One ``cache`` serves all four concurrent segment probes of an
+    iteration; see :func:`run_ptas_openmp` for the ``share_dp``
+    accounting caveat (pass ``ProbeCache(share_dp=False)`` to keep
+    Table VII-faithful simulated times).
     """
     engine = engine or GpuPartitionedEngine(dim=dim, num_streams=streams_per_segment)
     bounds = makespan_bounds(instance)
@@ -133,7 +156,9 @@ def run_ptas_gpu(
         iterations += 1
         targets = segment_targets(lb, ub, segments)
         mark = len(engine.runs)
-        round_probes = [probe_target(instance, t, eps, engine) for t in targets]
+        round_probes = [
+            probe_target(instance, t, eps, engine, cache=cache) for t in targets
+        ]
         probes.extend(round_probes)
         simulated += _concurrent_time(engine.runs[mark:], engine.spec.warp_slots)
 
@@ -152,7 +177,7 @@ def run_ptas_gpu(
 
     if best_accept is None or best_accept.target != ub:
         mark = len(engine.runs)
-        probe = probe_target(instance, ub, eps, engine)
+        probe = probe_target(instance, ub, eps, engine, cache=cache)
         probes.append(probe)
         simulated += _concurrent_time(engine.runs[mark:], engine.spec.warp_slots)
         if not probe.accepted:

@@ -1,0 +1,80 @@
+"""Observability: per-phase timers, counters, and probe tracing.
+
+The search strategies (:mod:`repro.core.bisection`,
+:mod:`repro.core.quarter_split`) and the DP solvers they drive were
+opaque: a PTAS run reported only its iteration count, with no way to
+see where a probe's time went (rounding? configuration enumeration?
+the DP fill? short-job packing?) or how much work the run repeated
+across probes.  This package is the measurement layer that motivated —
+and now validates — the cross-probe cache
+(:mod:`repro.core.probe_cache`).
+
+Three layers, smallest first:
+
+* :class:`~repro.observability.timers.PhaseTimer` — an accumulating
+  named-phase stopwatch (``with timer.phase("dp"): ...``).
+* :class:`~repro.observability.trace.ProbeTrace` /
+  :class:`~repro.observability.trace.TraceSink` — one structured event
+  per dual-approximation probe and the pluggable protocol that
+  receives them.  :class:`~repro.observability.trace.TraceRecorder`
+  is the in-memory reference sink with JSON export.
+* :class:`~repro.observability.context.Tracer` — the ambient
+  collector.  Library code calls the module-level helpers
+  (:func:`~repro.observability.context.count`,
+  :func:`~repro.observability.context.phase`, ...) which are cheap
+  no-ops unless a tracer has been activated, so the instrumented hot
+  paths pay (almost) nothing when nobody is watching.
+
+Typical use, via the PTAS entry point::
+
+    from repro import ptas_schedule
+    from repro.observability import TraceRecorder, Tracer
+
+    recorder = TraceRecorder()
+    tracer = Tracer(sink=recorder)
+    result = ptas_schedule(inst, eps=0.3, trace=tracer)
+
+    tracer.report()            # {"phases": {...}, "counters": {...}, ...}
+    recorder.events            # one ProbeTrace per DP probe
+    recorder.to_json()         # the same, serialized
+
+or from the command line: ``python -m repro schedule ... --profile
+--trace-json trace.json``.  See ``docs/PERFORMANCE.md`` for how to
+read the output.
+"""
+
+from repro.observability.context import (
+    Tracer,
+    add_time,
+    as_tracer,
+    count,
+    current_tracer,
+    phase,
+    record_probe,
+)
+from repro.observability.report import render_profile
+from repro.observability.timers import PhaseTimer
+from repro.observability.trace import (
+    NullSink,
+    ProbeTrace,
+    TraceRecorder,
+    TraceSink,
+    events_to_json,
+)
+
+__all__ = [
+    "PhaseTimer",
+    "ProbeTrace",
+    "TraceSink",
+    "TraceRecorder",
+    "NullSink",
+    "events_to_json",
+    "Tracer",
+    "as_tracer",
+    "current_tracer",
+    "count",
+    "phase",
+    "add_time",
+    "record_probe",
+    "render_profile",
+]

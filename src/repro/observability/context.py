@@ -1,0 +1,152 @@
+"""The ambient tracer: activate once, instrument everywhere.
+
+Threading a collector object through every call of the search →
+probe → DP → engine stack would contaminate a dozen signatures with a
+parameter that is ``None`` in production.  Instead the collector is
+*ambient*: :class:`Tracer` installs itself in a :class:`ContextVar`
+for the duration of a ``with tracer.activate():`` block, and
+instrumented library code calls the module-level helpers
+(:func:`count`, :func:`phase`, :func:`add_time`,
+:func:`record_probe`), which no-op when no tracer is active.
+
+``ContextVar`` (not a module global) keeps concurrent searches
+independent: each thread/task sees only the tracer it activated, so
+e.g. the host-parallel wavefront workers or two interleaved PTAS runs
+cannot pollute each other's counters.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional
+
+from repro.observability.timers import PhaseTimer
+from repro.observability.trace import ProbeTrace, TraceSink
+
+_ACTIVE: ContextVar[Optional["Tracer"]] = ContextVar("repro_tracer", default=None)
+
+
+class Tracer:
+    """Collects phases, counters, and probe events for one activation.
+
+    Parameters
+    ----------
+    sink:
+        Optional :class:`~repro.observability.trace.TraceSink`
+        receiving every probe event as it happens (the tracer also
+        keeps its own list in :attr:`probes`).
+
+    Example::
+
+        tracer = Tracer()
+        with tracer.activate():
+            ptas_schedule(inst, eps=0.3)   # instrumented internally
+        tracer.counters["probe.count"]
+        tracer.timer.seconds["probe.dp"]
+    """
+
+    def __init__(self, sink: Optional[TraceSink] = None) -> None:
+        self.sink = sink
+        #: accumulated wall seconds per named phase.
+        self.timer = PhaseTimer()
+        #: accumulated named counters.
+        self.counters: Dict[str, float] = {}
+        #: every probe event recorded while active.
+        self.probes: List[ProbeTrace] = []
+
+    # -- collection ---------------------------------------------------------
+
+    def count(self, name: str, delta: float = 1) -> None:
+        """Add ``delta`` to counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def record_probe(self, probe: ProbeTrace) -> None:
+        """Record one probe event (and forward it to the sink)."""
+        self.probes.append(probe)
+        if self.sink is not None:
+            self.sink.record(probe)
+
+    # -- activation ---------------------------------------------------------
+
+    @contextmanager
+    def activate(self) -> Iterator["Tracer"]:
+        """Install this tracer as the ambient collector for the block."""
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self) -> Dict[str, object]:
+        """JSON-ready summary: phases, counters, and probe events."""
+        return {
+            "phases": self.timer.as_dict(),
+            "counters": dict(self.counters),
+            "probes": [p.to_dict() for p in self.probes],
+        }
+
+
+def as_tracer(trace: object) -> Optional[Tracer]:
+    """Coerce a ``trace=`` argument into a :class:`Tracer`.
+
+    Accepts ``None`` (no tracing), an existing :class:`Tracer` (used
+    as-is), or a bare :class:`~repro.observability.trace.TraceSink`
+    (wrapped in a fresh tracer that forwards probe events to it).
+    """
+    if trace is None:
+        return None
+    if isinstance(trace, Tracer):
+        return trace
+    if hasattr(trace, "record"):
+        return Tracer(sink=trace)  # type: ignore[arg-type]
+    raise TypeError(
+        f"trace must be None, a Tracer, or a TraceSink; got {type(trace).__name__}"
+    )
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The ambient tracer, or ``None`` when nothing is being traced."""
+    return _ACTIVE.get()
+
+
+def count(name: str, delta: float = 1) -> None:
+    """Increment counter ``name`` on the ambient tracer (no-op if none).
+
+    Hot loops should accumulate locally and call this once — the
+    helper is cheap but not free.
+    """
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.count(name, delta)
+
+
+def add_time(name: str, seconds: float) -> None:
+    """Credit ``seconds`` to phase ``name`` on the ambient tracer."""
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.timer.add(name, seconds)
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Time a block as phase ``name`` on the ambient tracer.
+
+    A fast no-op when no tracer is active (the ``ContextVar`` lookup
+    is the only cost).
+    """
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        yield
+        return
+    with tracer.timer.phase(name):
+        yield
+
+
+def record_probe(probe: ProbeTrace) -> None:
+    """Record a probe event on the ambient tracer (no-op if none)."""
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.record_probe(probe)

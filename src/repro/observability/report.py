@@ -1,0 +1,73 @@
+"""Human-readable rendering of a tracer's collections (``--profile``).
+
+Kept dependency-free (no :mod:`repro.analysis` import) so the
+observability package stays a leaf of the import graph — everything
+else may instrument itself against it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.observability.context import Tracer
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.1f} us"
+
+
+def _fmt_count(value: float) -> str:
+    if float(value).is_integer():
+        return f"{int(value):,}"
+    return f"{value:,.3f}"
+
+
+def render_profile(tracer: Tracer, title: str = "profile") -> str:
+    """Render a tracer's phases, counters, and probe summary as text.
+
+    The layout is what ``python -m repro schedule --profile`` prints;
+    ``docs/PERFORMANCE.md`` walks through reading it.
+    """
+    lines: List[str] = [f"== {title} =="]
+
+    phases = tracer.timer.seconds
+    if phases:
+        lines.append("-- phases (wall time, accumulated) --")
+        width = max(len(n) for n in phases)
+        total = sum(phases.values())
+        for name in sorted(phases, key=lambda n: -phases[n]):
+            secs = phases[name]
+            share = (secs / total * 100.0) if total > 0 else 0.0
+            entries = tracer.timer.entries.get(name, 0)
+            lines.append(
+                f"  {name:<{width}}  {_fmt_seconds(secs)}  "
+                f"{share:5.1f}%  ({entries} entries)"
+            )
+
+    if tracer.counters:
+        lines.append("-- counters --")
+        width = max(len(n) for n in tracer.counters)
+        for name in sorted(tracer.counters):
+            lines.append(f"  {name:<{width}}  {_fmt_count(tracer.counters[name])}")
+
+    if tracer.probes:
+        accepted = sum(1 for p in tracer.probes if p.accepted)
+        dp_hits = sum(1 for p in tracer.probes if p.cache_events.get("dp") == "hit")
+        lines.append("-- probes --")
+        lines.append(
+            f"  {len(tracer.probes)} probes ({accepted} accepted), "
+            f"{dp_hits} DP cache hits"
+        )
+        lines.append("  target     accepted  table_size  |C|     dp_time     cache")
+        for p in tracer.probes:
+            cache = ",".join(f"{k}:{v}" for k, v in sorted(p.cache_events.items()))
+            lines.append(
+                f"  {p.target:<10} {str(p.accepted):<9} {p.table_size:<11} "
+                f"{p.num_configs:<7} {_fmt_seconds(p.phase_seconds.get('dp', 0.0))}  "
+                f"{cache or '-'}"
+            )
+    return "\n".join(lines)

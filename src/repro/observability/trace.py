@@ -1,0 +1,131 @@
+"""Per-probe trace events and the pluggable sink protocol.
+
+One :class:`ProbeTrace` is emitted for every dual-approximation probe
+the PTAS performs (so a bisection run emits ``len(result.probes)``
+events, and the quarter split emits up to four per iteration).  The
+event carries everything needed to reconstruct where the probe's time
+went and whether the cross-probe cache helped — without holding a
+reference to the (potentially large) DP table itself, so sinks can
+retain every event of a long batch run cheaply.
+
+A *sink* is anything with a ``record(ProbeTrace)`` method
+(:class:`TraceSink`).  The library ships two: :class:`TraceRecorder`
+(in-memory list + JSON export — the default for tests and the CLI)
+and :class:`NullSink` (explicitly discard).  Writing your own —
+e.g. streaming events to a metrics backend — is the intended
+extension point.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+
+@dataclass(frozen=True)
+class ProbeTrace:
+    """Structured record of one target-makespan probe.
+
+    Attributes
+    ----------
+    target: the makespan ``T`` probed.
+    accepted: whether the dual approximation certified feasibility.
+    machines_needed: machines the probe used (``> m`` on rejection).
+    k: accuracy parameter ``ceil(1/eps)``.
+    dims: occupied job classes (DP-table dimensionality).
+    n_long: number of long jobs (DP wavefront depth).
+    table_size: DP-table cell count ``sigma``.
+    num_configs: size of the machine-configuration set ``|C|``.
+    phase_seconds: wall seconds of this probe's phases (``rounding``,
+        ``configs``, ``dp``, ``extract``, ``place_long``,
+        ``short_jobs``).
+    cache_events: per-artifact cache outcome (``"hit"``/``"miss"``)
+        when a :class:`~repro.core.probe_cache.ProbeCache` was active,
+        keyed by ``rounding`` / ``configs`` / ``dp``; empty otherwise.
+    """
+
+    target: int
+    accepted: bool
+    machines_needed: int
+    k: int
+    dims: int
+    n_long: int
+    table_size: int
+    num_configs: int
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    cache_events: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Total wall seconds of the probe's recorded phases."""
+        return float(sum(self.phase_seconds.values()))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready plain-dict view."""
+        return {
+            "target": self.target,
+            "accepted": self.accepted,
+            "machines_needed": self.machines_needed,
+            "k": self.k,
+            "dims": self.dims,
+            "n_long": self.n_long,
+            "table_size": self.table_size,
+            "num_configs": self.num_configs,
+            "phase_seconds": dict(self.phase_seconds),
+            "cache_events": dict(self.cache_events),
+        }
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that can receive probe events."""
+
+    def record(self, probe: ProbeTrace) -> None:
+        """Handle one probe event (called in probe-execution order)."""
+        ...
+
+
+class NullSink:
+    """A sink that discards every event (for explicitness in wiring)."""
+
+    def record(self, probe: ProbeTrace) -> None:
+        """Discard the event."""
+
+
+class TraceRecorder:
+    """In-memory :class:`TraceSink`: keeps every event, exports JSON.
+
+    The reference sink — tests assert one event per probe against it,
+    and the CLI's ``--trace-json`` serializes one.
+    """
+
+    def __init__(self) -> None:
+        #: every recorded event, in probe-execution order.
+        self.events: List[ProbeTrace] = []
+
+    def record(self, probe: ProbeTrace) -> None:
+        """Append one probe event."""
+        self.events.append(probe)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def accepted(self) -> List[ProbeTrace]:
+        """Events of accepted probes only."""
+        return [e for e in self.events if e.accepted]
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of probes whose DP table came from the cache."""
+        return sum(1 for e in self.events if e.cache_events.get("dp") == "hit")
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize all events (see :func:`events_to_json`)."""
+        return events_to_json(self.events, indent=indent)
+
+
+def events_to_json(events: Sequence[ProbeTrace], indent: Optional[int] = 2) -> str:
+    """Serialize probe events to a JSON array string."""
+    return json.dumps([e.to_dict() for e in events], indent=indent)

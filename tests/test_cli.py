@@ -43,6 +43,45 @@ class TestSchedule:
         assert capsys.readouterr().out == first
 
 
+class TestProfiling:
+    ARGS = ["schedule", "--machines", "4", "--random", "25", "--seed", "6"]
+
+    def test_profile_prints_phases_and_counters(self, capsys):
+        code = main(self.ARGS + ["--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== profile" in out
+        assert "probe.dp" in out
+        assert "probe.count" in out
+
+    def test_cache_flag_with_profile_prints_stats(self, capsys):
+        code = main(self.ARGS + ["--cache", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache: CacheStats(" in out
+        assert "cache.dp" in out  # cache counters flow into the tracer
+
+    def test_trace_json_writes_one_record_per_probe(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        code = main(self.ARGS + ["--trace-json", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"phases", "counters", "probes"}
+        # "N DP probes" printed by the schedule summary must match.
+        probes_printed = int(out.split(" DP probes")[0].rsplit(" ", 1)[-1])
+        assert len(payload["probes"]) == probes_printed
+
+    def test_cache_does_not_change_output(self, capsys):
+        main(self.ARGS)
+        plain = capsys.readouterr().out
+        main(self.ARGS + ["--cache"])
+        cached = capsys.readouterr().out
+        assert cached == plain
+
+
 class TestEngines:
     def test_runs_and_agrees(self, capsys):
         code = main(["engines", "--jobs", "25", "--machines", "4", "--seed", "3",
