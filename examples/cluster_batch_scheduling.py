@@ -6,23 +6,25 @@ identical nodes.  The batch is bimodal — many short ETL tasks plus a
 few heavy model-training jobs — which is exactly where greedy
 heuristics leave machines unbalanced and the PTAS's rounding pays off.
 
-The script schedules the same batch with list scheduling, LPT,
-MULTIFIT, and the PTAS at several accuracies, and reports makespans,
-machine utilisation, and the PTAS's proven bounds.  One
-``ProbeCache`` is shared across every PTAS run of the batch — probes
-from different accuracies that round to the same geometry reuse each
-other's configuration sets and DP-tables (the cache stats printed at
-the end show how much of the batch was served from cache).
+The script schedules the same workload with list scheduling, LPT, and
+MULTIFIT for reference, then hands the real batch — the workload at
+several accuracies at once — to the production front-end,
+:class:`repro.service.BatchScheduler`: the requests fan out across a
+thread pool, share one ``ProbeCache`` (probes from different
+accuracies that round to the same geometry reuse each other's
+configuration sets and DP-tables), and come back as one deterministic
+report whose cache stats show how much of the batch was served from
+cache.
 
 Usage:  python examples/cluster_batch_scheduling.py
 """
 
 from __future__ import annotations
 
-from repro import ProbeCache, ptas_schedule
 from repro.core.baselines import list_schedule, lpt_schedule, multifit_schedule
 from repro.core.improve import improve_schedule
 from repro.core.instance import bimodal_instance
+from repro.service import BatchRequest, BatchScheduler
 
 
 def describe(name: str, makespan: int, loads, note: str = "") -> None:
@@ -59,18 +61,28 @@ def main() -> None:
     s = multifit_schedule(batch)
     describe("MULTIFIT", s.makespan, s.loads(), "(bin-packing bisection)")
 
-    cache = ProbeCache()  # shared across the whole batch of PTAS runs
-    for eps in (0.5, 0.3, 0.2):
-        result = ptas_schedule(batch, eps=eps, search="quarter", cache=cache)
+    # The accuracy sweep as one batch: three requests, three worker
+    # threads, one shared probe cache.  Results are deterministic and
+    # identical to running ptas_schedule three times by hand.
+    scheduler = BatchScheduler(backend="vectorized", workers=3, search="quarter")
+    report = scheduler.run(
+        [
+            BatchRequest(instance=batch, eps=eps, name=f"PTAS eps={eps}")
+            for eps in (0.5, 0.3, 0.2)
+        ]
+    )
+    for req_result in report.results:
+        result = req_result.result
         describe(
-            f"PTAS eps={eps}",
+            req_result.name,
             result.makespan,
             result.schedule.loads(),
             f"(proven <= {result.guarantee_bound():.0f}, "
             f"{result.iterations} quarter-split iterations)",
         )
 
-    polished = improve_schedule(result.schedule)
+    finest = report.results[-1].result
+    polished = improve_schedule(finest.schedule)
     describe(
         "PTAS eps=0.2 + polish",
         polished.schedule.makespan,
@@ -79,7 +91,12 @@ def main() -> None:
     )
 
     print()
-    stats = cache.stats
+    stats = report.cache_stats
+    print(
+        f"batch: {report.total_probes} DP probes across "
+        f"{len(report.results)} requests on {report.workers} workers "
+        f"in {report.wall_s:.2f}s"
+    )
     print(
         f"shared probe cache: {stats.total_hits} hits / "
         f"{stats.total_hits + stats.total_misses} lookups "

@@ -18,6 +18,12 @@ Makespan"* (Li, Ghalami, Schwiebert, Grosu — IPDPS Workshops 2018):
 * a cross-probe solver cache (:mod:`repro.core.probe_cache`) and the
   observability layer that motivated it — per-phase timers, counters,
   per-probe trace events (:mod:`repro.observability`);
+* a backend registry resolving every solver and engine by name
+  (:mod:`repro.backends`), the probe-executor layer that owns
+  sequential vs concurrent-device time accounting
+  (:mod:`repro.core.executor`), and a batch scheduling service fanning
+  many instances across a thread pool with one shared cache
+  (:mod:`repro.service`);
 * the full evaluation harness regenerating every figure and table
   (:mod:`repro.analysis`).
 
@@ -31,10 +37,12 @@ Quickstart::
 """
 
 from repro.core import (
+    ConcurrentDeviceExecutor,
     Instance,
     ProbeCache,
     PtasResult,
     Schedule,
+    SequentialExecutor,
     bisection_search,
     dp_reference,
     dp_vectorized,
@@ -62,6 +70,8 @@ __all__ = [
     "round_instance",
     "uniform_instance",
     "ProbeCache",
+    "SequentialExecutor",
+    "ConcurrentDeviceExecutor",
     "Tracer",
     "TraceRecorder",
     "ReproError",

@@ -46,6 +46,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--search", choices=["bisection", "quarter"], default="quarter"
     )
     p_sched.add_argument(
+        "--backend", default="vectorized", metavar="NAME",
+        help="DP solver backend from the registry (repro.backends): "
+             "'vectorized' (default), 'frontier', 'reference', or a "
+             "simulated engine such as 'serial', 'omp-28', 'gpu-dim6', "
+             "'hybrid'",
+    )
+    p_sched.add_argument(
         "--baselines", action="store_true", help="also run LPT and MULTIFIT"
     )
     p_sched.add_argument(
@@ -111,6 +118,17 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         print("error: provide --times, --random N, or --from-file", file=sys.stderr)
         return 2
 
+    from repro.backends import get_spec, resolve
+    from repro.core.executor import default_executor
+    from repro.errors import BackendError
+
+    try:
+        spec = get_spec(args.backend)
+        solver = resolve(args.backend)
+    except BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     cache = tracer = None
     if args.cache:
         from repro.core.probe_cache import ProbeCache
@@ -121,8 +139,10 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
         tracer = Tracer()
 
+    executor = default_executor(solver)
     result = ptas_schedule(
-        inst, eps=args.eps, search=args.search, cache=cache, trace=tracer
+        inst, eps=args.eps, search=args.search, dp_solver=solver,
+        cache=cache, trace=tracer, executor=executor,
     )
     print(f"instance: {inst}")
     print(
@@ -131,6 +151,11 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         f"{result.iterations} iterations, {len(result.probes)} DP probes)"
     )
     print(f"loads: {result.schedule.loads().tolist()}")
+    if spec.simulated:
+        print(
+            f"backend {spec.name}: simulated {executor.elapsed_s * 1e3:.3f} ms "
+            f"({executor.rounds} rounds, {spec.concurrency} concurrency)"
+        )
     if tracer is not None and args.profile:
         from repro.observability import render_profile
 
@@ -159,13 +184,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_engines(args: argparse.Namespace) -> int:
+    from repro.backends import iter_backends, resolve
     from repro.core.bounds import makespan_bounds
-    from repro.engines import (
-        GpuNaiveEngine,
-        GpuPartitionedEngine,
-        OpenMPEngine,
-        SequentialEngine,
-    )
 
     inst = uniform_instance(args.jobs, args.machines, low=5, high=100, seed=args.seed)
     bounds = makespan_bounds(inst)
@@ -181,16 +201,26 @@ def _cmd_engines(args: argparse.Namespace) -> int:
         f"({rounded.table_size} cells, {rounded.dims} dims)"
     )
 
-    engines = [SequentialEngine(), OpenMPEngine(16), OpenMPEngine(28),
-               GpuNaiveEngine(check_memory=False)]
-    engines += [GpuPartitionedEngine(dim=d) for d in args.dims]
+    # Every simulated backend in the registry; the gpu-dim family is
+    # expanded from --dims rather than the registry's curated sizes.
+    names = [
+        s.name
+        for s in iter_backends(simulated=True)
+        if not s.name.startswith("gpu-dim")
+    ]
+    names += [f"gpu-dim{d}" for d in args.dims]
     rows = []
     opt = None
-    for engine in engines:
+    for name in names:
+        engine = resolve(name, check_memory=False) if name.startswith("gpu") else (
+            resolve(name)
+        )
         run = engine.run(rounded.counts, rounded.class_sizes, rounded.target)
         opt = run.dp_result.opt if opt is None else opt
         assert run.dp_result.opt == opt, "engines disagree!"
-        rows.append({"engine": run.engine, "simulated_s": run.simulated_s})
+        # Label rows with the registry name: the hybrid engine tags its
+        # runs with whichever device it dispatched to.
+        rows.append({"engine": name, "simulated_s": run.simulated_s})
     print(render_table(rows))
     print(f"OPT(N) = {opt} machines (identical across engines)")
     return 0

@@ -24,10 +24,15 @@ from repro.core.dp_reference import dp_reference
 from repro.core.dp_vectorized import dp_vectorized
 from repro.core.dp_frontier import dp_frontier
 from repro.core.improve import improve_schedule
-from repro.core.probe_cache import CacheStats, ProbeCache
+from repro.core.probe_cache import CacheStats, NullProbeCache, ProbeCache
 from repro.core.ptas import PtasResult, ptas_schedule
 from repro.core.bisection import bisection_search
 from repro.core.quarter_split import quarter_split_search
+from repro.core.executor import (
+    ConcurrentDeviceExecutor,
+    ProbeExecutor,
+    SequentialExecutor,
+)
 
 __all__ = [
     "Instance",
@@ -42,9 +47,13 @@ __all__ = [
     "dp_frontier",
     "improve_schedule",
     "ProbeCache",
+    "NullProbeCache",
     "CacheStats",
     "PtasResult",
     "ptas_schedule",
     "bisection_search",
     "quarter_split_search",
+    "ProbeExecutor",
+    "SequentialExecutor",
+    "ConcurrentDeviceExecutor",
 ]

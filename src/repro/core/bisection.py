@@ -6,6 +6,12 @@ accepts (``machines_needed <= m``) move ``UB`` down to ``T``, otherwise
 move ``LB`` up to ``T + 1``.  The loop maintains the invariant that the
 optimum lies in ``[LB, UB]`` and that every accepted probe has a
 schedule of makespan at most ``(1 + eps) T``.
+
+Each iteration's single probe is submitted to a
+:class:`~repro.core.executor.ProbeExecutor`, which both runs it and
+accounts its simulated time — so the same loop serves the pure solvers
+(zero charge), the host engines (sequential sum), and a device engine
+(work/span bound), with no per-backend copies of the search.
 """
 
 from __future__ import annotations
@@ -16,12 +22,13 @@ from typing import TYPE_CHECKING, Optional, Union
 from repro.core.bounds import makespan_bounds
 from repro.core.dp_vectorized import dp_vectorized
 from repro.core.instance import Instance
-from repro.core.ptas import DPSolver, ProbeResult, PtasResult, probe_target
-from repro.errors import ReproError
+from repro.core.ptas import DPSolver, ProbeResult, PtasResult
+from repro.core.search_common import finalize_search
 from repro.observability import Tracer, TraceSink, as_tracer
 from repro.observability import context as obs
 
 if TYPE_CHECKING:
+    from repro.core.executor import ProbeExecutor
     from repro.core.probe_cache import ProbeCache
 
 
@@ -31,16 +38,19 @@ def bisection_search(
     dp_solver: DPSolver = dp_vectorized,
     cache: Optional["ProbeCache"] = None,
     trace: Optional[Union[Tracer, TraceSink]] = None,
+    executor: Optional["ProbeExecutor"] = None,
 ) -> PtasResult:
     """Run the PTAS with plain bisection; see module docstring.
 
     ``cache`` and ``trace`` are the cross-probe cache and observability
-    hooks of :func:`repro.core.ptas.ptas_schedule` (both optional,
-    neither changes the result).
+    hooks of :func:`repro.core.ptas.ptas_schedule`; ``executor`` is the
+    probe executor (default
+    :class:`~repro.core.executor.SequentialExecutor`).  None of the
+    three changes the result.
     """
     tracer = as_tracer(trace)
     with tracer.activate() if tracer is not None else nullcontext():
-        return _bisection_search(instance, eps, dp_solver, cache)
+        return _bisection_search(instance, eps, dp_solver, cache, executor)
 
 
 def _bisection_search(
@@ -48,7 +58,11 @@ def _bisection_search(
     eps: float,
     dp_solver: DPSolver,
     cache: Optional["ProbeCache"],
+    executor: Optional["ProbeExecutor"],
 ) -> PtasResult:
+    from repro.core.executor import SequentialExecutor
+
+    executor = executor if executor is not None else SequentialExecutor()
     bounds = makespan_bounds(instance)
     lb, ub = bounds.lower, bounds.upper
 
@@ -60,7 +74,7 @@ def _bisection_search(
         iterations += 1
         obs.count("search.iterations")
         target = (lb + ub) // 2
-        probe = probe_target(instance, target, eps, dp_solver, cache=cache)
+        probe = executor.run_round(instance, [target], eps, dp_solver, cache=cache)[0]
         probes.append(probe)
         if probe.accepted:
             ub = target
@@ -68,33 +82,15 @@ def _bisection_search(
         else:
             lb = target + 1
 
-    if best_accept is None or best_accept.target != ub:
-        # Either the interval started degenerate, or the last accepted
-        # probe was at a larger T than the final UB (possible when LB
-        # catches up from below).  One final probe at UB settles it; the
-        # initial UB (Graham bound) is always feasible, so this accepts.
-        # With a cache this re-probe is (almost) free: its target was
-        # usually probed inside the loop already.
-        probe = probe_target(instance, ub, eps, dp_solver, cache=cache)
-        probes.append(probe)
-        if not probe.accepted:
-            raise ReproError(
-                f"bisection invariant violated: final target {ub} rejected"
-            )
-        best_accept = probe
-
-    # The (1+eps) guarantee flows from the lowest accepted target, but
-    # an accepted probe at a higher T can happen to build a *better*
-    # schedule (its greedy short-job packing had more slack).  Return
-    # the best schedule seen; it is at most the guaranteed bound.
-    best_schedule = min(
-        (p.schedule for p in probes if p.schedule is not None),
-        key=lambda s: s.makespan,
-    )
-    return PtasResult(
-        schedule=best_schedule,
-        eps=eps,
-        iterations=iterations,
-        probes=probes,
-        final_target=best_accept.target,
+    return finalize_search(
+        "bisection",
+        instance,
+        eps,
+        dp_solver,
+        executor,
+        cache,
+        probes,
+        best_accept,
+        ub,
+        iterations,
     )

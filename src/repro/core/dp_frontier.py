@@ -133,3 +133,35 @@ def dp_frontier(
                 return int(lv_vals[pos])
             return UNREACHABLE
     raise DPError("unreachable")  # loop always returns at max_level
+
+
+def dp_frontier_checked(
+    counts: Sequence[int],
+    class_sizes: Sequence[int],
+    target: int,
+    configs: Optional[np.ndarray] = None,
+):
+    """Probe-compatible frontier solver: windowed answer, dense table.
+
+    A PTAS probe must *extract a schedule*, which needs the dense
+    table the frontier sweep deliberately never materializes.  This
+    wrapper — what the ``"frontier"`` backend registers — therefore
+    fills the dense table as well and verifies the two fills agree at
+    the root, making it a validation backend: every probe cross-checks
+    the windowed sweep against the production fill.  Use plain
+    :func:`dp_frontier` when only the feasibility answer is needed.
+    """
+    from repro.core.dp_vectorized import dp_vectorized
+
+    if configs is None:
+        configs = enumerate_configurations(class_sizes, counts, target)
+    dense = dp_vectorized(counts, class_sizes, target, configs)
+    windowed = dp_frontier(counts, class_sizes, target, configs)
+    dense_opt = dense.opt
+    if (windowed >= UNREACHABLE) != (dense_opt >= UNREACHABLE) or (
+        windowed < UNREACHABLE and windowed != dense_opt
+    ):
+        raise DPError(
+            f"frontier/vectorized disagreement: OPT(N) {windowed} vs {dense_opt}"
+        )
+    return dense

@@ -117,6 +117,62 @@ class CacheStats:
         return f"CacheStats({parts or 'empty'})"
 
 
+class NullProbeCache:
+    """Pass-through stand-in for :class:`ProbeCache`: same interface, no reuse.
+
+    :func:`repro.core.ptas.probe_target` always talks to a cache object
+    so the probe has one code path instead of parallel cached/uncached
+    branches; when the caller passed ``cache=None`` it talks to this
+    one, which simply performs every derivation fresh.  ``last_events``
+    stays empty (there are no hits or misses to report), matching the
+    cacheless trace output exactly.
+    """
+
+    #: mirrors ProbeCache.share_dp: the DP solver runs on every probe.
+    share_dp = False
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+        self.last_events: Dict[str, str] = {}
+
+    def rounding(self, instance: Instance, target: int, eps: float) -> RoundedInstance:
+        """Uncached :func:`~repro.core.rounding.round_instance`."""
+        return round_instance(instance, target, eps)
+
+    def configurations(self, rounded: RoundedInstance) -> np.ndarray:
+        """Uncached configuration enumeration."""
+        return enumerate_configurations(
+            rounded.class_sizes, rounded.counts, rounded.target
+        )
+
+    def dp(self, rounded: RoundedInstance, solver) -> DPResult:
+        """Run ``solver`` directly (it enumerates configurations itself)."""
+        return solver(rounded.counts, rounded.class_sizes, rounded.target)
+
+    def geometry(self, counts: Tuple[int, ...]) -> TableGeometry:
+        """Uncached :meth:`TableGeometry.from_counts`."""
+        return TableGeometry.from_counts(tuple(int(c) for c in counts))
+
+    def begin_probe(self) -> None:
+        """No per-probe state to reset."""
+
+    def clear(self) -> None:
+        """Nothing cached, nothing to drop."""
+
+    def __len__(self) -> int:
+        return 0
+
+
+def as_cache(cache: Optional["ProbeCache"]) -> "ProbeCache | NullProbeCache":
+    """Coerce a ``cache=`` argument into a cache object.
+
+    ``None`` becomes a fresh :class:`NullProbeCache`; anything else is
+    returned as-is.  This is what lets every caller hold exactly one
+    code path regardless of whether caching was requested.
+    """
+    return cache if cache is not None else NullProbeCache()
+
+
 def normalized_probe_key(rounded: RoundedInstance) -> NormalizedKey:
     """The scale-invariant identity of a rounded probe.
 

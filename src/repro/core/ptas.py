@@ -36,11 +36,10 @@ from typing import TYPE_CHECKING, Callable, Optional, Protocol, Sequence, Union
 import numpy as np
 
 from repro.core.backtrack import extract_machine_configurations
-from repro.core.bounds import makespan_bounds
 from repro.core.dp_common import DPResult
 from repro.core.dp_vectorized import dp_vectorized
 from repro.core.instance import Instance
-from repro.core.rounding import RoundedInstance, round_instance
+from repro.core.rounding import RoundedInstance
 from repro.core.schedule import Schedule
 from repro.errors import InvalidInstanceError
 from repro.observability import context as obs
@@ -50,7 +49,10 @@ from repro.observability.trace import ProbeTrace, TraceSink
 if TYPE_CHECKING:  # import cycle: probe_cache imports nothing from here,
     # but keeping the runtime import lazy keeps repro.core.ptas a light
     # dependency for the DP-only users.
-    from repro.core.probe_cache import ProbeCache
+    from repro.core.executor import ProbeExecutor
+    from repro.core.probe_cache import NullProbeCache, ProbeCache
+
+    ProbeCacheLike = Union[ProbeCache, NullProbeCache]
 
 
 class DPSolver(Protocol):
@@ -149,7 +151,7 @@ def _emit_probe_trace(
     dp_result: DPResult,
     machines_needed: int,
     accepted: bool,
-    cache: Optional["ProbeCache"],
+    cache: "ProbeCacheLike",
 ) -> None:
     """Merge this probe's timings into the ambient tracer and emit one event."""
     tracer = obs.current_tracer()
@@ -171,7 +173,7 @@ def _emit_probe_trace(
             table_size=rounded.table_size,
             num_configs=int(dp_result.configs.shape[0]),
             phase_seconds=timer.as_dict(),
-            cache_events=dict(cache.last_events) if cache is not None else {},
+            cache_events=dict(cache.last_events),
         )
     )
 
@@ -192,19 +194,17 @@ def probe_target(
     flow to the ambient tracer when one is active
     (:mod:`repro.observability`).
     """
+    # A single code path regardless of caching: ``cache=None`` becomes a
+    # pass-through NullProbeCache that performs every derivation fresh.
+    from repro.core.probe_cache import as_cache
+
+    cache = as_cache(cache)
     timer = PhaseTimer()
-    if cache is not None:
-        cache.begin_probe()
+    cache.begin_probe()
     with timer.phase("rounding"):
-        if cache is not None:
-            rounded = cache.rounding(instance, target, eps)
-        else:
-            rounded = round_instance(instance, target, eps)
+        rounded = cache.rounding(instance, target, eps)
     with timer.phase("dp"):
-        if cache is not None:
-            dp_result = cache.dp(rounded, dp_solver)
-        else:
-            dp_result = dp_solver(rounded.counts, rounded.class_sizes, rounded.target)
+        dp_result = cache.dp(rounded, dp_solver)
 
     if not dp_result.feasible:
         # Some long job (or combination) cannot fit within T at all —
@@ -295,6 +295,7 @@ def ptas_schedule(
     search: str = "bisection",
     cache: Optional["ProbeCache"] = None,
     trace: Optional[Union["obs.Tracer", TraceSink]] = None,
+    executor: Optional["ProbeExecutor"] = None,
 ) -> PtasResult:
     """Schedule ``instance`` within ``(1 + eps)`` of the optimal makespan.
 
@@ -315,6 +316,13 @@ def ptas_schedule(
     :class:`~repro.observability.TraceSink` (receives one
     :class:`~repro.observability.ProbeTrace` per probe).  See
     ``docs/PERFORMANCE.md``.
+
+    ``executor`` is an optional
+    :class:`~repro.core.executor.ProbeExecutor` that runs each search
+    round's probes and accounts their simulated time (sequential vs
+    concurrent-device); the default is a fresh
+    :class:`~repro.core.executor.SequentialExecutor`.  Executors never
+    change the result, only the time accounting.
     """
     # Imported here to avoid a circular import (the search modules call
     # probe_target from this module).
@@ -322,7 +330,11 @@ def ptas_schedule(
     from repro.core.quarter_split import quarter_split_search
 
     if search == "bisection":
-        return bisection_search(instance, eps, dp_solver, cache=cache, trace=trace)
+        return bisection_search(
+            instance, eps, dp_solver, cache=cache, trace=trace, executor=executor
+        )
     if search == "quarter":
-        return quarter_split_search(instance, eps, dp_solver, cache=cache, trace=trace)
+        return quarter_split_search(
+            instance, eps, dp_solver, cache=cache, trace=trace, executor=executor
+        )
     raise InvalidInstanceError(f"unknown search strategy {search!r}")

@@ -3,8 +3,9 @@
 Instead of probing one midpoint per iteration, the interval ``[LB, UB]``
 is divided into four contiguous segments; each segment contributes its
 own midpoint target ``T_p`` and all four are probed *concurrently* (on
-the GPU via four Hyper-Q process queues — here the engine layer models
-that concurrency; the search logic below is hardware-agnostic).
+the GPU via four Hyper-Q process queues — here the
+:class:`~repro.core.executor.ConcurrentDeviceExecutor` models that
+concurrency; the search logic below is hardware-agnostic).
 
 With four probe outcomes the new interval falls into one of five
 sections (Algorithm 3, lines 13–25):
@@ -23,6 +24,13 @@ The update rule is implemented in the slightly more general
 "smallest accepted / largest rejected" form, which coincides with the
 paper's rule whenever acceptance is monotone in ``T`` (the normal case)
 and remains sound even if a probe behaves non-monotonically.
+
+Each iteration's segment targets are submitted as **one round** to the
+:class:`~repro.core.executor.ProbeExecutor`, so a device executor
+charges the round as concurrent work while a sequential executor sums
+it — the same search loop serves Table VII's GPU timing and the plain
+host run (the GPU runner used to keep a private copy of this loop just
+for that; it no longer exists).
 """
 
 from __future__ import annotations
@@ -33,12 +41,14 @@ from typing import TYPE_CHECKING, Optional, Union
 from repro.core.bounds import MakespanBounds, makespan_bounds
 from repro.core.dp_vectorized import dp_vectorized
 from repro.core.instance import Instance
-from repro.core.ptas import DPSolver, ProbeResult, PtasResult, probe_target
+from repro.core.ptas import DPSolver, ProbeResult, PtasResult
+from repro.core.search_common import finalize_search
 from repro.errors import ReproError
 from repro.observability import Tracer, TraceSink, as_tracer
 from repro.observability import context as obs
 
 if TYPE_CHECKING:
+    from repro.core.executor import ProbeExecutor
     from repro.core.probe_cache import ProbeCache
 
 #: Number of concurrent interval segments.  The paper fixes this at 4
@@ -71,19 +81,25 @@ def quarter_split_search(
     segments: int = DEFAULT_SEGMENTS,
     cache: Optional["ProbeCache"] = None,
     trace: Optional[Union[Tracer, TraceSink]] = None,
+    executor: Optional["ProbeExecutor"] = None,
 ) -> PtasResult:
     """Run the PTAS with the quarter-split search; see module docstring.
 
     ``cache`` and ``trace`` are the cross-probe cache and observability
-    hooks of :func:`repro.core.ptas.ptas_schedule` (both optional,
-    neither changes the result).  One cache serves all ``segments``
-    concurrent probes of an iteration — nearby targets frequently
-    normalize to the same rounded geometry, so segment probes feed
-    each other's lookups.
+    hooks of :func:`repro.core.ptas.ptas_schedule`; ``executor`` runs
+    each iteration's segment probes as one round (default
+    :class:`~repro.core.executor.SequentialExecutor`; pass a
+    :class:`~repro.core.executor.ConcurrentDeviceExecutor` to charge
+    them as concurrent device work).  None of the three changes the
+    result.  One cache serves all ``segments`` concurrent probes of an
+    iteration — nearby targets frequently normalize to the same rounded
+    geometry, so segment probes feed each other's lookups.
     """
     tracer = as_tracer(trace)
     with tracer.activate() if tracer is not None else nullcontext():
-        return _quarter_split_search(instance, eps, dp_solver, segments, cache)
+        return _quarter_split_search(
+            instance, eps, dp_solver, segments, cache, executor
+        )
 
 
 def _quarter_split_search(
@@ -92,7 +108,11 @@ def _quarter_split_search(
     dp_solver: DPSolver,
     segments: int,
     cache: Optional["ProbeCache"],
+    executor: Optional["ProbeExecutor"],
 ) -> PtasResult:
+    from repro.core.executor import SequentialExecutor
+
+    executor = executor if executor is not None else SequentialExecutor()
     bounds = makespan_bounds(instance)
     lb, ub = bounds.lower, bounds.upper
 
@@ -104,9 +124,7 @@ def _quarter_split_search(
         iterations += 1
         obs.count("search.iterations")
         targets = segment_targets(lb, ub, segments)
-        round_probes = [
-            probe_target(instance, t, eps, dp_solver, cache=cache) for t in targets
-        ]
+        round_probes = executor.run_round(instance, targets, eps, dp_solver, cache=cache)
         probes.extend(round_probes)
 
         accepted = [p for p in round_probes if p.accepted]
@@ -126,25 +144,15 @@ def _quarter_split_search(
         if not accepted and not rejected:
             raise ReproError("quarter split produced no probes")  # unreachable
 
-    if best_accept is None or best_accept.target != ub:
-        probe = probe_target(instance, ub, eps, dp_solver, cache=cache)
-        probes.append(probe)
-        if not probe.accepted:
-            raise ReproError(
-                f"quarter split invariant violated: final target {ub} rejected"
-            )
-        best_accept = probe
-
-    # As in bisection_search: guarantee from the lowest accepted target,
-    # schedule from the best accepted probe.
-    best_schedule = min(
-        (p.schedule for p in probes if p.schedule is not None),
-        key=lambda s: s.makespan,
-    )
-    return PtasResult(
-        schedule=best_schedule,
-        eps=eps,
-        iterations=iterations,
-        probes=probes,
-        final_target=best_accept.target,
+    return finalize_search(
+        "quarter split",
+        instance,
+        eps,
+        dp_solver,
+        executor,
+        cache,
+        probes,
+        best_accept,
+        ub,
+        iterations,
     )

@@ -1,0 +1,78 @@
+"""Logic shared by the target searches (bisection and quarter split).
+
+Both searches end the same way: if the last accepted probe is not the
+probe at the converged target ``UB``, re-probe ``UB`` once (the Graham
+upper bound is always feasible, so this must accept), then return the
+best schedule among every accepted probe with the guarantee anchored at
+the converged target.  Historically this epilogue existed in *three*
+places (bisection, quarter split, and the GPU runner's private copy of
+the quarter split) with subtle drift between them; it now exists once,
+here, and every search — on any executor, any backend — goes through
+it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.instance import Instance
+from repro.core.ptas import DPSolver, ProbeResult, PtasResult
+from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.core.executor import ProbeExecutor
+    from repro.core.probe_cache import ProbeCache
+
+
+def finalize_search(
+    search_name: str,
+    instance: Instance,
+    eps: float,
+    dp_solver: DPSolver,
+    executor: "ProbeExecutor",
+    cache: Optional["ProbeCache"],
+    probes: list[ProbeResult],
+    best_accept: Optional[ProbeResult],
+    converged_target: int,
+    iterations: int,
+) -> PtasResult:
+    """Close out a converged search and assemble its :class:`PtasResult`.
+
+    ``probes`` is mutated in place when the final re-check probe runs
+    (so the caller's list matches ``result.probes``).  Raises
+    :class:`~repro.errors.ReproError` if the re-check rejects, which
+    would mean the search violated its interval invariant.
+    """
+    if best_accept is None or best_accept.target != converged_target:
+        # Either the interval started degenerate, or the last accepted
+        # probe was at a larger T than the final UB (possible when LB
+        # catches up from below).  One final probe at UB settles it; the
+        # initial UB (Graham bound) is always feasible, so this accepts.
+        # With a cache this re-probe is (almost) free: its target was
+        # usually probed inside the loop already.
+        probe = executor.run_round(
+            instance, [converged_target], eps, dp_solver, cache=cache
+        )[0]
+        probes.append(probe)
+        if not probe.accepted:
+            raise ReproError(
+                f"{search_name} invariant violated: "
+                f"final target {converged_target} rejected"
+            )
+        best_accept = probe
+
+    # The (1+eps) guarantee flows from the lowest accepted target, but
+    # an accepted probe at a higher T can happen to build a *better*
+    # schedule (its greedy short-job packing had more slack).  Return
+    # the best schedule seen; it is at most the guaranteed bound.
+    best_schedule = min(
+        (p.schedule for p in probes if p.schedule is not None),
+        key=lambda s: s.makespan,
+    )
+    return PtasResult(
+        schedule=best_schedule,
+        eps=eps,
+        iterations=iterations,
+        probes=probes,
+        final_target=best_accept.target,
+    )

@@ -1,39 +1,44 @@
 """PTAS-level orchestration on the simulated hardware (Table VII).
 
-Combines a search strategy with an engine and accounts *instance-level*
-simulated time:
+One generic driver, :func:`run_ptas`, combines three registry/executor
+building blocks:
 
-* :func:`run_ptas_openmp` — plain bisection (Algorithm 1) on the OpenMP
-  engine; probes are sequential, so the instance time is the sum of
-  probe times.
-* :func:`run_ptas_gpu` — the quarter split (Algorithm 3) on the
-  partitioned GPU engine; the four segment probes of one iteration run
-  *concurrently* on the device (four Hyper-Q process queues, four
-  streams each — the paper's sixteen streams).  Concurrent time is
-  bounded below by both the longest single probe (the span) and the
-  total busy warp-time divided by the device's warp slots (the work);
-  we charge ``max(span, work / slots)`` — the standard work/span bound,
-  exact when the probes interleave ideally and pessimistic otherwise.
+1. resolve the backend (a name like ``"omp-28"`` / ``"gpu-dim6"`` via
+   :mod:`repro.backends`, or an already-constructed engine);
+2. pick a :class:`~repro.core.executor.ProbeExecutor` from the
+   backend's concurrency capability — host backends charge each search
+   round as the **sum** of its probe times
+   (:class:`~repro.core.executor.SequentialExecutor`), device backends
+   as the **work/span bound** ``max(span, work / warp_slots)``
+   (:class:`~repro.core.executor.ConcurrentDeviceExecutor` — the four
+   Hyper-Q process queues of the paper, four streams each);
+3. run the *shared* search implementation from :mod:`repro.core`
+   (bisection or quarter split) with that executor.
 
-Both functions return a :class:`PtasRun` with the schedule, the
-iteration count ("#itr" in Table VII), and the simulated runtime.
+The named wrappers (:func:`run_ptas_openmp`, :func:`run_ptas_serial`,
+:func:`run_ptas_gpu`) are exactly that — a registry lookup plus an
+executor choice.  None of them owns a search loop anymore: the GPU
+runner's former private copy of the quarter split (a divergence bug
+waiting to happen) is gone, and every backend gains correct concurrent
+accounting on either search for free.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Union
 
-from repro.core.bounds import makespan_bounds
+from repro.backends import get_spec, resolve
+from repro.core.executor import (
+    ConcurrentDeviceExecutor,
+    ProbeExecutor,
+    SequentialExecutor,
+    default_executor,
+)
 from repro.core.instance import Instance
 from repro.core.probe_cache import ProbeCache
-from repro.core.ptas import ProbeResult, PtasResult, probe_target
-from repro.core.quarter_split import segment_targets
-from repro.engines.base import EngineRun
+from repro.core.ptas import DPSolver, PtasResult, ptas_schedule
 from repro.engines.gpu_partitioned import GpuPartitionedEngine
-from repro.engines.openmp_engine import OpenMPEngine
-from repro.engines.sequential import SequentialEngine
-from repro.errors import ReproError
 
 
 @dataclass(frozen=True)
@@ -42,8 +47,9 @@ class PtasRun:
 
     ``iterations`` counts search rounds (one probe per round for
     bisection, up to four concurrent probes for the quarter split);
-    ``simulated_s`` is the modelled wall time on the device/host;
-    ``dp_table_sizes`` lists the sizes of every DP-table filled.
+    ``simulated_s`` is the modelled wall time on the device/host as
+    charged by the executor; ``dp_table_sizes`` lists the sizes of
+    every DP-table filled.
     """
 
     engine: str
@@ -62,64 +68,99 @@ class PtasRun:
         return self.result.makespan
 
 
-def run_ptas_openmp(
+def run_ptas(
     instance: Instance,
+    backend: Union[str, DPSolver] = "vectorized",
+    search: str = "bisection",
     eps: float = 0.3,
-    threads: int = 28,
-    engine: Optional[OpenMPEngine] = None,
     cache: Optional[ProbeCache] = None,
+    executor: Optional[ProbeExecutor] = None,
 ) -> PtasRun:
-    """Algorithm 1 with plain bisection on the OpenMP cost model.
+    """Run the PTAS on any backend with capability-matched accounting.
+
+    ``backend`` is a registry name (``"serial"``, ``"omp-28"``,
+    ``"gpu-dim6"``, ``"vectorized"``, ...) or a constructed solver.
+    ``executor`` defaults from the backend's capabilities: device
+    engines get a :class:`ConcurrentDeviceExecutor` sized to their
+    ``spec.warp_slots``, everything else a :class:`SequentialExecutor`.
 
     ``cache`` should be a ``ProbeCache(share_dp=False)`` when faithful
     per-probe simulated-time accounting matters: rounding and
     configuration enumeration are then reused (pure harness speedup)
-    while the engine still fills — and charges — every probe.  A
-    full ``ProbeCache()`` also skips the engine on repeated probes,
-    which understates ``simulated_s`` relative to the paper's
-    cacheless implementation.
+    while the engine still fills — and charges — every probe.  A full
+    ``ProbeCache()`` also skips the engine on repeated probes, which
+    understates ``simulated_s`` relative to the paper's cacheless
+    implementation.
     """
-    from repro.core.bisection import bisection_search
-
-    engine = engine or OpenMPEngine(threads=threads)
-    result = bisection_search(instance, eps, dp_solver=engine, cache=cache)
+    solver = resolve(backend) if isinstance(backend, str) else backend
+    if executor is None:
+        executor = default_executor(solver)
+    result = ptas_schedule(
+        instance,
+        eps=eps,
+        dp_solver=solver,
+        search=search,
+        cache=cache,
+        executor=executor,
+    )
+    runs = getattr(solver, "runs", None)
+    if runs is not None:
+        table_sizes = tuple(r.table_size for r in runs)
+    else:
+        table_sizes = tuple(p.rounded.table_size for p in result.probes)
+    label = getattr(solver, "name", None) or (
+        backend if isinstance(backend, str) else type(solver).__name__
+    )
     return PtasRun(
-        engine=engine.name,
+        engine=label,
         result=result,
-        simulated_s=engine.total_simulated_s,
-        dp_table_sizes=tuple(r.table_size for r in engine.runs),
+        simulated_s=executor.elapsed_s,
+        dp_table_sizes=table_sizes,
+    )
+
+
+def run_ptas_openmp(
+    instance: Instance,
+    eps: float = 0.3,
+    threads: int = 28,
+    engine: Optional[DPSolver] = None,
+    cache: Optional[ProbeCache] = None,
+) -> PtasRun:
+    """Algorithm 1 with plain bisection on the OpenMP cost model.
+
+    Thin wrapper: registry lookup (``omp-<threads>``) + sequential
+    executor; see :func:`run_ptas` for the ``cache`` accounting caveat.
+    """
+    solver = engine if engine is not None else resolve(f"omp-{threads}")
+    return run_ptas(
+        instance,
+        backend=solver,
+        search="bisection",
+        eps=eps,
+        cache=cache,
+        executor=SequentialExecutor(),
     )
 
 
 def run_ptas_serial(
     instance: Instance,
     eps: float = 0.3,
-    engine: Optional[SequentialEngine] = None,
+    engine: Optional[DPSolver] = None,
     cache: Optional[ProbeCache] = None,
 ) -> PtasRun:
     """Algorithm 1 with plain bisection on a single simulated core.
 
-    See :func:`run_ptas_openmp` for the ``cache`` accounting caveat.
+    Thin wrapper: registry lookup (``serial``) + sequential executor.
     """
-    from repro.core.bisection import bisection_search
-
-    engine = engine or SequentialEngine()
-    result = bisection_search(instance, eps, dp_solver=engine, cache=cache)
-    return PtasRun(
-        engine=engine.name,
-        result=result,
-        simulated_s=engine.total_simulated_s,
-        dp_table_sizes=tuple(r.table_size for r in engine.runs),
+    solver = engine if engine is not None else resolve("serial")
+    return run_ptas(
+        instance,
+        backend=solver,
+        search="bisection",
+        eps=eps,
+        cache=cache,
+        executor=SequentialExecutor(),
     )
-
-
-def _concurrent_time(runs: list[EngineRun], warp_slots: int) -> float:
-    """Work/span bound for probes sharing one device (see module docstring)."""
-    if not runs:
-        return 0.0
-    span = max(r.simulated_s for r in runs)
-    busy = sum(float(r.metrics.get("warp_seconds_paid", 0.0)) for r in runs)
-    return max(span, busy / warp_slots)
 
 
 def run_ptas_gpu(
@@ -133,73 +174,45 @@ def run_ptas_gpu(
 ) -> PtasRun:
     """Algorithm 3 (quarter split) on the partitioned GPU engine.
 
-    Replicates :func:`repro.core.quarter_split.quarter_split_search` but
-    groups each iteration's probes to charge them as concurrent device
-    work.  The returned makespan is identical to the plain search
-    (property-tested).
+    Thin wrapper: registry lookup (``gpu-dim<dim>``) + concurrent
+    device executor, so each iteration's segment probes are charged as
+    concurrent device work; the search loop itself is the one shared
+    :func:`~repro.core.quarter_split.quarter_split_search` (so the
+    returned makespan is identical to the plain search —
+    property-tested).
 
     One ``cache`` serves all four concurrent segment probes of an
-    iteration; see :func:`run_ptas_openmp` for the ``share_dp``
-    accounting caveat (pass ``ProbeCache(share_dp=False)`` to keep
-    Table VII-faithful simulated times).
+    iteration; see :func:`run_ptas` for the ``share_dp`` accounting
+    caveat (pass ``ProbeCache(share_dp=False)`` to keep Table
+    VII-faithful simulated times).
     """
-    engine = engine or GpuPartitionedEngine(dim=dim, num_streams=streams_per_segment)
-    bounds = makespan_bounds(instance)
-    lb, ub = bounds.lower, bounds.upper
+    from repro.core.quarter_split import quarter_split_search
 
-    probes: list[ProbeResult] = []
-    best_accept: Optional[ProbeResult] = None
-    iterations = 0
-    simulated = 0.0
-
-    while lb < ub:
-        iterations += 1
-        targets = segment_targets(lb, ub, segments)
-        mark = len(engine.runs)
-        round_probes = [
-            probe_target(instance, t, eps, engine, cache=cache) for t in targets
-        ]
-        probes.extend(round_probes)
-        simulated += _concurrent_time(engine.runs[mark:], engine.spec.warp_slots)
-
-        accepted = [p for p in round_probes if p.accepted]
-        rejected = [p for p in round_probes if not p.accepted]
-        if accepted:
-            lowest = min(accepted, key=lambda p: p.target)
-            ub = lowest.target
-            if best_accept is None or lowest.target <= best_accept.target:
-                best_accept = lowest
-        rejected_below = [p for p in rejected if p.target < ub]
-        if rejected_below:
-            lb = max(p.target for p in rejected_below) + 1
-        elif not accepted:
-            lb = max(p.target for p in round_probes) + 1
-
-    if best_accept is None or best_accept.target != ub:
-        mark = len(engine.runs)
-        probe = probe_target(instance, ub, eps, engine, cache=cache)
-        probes.append(probe)
-        simulated += _concurrent_time(engine.runs[mark:], engine.spec.warp_slots)
-        if not probe.accepted:
-            raise ReproError(
-                f"quarter split invariant violated: final target {ub} rejected"
-            )
-        best_accept = probe
-
-    best_schedule = min(
-        (p.schedule for p in probes if p.schedule is not None),
-        key=lambda s: s.makespan,
-    )
-    result = PtasResult(
-        schedule=best_schedule,
-        eps=eps,
-        iterations=iterations,
-        probes=probes,
-        final_target=best_accept.target,
+    if engine is None:
+        engine = resolve(f"gpu-dim{dim}", num_streams=streams_per_segment)
+    executor = ConcurrentDeviceExecutor.for_engine(engine)
+    result = quarter_split_search(
+        instance,
+        eps,
+        dp_solver=engine,
+        segments=segments,
+        cache=cache,
+        executor=executor,
     )
     return PtasRun(
         engine=engine.name,
         result=result,
-        simulated_s=simulated,
+        simulated_s=executor.elapsed_s,
         dp_table_sizes=tuple(r.table_size for r in engine.runs),
     )
+
+
+def backend_label(backend: Union[str, DPSolver]) -> str:
+    """Human-facing label for a backend name or instance.
+
+    Registry names resolve to their canonical spec name; instances use
+    their ``name`` attribute when present.
+    """
+    if isinstance(backend, str):
+        return get_spec(backend).name
+    return getattr(backend, "name", None) or type(backend).__name__

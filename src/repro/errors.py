@@ -65,3 +65,12 @@ class SimulationError(ReproError):
 
 class CalibrationError(ReproError):
     """A cost-model constant is outside its documented valid range."""
+
+
+class BackendError(ReproError, LookupError):
+    """A backend name could not be resolved against the registry.
+
+    Raised by :func:`repro.backends.resolve` for unknown names; the
+    message always lists the valid canonical names so callers (the CLI
+    in particular) can surface an actionable error.
+    """

@@ -67,6 +67,20 @@ class Tracer:
         if self.sink is not None:
             self.sink.record(probe)
 
+    def merge(self, other: "Tracer") -> None:
+        """Fold another tracer's collections into this one.
+
+        Phases and counters accumulate; probe events append in order
+        (and flow to this tracer's sink).  Used by the batch service to
+        combine the per-request tracers of a fan-out into one
+        aggregate report.
+        """
+        self.timer.merge(other.timer)
+        for name, delta in other.counters.items():
+            self.count(name, delta)
+        for probe in other.probes:
+            self.record_probe(probe)
+
     # -- activation ---------------------------------------------------------
 
     @contextmanager

@@ -1,0 +1,24 @@
+"""repro.service — production front-ends over the scheduling core.
+
+The paper's algorithm solves one instance; a deployment serves a
+*stream* of them.  :mod:`repro.service.batch` is the first front-end:
+a :class:`~repro.service.batch.BatchScheduler` that fans a batch of
+scheduling requests across a thread pool, shares one
+:class:`~repro.core.probe_cache.ProbeCache` between them, and merges
+every request's trace into a single aggregate report — deterministic
+results regardless of worker count (tested).
+"""
+
+from repro.service.batch import (
+    BatchReport,
+    BatchRequest,
+    BatchRequestResult,
+    BatchScheduler,
+)
+
+__all__ = [
+    "BatchScheduler",
+    "BatchRequest",
+    "BatchRequestResult",
+    "BatchReport",
+]

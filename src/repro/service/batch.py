@@ -1,0 +1,268 @@
+"""The batch scheduling service: many instances, one shared cache.
+
+``P || Cmax`` rarely arrives one instance at a time in production — a
+nightly cluster batch, a what-if sweep over accuracies, or a fleet of
+tenant workloads all want *many* PTAS runs whose probes overlap
+heavily.  :class:`BatchScheduler` is the engineering layer for that
+workload (cf. Berndt et al., *"Load Balancing: The Long Road from
+Theory to Practice"*):
+
+* requests run across a **thread pool** (the DP fills are numpy-heavy,
+  so threads overlap usefully despite the GIL, and a thread pool keeps
+  one shared in-process cache — processes would not);
+* one :class:`~repro.core.probe_cache.ProbeCache` is **shared across
+  the whole batch**: probes from different requests that round to the
+  same normalized geometry reuse each other's configuration sets and
+  DP-tables (scale-invariance makes such collisions common — see the
+  cache module docstring);
+* each request records into its own
+  :class:`~repro.observability.Tracer`; after the fan-out they are
+  **merged in request order** into one aggregate tracer, so the
+  report is deterministic even though execution interleaves;
+* backends come from the **registry** (:mod:`repro.backends`): each
+  request resolves a *fresh* solver instance, because the simulator
+  engines are stateful accumulators that must not be shared across
+  concurrent requests.
+
+Determinism: a request's result depends only on its instance, ``eps``,
+search, and backend — never on worker count or the cache (cache hits
+are bit-identical to recomputation, property-tested).  The test suite
+asserts batch results equal sequential :func:`~repro.core.ptas.ptas_schedule`
+runs exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.backends import get_spec, resolve
+from repro.core.executor import default_executor
+from repro.core.instance import Instance
+from repro.core.probe_cache import CacheStats, ProbeCache
+from repro.core.ptas import PtasResult, ptas_schedule
+from repro.errors import InvalidInstanceError
+from repro.observability import Tracer
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One scheduling request of a batch.
+
+    ``name`` identifies the request in the report (defaults to its
+    position); ``backend`` overrides the scheduler-level backend for
+    this request only.
+    """
+
+    instance: Instance
+    eps: float = 0.3
+    search: str = "quarter"
+    name: str = ""
+    backend: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BatchRequestResult:
+    """Outcome of one request: the PTAS result plus accounting."""
+
+    name: str
+    request: BatchRequest
+    result: PtasResult
+    #: simulated hardware seconds charged by the request's executor
+    #: (0.0 for pure, non-simulated backends).
+    simulated_s: float
+    #: real wall seconds the request took inside the pool.
+    wall_s: float
+
+    @property
+    def makespan(self) -> int:
+        """Makespan of the request's schedule."""
+        return self.result.makespan
+
+
+@dataclass
+class BatchReport:
+    """Everything one batch run produced.
+
+    ``results`` is in request order regardless of completion order.
+    ``tracer`` is the merged per-request tracer (phases, counters, one
+    probe event per DP probe of the whole batch); ``cache_stats`` is a
+    snapshot of the shared cache's tallies after the batch.
+    """
+
+    backend: str
+    workers: int
+    results: List[BatchRequestResult] = field(default_factory=list)
+    tracer: Tracer = field(default_factory=Tracer)
+    cache_stats: Optional[CacheStats] = None
+    wall_s: float = 0.0
+
+    @property
+    def total_probes(self) -> int:
+        """DP probes across every request."""
+        return sum(len(r.result.probes) for r in self.results)
+
+    @property
+    def total_iterations(self) -> int:
+        """Search iterations across every request."""
+        return sum(r.result.iterations for r in self.results)
+
+    @property
+    def total_simulated_s(self) -> float:
+        """Simulated hardware seconds across every request."""
+        return float(sum(r.simulated_s for r in self.results))
+
+    def makespans(self) -> Dict[str, int]:
+        """``{request name: makespan}`` in request order."""
+        return {r.name: r.makespan for r in self.results}
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (no schedules — those live on results)."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "requests": [
+                {
+                    "name": r.name,
+                    "makespan": r.makespan,
+                    "final_target": r.result.final_target,
+                    "iterations": r.result.iterations,
+                    "probes": len(r.result.probes),
+                    "eps": r.request.eps,
+                    "search": r.request.search,
+                    "simulated_s": r.simulated_s,
+                    "wall_s": r.wall_s,
+                }
+                for r in self.results
+            ],
+            "total_probes": self.total_probes,
+            "total_iterations": self.total_iterations,
+            "counters": dict(self.tracer.counters),
+            "cache": self.cache_stats.as_dict() if self.cache_stats else {},
+            "wall_s": self.wall_s,
+        }
+
+
+class BatchScheduler:
+    """Schedule many instances concurrently against one backend.
+
+    Parameters
+    ----------
+    backend:
+        Registry name resolved *fresh per request* (engines are
+        stateful).  Individual requests may override it.
+    workers:
+        Thread-pool size; results are independent of it (tested).
+    cache:
+        The shared :class:`~repro.core.probe_cache.ProbeCache`; pass
+        ``None`` to disable cross-request reuse entirely.
+    search / eps:
+        Defaults for requests that do not specify their own.
+
+    Example::
+
+        from repro.service import BatchScheduler
+        scheduler = BatchScheduler(backend="vectorized", workers=4)
+        report = scheduler.run([inst_a, inst_b, inst_c])
+        report.makespans()          # deterministic, order-preserving
+        report.cache_stats          # shared-cache tallies for the batch
+    """
+
+    def __init__(
+        self,
+        backend: str = "vectorized",
+        workers: int = 4,
+        cache: Optional[ProbeCache] = ...,  # type: ignore[assignment]
+        search: str = "quarter",
+        eps: float = 0.3,
+    ) -> None:
+        if workers < 1:
+            raise InvalidInstanceError(f"workers must be >= 1, got {workers}")
+        get_spec(backend)  # fail fast on unknown names, before any work
+        self.backend = backend
+        self.workers = int(workers)
+        self.cache: Optional[ProbeCache] = (
+            ProbeCache() if cache is ... else cache
+        )
+        self.search = search
+        self.eps = eps
+
+    # -- request execution --------------------------------------------------
+
+    def _as_request(
+        self, item: Union[BatchRequest, Instance], index: int
+    ) -> BatchRequest:
+        """Normalize an item: bare instances get the scheduler defaults."""
+        if isinstance(item, BatchRequest):
+            if item.name:
+                return item
+            return BatchRequest(
+                instance=item.instance,
+                eps=item.eps,
+                search=item.search,
+                name=f"request-{index}",
+                backend=item.backend,
+            )
+        return BatchRequest(
+            instance=item,
+            eps=self.eps,
+            search=self.search,
+            name=f"request-{index}",
+        )
+
+    def _run_one(self, request: BatchRequest) -> tuple[BatchRequestResult, Tracer]:
+        """Execute one request with a fresh solver, executor, and tracer."""
+        solver = resolve(request.backend or self.backend)
+        executor = default_executor(solver)
+        tracer = Tracer()
+        start = time.perf_counter()
+        result = ptas_schedule(
+            request.instance,
+            eps=request.eps,
+            dp_solver=solver,
+            search=request.search,
+            cache=self.cache,
+            trace=tracer,
+            executor=executor,
+        )
+        wall = time.perf_counter() - start
+        return (
+            BatchRequestResult(
+                name=request.name,
+                request=request,
+                result=result,
+                simulated_s=executor.elapsed_s,
+                wall_s=wall,
+            ),
+            tracer,
+        )
+
+    def run(
+        self, items: Sequence[Union[BatchRequest, Instance]]
+    ) -> BatchReport:
+        """Run the whole batch; returns a deterministic :class:`BatchReport`.
+
+        Requests execute across the pool in submission order; results
+        and the merged tracer are assembled in request order, so two
+        runs of the same batch produce identical reports (up to wall
+        timings) at any worker count.
+        """
+        requests = [self._as_request(item, i) for i, item in enumerate(items)]
+        start = time.perf_counter()
+        if self.workers == 1:
+            outcomes = [self._run_one(r) for r in requests]
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                outcomes = list(pool.map(self._run_one, requests))
+        report = BatchReport(
+            backend=self.backend,
+            workers=self.workers,
+            cache_stats=self.cache.stats if self.cache is not None else None,
+        )
+        for item_result, tracer in outcomes:
+            report.results.append(item_result)
+            report.tracer.merge(tracer)
+        report.wall_s = time.perf_counter() - start
+        return report

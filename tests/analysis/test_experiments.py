@@ -25,6 +25,7 @@ class TestFig2:
         assert set(r["stream"] for r in result.rows) <= {0, 1, 2, 3}
 
 
+@pytest.mark.slow
 class TestFig3:
     @pytest.fixture(scope="class")
     def result(self):
@@ -60,6 +61,7 @@ class TestFig3:
             assert cross in {r["table_size"] for r in result.rows}
 
 
+@pytest.mark.slow
 class TestFig4:
     @pytest.fixture(scope="class")
     def result(self):

@@ -15,6 +15,7 @@ def result():
     return sensitivity.run(tables=tables)
 
 
+@pytest.mark.slow
 class TestSensitivity:
     def test_row_per_device_table(self, result):
         devices = {r["device"] for r in result.rows}

@@ -116,6 +116,7 @@ class TestCostShapes:
         assert a == b
 
 
+@pytest.mark.slow
 class TestPartitionedMetrics:
     def test_metrics_report_partition_geometry(self, medium_probe):
         run = GpuPartitionedEngine(dim=4).run(

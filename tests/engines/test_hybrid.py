@@ -49,6 +49,7 @@ class TestRouting:
         assert len(engine.runs) == 2
 
 
+@pytest.mark.slow
 class TestPredictorQuality:
     def test_choices_mostly_match_simulation(self):
         tables = harvest_tables(

@@ -82,6 +82,53 @@ class TestProfiling:
         assert cached == plain
 
 
+class TestBackendFlag:
+    ARGS = ["schedule", "--machines", "4", "--random", "25", "--seed", "6"]
+
+    def test_simulated_backend_reports_accounting(self, capsys):
+        code = main(self.ARGS + ["--backend", "gpu-dim6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend gpu-dim6: simulated" in out
+        assert "rounds" in out and "device-streams" in out
+
+    def test_backend_does_not_change_makespan(self, capsys):
+        main(self.ARGS)
+        default_out = capsys.readouterr().out
+        makespan_line = next(
+            line for line in default_out.splitlines() if "makespan" in line
+        )
+        for backend in ("frontier", "serial", "omp-28", "hybrid"):
+            code = main(self.ARGS + ["--backend", backend])
+            assert code == 0
+            assert makespan_line in capsys.readouterr().out, backend
+
+    def test_family_backend_resolves(self, capsys):
+        code = main(self.ARGS + ["--backend", "omp-40"])
+        assert code == 0
+        assert "backend omp-40" in capsys.readouterr().out
+
+    def test_pure_backend_prints_no_accounting(self, capsys):
+        code = main(self.ARGS + ["--backend", "vectorized"])
+        assert code == 0
+        assert "simulated" not in capsys.readouterr().out
+
+    def test_unknown_backend_exits_2_listing_names(self, capsys):
+        code = main(self.ARGS + ["--backend", "tpu-v5"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "tpu-v5" in err
+        # The error must teach the valid vocabulary.
+        assert "vectorized" in err and "gpu-dim6" in err
+
+    def test_backend_with_profile_and_cache(self, capsys):
+        code = main(self.ARGS + ["--backend", "gpu-dim6", "--profile", "--cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend gpu-dim6: simulated" in out
+        assert "== profile" in out
+
+
 class TestEngines:
     def test_runs_and_agrees(self, capsys):
         code = main(["engines", "--jobs", "25", "--machines", "4", "--seed", "3",
@@ -96,6 +143,17 @@ class TestEngines:
                      "--target", "150"])
         assert code == 0
         assert "T=150" in capsys.readouterr().out
+
+    def test_iterates_the_registry(self, capsys):
+        # Every registered simulated backend appears in the comparison
+        # (the gpu-dim family expanded from --dims).
+        code = main(["engines", "--jobs", "25", "--machines", "4", "--seed", "3",
+                     "--dims", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("serial", "omp-16", "omp-28", "gpu-naive", "gpu-dim6",
+                     "hybrid"):
+            assert name in out, name
 
 
 class TestExperiment:
