@@ -15,7 +15,7 @@ import pytest
 
 from repro.analysis.experiments import fig4
 from repro.analysis.paper_data import FIG4_SIZES, GPU_DIMS, TABLES_I_TO_VI
-from repro.analysis.report import ascii_plot, render_table
+from repro.analysis.report import ascii_plot
 
 
 @pytest.mark.benchmark(group="fig4")

@@ -16,7 +16,7 @@ import pytest
 from repro.analysis.report import render_table
 from repro.analysis.synthetic import synthetic_probe
 from repro.core.configs import enumerate_configurations
-from repro.dptable.partition import BlockPartition, compute_divisor
+from repro.dptable.partition import BlockPartition
 from repro.dptable.table import TableGeometry
 from repro.engines.gpu_partitioned import GpuPartitionedEngine
 from repro.extensions.knapsack import (

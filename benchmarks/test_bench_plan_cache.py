@@ -1,0 +1,154 @@
+"""Plan-cache benchmark: schedule-derivation cost across repeated probes.
+
+Drives the quarter-split search over a small fleet on a plan-aware
+engine with DP sharing off (every probe reaches the solver), twice:
+
+* **cold** — a fresh :class:`~repro.core.probe_cache.NullPlanCache`,
+  so every probe re-derives its wavefront schedule, work profile, and
+  partitions from scratch;
+* **warm** — one shared :class:`~repro.core.probe_cache.PlanCache`,
+  so repeated probe structures reuse one :class:`ProbePlan`.
+
+Both passes must produce identical schedules.  The headline numbers —
+plan build time, steady-state hit rate (asserted >= 95%), and the
+end-to-end probe-time speedup — land in
+``benchmarks/results/BENCH_plan_cache.json``; docs/PERFORMANCE.md
+explains how the plan cache composes with the probe cache.
+
+Run: ``pytest benchmarks/test_bench_plan_cache.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.instance import uniform_instance
+from repro.core.probe_cache import NullPlanCache, PlanCache
+from repro.core.ptas import ptas_schedule
+from repro.engines.sequential import SequentialEngine
+from repro.observability import Tracer
+from repro.util.timing import Timer
+
+
+def _workload(full: bool):
+    seeds = range(6) if full else range(3)
+    n, m = (50, 7) if full else (28, 5)
+    return [uniform_instance(n, m, low=3, high=120, seed=40 + s) for s in seeds]
+
+
+def _run_passes(instances, plan_cache, repeats: int):
+    """``repeats`` identical quarter-split passes over the fleet.
+
+    Returns ``(results, warmup_tracer, steady_tracer, wall_seconds)``:
+    the first pass (which populates a shared cache) is traced apart
+    from the steady-state repeats so the hit rate of a *recurring*
+    batch is measured honestly.
+    """
+    warmup, steady = Tracer(), Tracer()
+    results = []
+    with Timer() as timer:
+        for rep in range(repeats):
+            tracer = warmup if rep == 0 else steady
+            with tracer.activate():
+                engine = SequentialEngine(plan_cache=plan_cache)
+                for inst in instances:
+                    results.append(
+                        ptas_schedule(
+                            inst, eps=0.25, search="quarter", dp_solver=engine
+                        )
+                    )
+    return results, warmup, steady, timer.elapsed
+
+
+@pytest.mark.benchmark(group="plan-cache")
+def test_plan_cache_speedup(benchmark, results_dir, full):
+    instances = _workload(full)
+    repeats = 3
+
+    cold_results, cold_warm_t, cold_steady_t, cold_s = _run_passes(
+        instances, NullPlanCache(), repeats
+    )
+
+    cache = PlanCache()
+    warm_results, warm_warm_t, warm_steady_t, warm_s = benchmark.pedantic(
+        _run_passes,
+        args=(instances, cache, repeats),
+        rounds=1,
+        iterations=1,
+    )
+
+    # -- correctness: identical outcomes ----------------------------------
+    assert len(warm_results) == len(cold_results)
+    for plain, planned in zip(cold_results, warm_results):
+        assert planned.final_target == plain.final_target
+        assert planned.makespan == plain.makespan
+        assert planned.schedule.assignment == plain.schedule.assignment
+
+    # -- plan-cache effectiveness ------------------------------------------
+    steady_hits = int(warm_steady_t.counters.get("plan.cache.hit", 0))
+    steady_misses = int(warm_steady_t.counters.get("plan.cache.miss", 0))
+    steady_lookups = steady_hits + steady_misses
+    steady_rate = steady_hits / steady_lookups if steady_lookups else 0.0
+    overall_rate = cache.stats.hit_rate("plan")
+
+    cold_build_ms = float(
+        cold_warm_t.counters.get("plan.build_ms", 0.0)
+        + cold_steady_t.counters.get("plan.build_ms", 0.0)
+    )
+    warm_build_ms = float(
+        warm_warm_t.counters.get("plan.build_ms", 0.0)
+        + warm_steady_t.counters.get("plan.build_ms", 0.0)
+    )
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+
+    assert steady_lookups > 0, "steady-state passes saw no probes"
+    assert steady_rate >= 0.95, (
+        f"steady-state plan-cache hit rate {steady_rate:.1%} < 95%"
+    )
+    assert warm_build_ms < cold_build_ms
+    assert speedup > 1.0, f"no probe-time reduction (speedup {speedup:.2f}x)"
+
+    # -- report ------------------------------------------------------------
+    probes_per_pass = sum(len(r.probes) for r in cold_results) // repeats
+    payload = {
+        "benchmark": "plan_cache",
+        "mode": "full" if full else "reduced",
+        "workload": {
+            "instances": len(instances),
+            "search": "quarter",
+            "eps": 0.25,
+            "repeats": repeats,
+            "backend": "serial (plan-aware, share_dp accounting off)",
+            "probes_per_pass": probes_per_pass,
+        },
+        "plan_cache": {
+            "plans_built": int(
+                warm_warm_t.counters.get("plan.cache.miss", 0) + steady_misses
+            ),
+            "steady_state_hits": steady_hits,
+            "steady_state_misses": steady_misses,
+            "steady_state_hit_rate": round(steady_rate, 4),
+            "overall_hit_rate": round(overall_rate, 4),
+        },
+        "plan_build_ms": {
+            "cold": round(cold_build_ms, 3),
+            "warm": round(warm_build_ms, 3),
+            "saved_pct": round(100.0 * (1 - warm_build_ms / cold_build_ms), 1)
+            if cold_build_ms
+            else 0.0,
+        },
+        "probe_time_s": {"cold": round(cold_s, 4), "warm": round(warm_s, 4)},
+        "speedup": round(speedup, 3),
+        "identical_results": True,
+    }
+    (results_dir / "BENCH_plan_cache.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    benchmark.extra_info.update(
+        steady_state_hit_rate=round(steady_rate, 4),
+        speedup=round(speedup, 3),
+        plan_build_ms_saved=round(cold_build_ms - warm_build_ms, 3),
+    )

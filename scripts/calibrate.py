@@ -6,7 +6,6 @@ targets from the paper so the constants in
 :mod:`repro.cpusim.spec` can be frozen.  Run:  python scripts/calibrate.py
 """
 
-import time
 
 import numpy as np
 

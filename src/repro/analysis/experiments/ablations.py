@@ -18,7 +18,7 @@ from typing import Sequence
 
 from repro.analysis.records import ExperimentResult
 from repro.analysis.synthetic import synthetic_probe
-from repro.analysis.workloads import HarvestedTable, harvest_tables
+from repro.analysis.workloads import harvest_tables
 from repro.engines.gpu_naive import GpuNaiveEngine
 from repro.engines.gpu_partitioned import GpuPartitionedEngine
 from repro.engines.openmp_engine import OpenMPEngine

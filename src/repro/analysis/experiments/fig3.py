@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from repro.analysis.paper_data import FIG3_GROUPS, FIG3_SIZES_PER_GROUP, GPU_DIMS
+from repro.analysis.paper_data import FIG3_GROUPS, FIG3_SIZES_PER_GROUP
 from repro.analysis.records import ExperimentResult
 from repro.analysis.workloads import HarvestedTable, harvest_tables
 from repro.engines.gpu_partitioned import GpuPartitionedEngine

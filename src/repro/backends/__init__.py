@@ -14,6 +14,9 @@ hardware):
   probe (a validation backend; probes need the dense table anyway).
 * ``"reference"`` — :func:`~repro.core.dp_reference.dp_reference`,
   the slow, obviously-correct oracle.
+* ``"wavefront"`` — :class:`~repro.parallel.wavefront.WavefrontSolver`,
+  real host-parallel execution on shared-memory worker processes; any
+  ``wavefront-<workers>`` resolves.
 
 Simulator engines (``simulated=True`` — compute the same DP values
 while charging time to a modelled device):
@@ -53,6 +56,7 @@ from repro.engines.gpu_partitioned import GpuPartitionedEngine
 from repro.engines.hybrid import HybridEngine
 from repro.engines.openmp_engine import OpenMPEngine
 from repro.engines.sequential import SequentialEngine
+from repro.parallel.wavefront import WavefrontSolver
 
 __all__ = [
     "BackendSpec",
@@ -113,6 +117,7 @@ def _register_defaults() -> None:
             simulated=True,
             concurrency="none",
             description="serial PTAS on one simulated CPU core",
+            plan_aware=True,
         )
     )
     for threads in (16, 28):
@@ -126,6 +131,7 @@ def _register_defaults() -> None:
                 concurrency="host-threads",
                 description=f"OpenMP baseline on {threads} simulated threads",
                 aliases=(f"openmp-{threads}",),
+                plan_aware=True,
             )
         )
     register(
@@ -135,6 +141,7 @@ def _register_defaults() -> None:
             simulated=True,
             concurrency="device-streams",
             description="unpartitioned GPU port (the ~100x-slower strawman)",
+            plan_aware=True,
         )
     )
     for dim in (3, 6, 9):
@@ -145,6 +152,7 @@ def _register_defaults() -> None:
                 simulated=True,
                 concurrency="device-streams",
                 description=f"data-partitioned GPU engine, {dim} partitioned dims",
+                plan_aware=True,
             )
         )
     register(
@@ -154,6 +162,17 @@ def _register_defaults() -> None:
             simulated=True,
             concurrency="host-threads",
             description="per-probe CPU/GPU dispatch by predicted cost",
+            plan_aware=True,
+        )
+    )
+    register(
+        BackendSpec(
+            name="wavefront",
+            factory=WavefrontSolver,
+            simulated=False,
+            concurrency="host-processes",
+            description="real host-parallel wavefront DP on shared memory",
+            plan_aware=True,
         )
     )
 
@@ -167,6 +186,7 @@ def _register_defaults() -> None:
             simulated=True,
             concurrency="host-threads",
             description=f"OpenMP baseline on {int(m.group(1))} simulated threads",
+            plan_aware=True,
         ),
     )
     register_family(
@@ -179,6 +199,7 @@ def _register_defaults() -> None:
             simulated=True,
             concurrency="device-streams",
             description=f"data-partitioned GPU engine, {int(m.group(1))} partitioned dims",
+            plan_aware=True,
         ),
     )
     register_family(
@@ -191,6 +212,22 @@ def _register_defaults() -> None:
             simulated=True,
             concurrency="host-threads",
             description="per-probe CPU/GPU dispatch by predicted cost",
+            plan_aware=True,
+        ),
+    )
+    register_family(
+        r"wavefront-(\d+)",
+        lambda m: BackendSpec(
+            name=f"wavefront-{int(m.group(1))}",
+            factory=lambda workers=int(m.group(1)), **kw: WavefrontSolver(
+                workers=workers, **kw
+            ),
+            simulated=False,
+            concurrency="host-processes",
+            description=(
+                f"real host-parallel wavefront DP on {int(m.group(1))} processes"
+            ),
+            plan_aware=True,
         ),
     )
 

@@ -37,7 +37,7 @@ from repro.core.ptas import DPSolver
 from repro.errors import BackendError
 
 #: concurrency capability values a BackendSpec may declare.
-CONCURRENCY_MODELS = ("none", "host-threads", "device-streams")
+CONCURRENCY_MODELS = ("none", "host-threads", "host-processes", "device-streams")
 
 
 @dataclass(frozen=True)
@@ -57,6 +57,12 @@ class BackendSpec:
     description: str = ""
     #: accepted alternative names.
     aliases: Tuple[str, ...] = ()
+    #: True when the factory accepts a ``plan_cache=`` keyword — the
+    #: backend consumes the :class:`~repro.dptable.plan.ProbePlan` IR
+    #: and can share plans across probes (see
+    #: :class:`~repro.core.probe_cache.PlanCache`).  The batch service
+    #: and the runners use this to inject a shared plan cache.
+    plan_aware: bool = False
 
     def __post_init__(self) -> None:
         if self.concurrency not in CONCURRENCY_MODELS:

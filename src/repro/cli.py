@@ -186,6 +186,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 def _cmd_engines(args: argparse.Namespace) -> int:
     from repro.backends import iter_backends, resolve
     from repro.core.bounds import makespan_bounds
+    from repro.core.probe_cache import PlanCache
 
     inst = uniform_instance(args.jobs, args.machines, low=5, high=100, seed=args.seed)
     bounds = makespan_bounds(inst)
@@ -209,12 +210,15 @@ def _cmd_engines(args: argparse.Namespace) -> int:
         if not s.name.startswith("gpu-dim")
     ]
     names += [f"gpu-dim{d}" for d in args.dims]
+    # One plan cache for the whole comparison: every engine interprets
+    # the same ProbePlan, so the wavefront/partition derivation happens
+    # once here (the per-dim blocked schedules are memoized on it too).
+    plans = PlanCache()
     rows = []
     opt = None
     for name in names:
-        engine = resolve(name, check_memory=False) if name.startswith("gpu") else (
-            resolve(name)
-        )
+        kwargs = {"check_memory": False} if name.startswith("gpu") else {}
+        engine = resolve(name, plan_cache=plans, **kwargs)
         run = engine.run(rounded.counts, rounded.class_sizes, rounded.target)
         opt = run.dp_result.opt if opt is None else opt
         assert run.dp_result.opt == opt, "engines disagree!"
@@ -223,6 +227,11 @@ def _cmd_engines(args: argparse.Namespace) -> int:
         rows.append({"engine": name, "simulated_s": run.simulated_s})
     print(render_table(rows))
     print(f"OPT(N) = {opt} machines (identical across engines)")
+    print(
+        f"plan cache: {plans.stats.hits.get('plan', 0)} hits / "
+        f"{plans.stats.misses.get('plan', 0)} misses across {len(names)} engines "
+        f"(one shared probe plan)"
+    )
     return 0
 
 

@@ -86,6 +86,14 @@ def dp_vectorized(
     # accelerating convergence of the in-place propagation.
     order = np.argsort(-configs.sum(axis=1), kind="stable")
 
+    # One scratch buffer (plus one bool mask) reused by every config
+    # pass: each pass needs a copy of the shifted source — src may
+    # alias dst — but a fresh `src + 1` allocation per pass makes the
+    # allocator the bottleneck on large tables.  Every pass's views
+    # are at most table-sized, so slices of these two flats suffice.
+    scratch = np.empty(table.size, dtype=np.int64)
+    mask = np.empty(table.size, dtype=bool)
+
     rounds = 0
     passes = 0
     for _ in range(max_rounds):
@@ -94,8 +102,10 @@ def dp_vectorized(
         for idx in order:
             cfg = configs[idx]
             dst, src = _shift_views(table, cfg)
-            cand = src + 1  # temporary copy; src may alias dst
-            improved = cand < dst
+            cand = scratch[: src.size].reshape(src.shape)
+            np.add(src, 1, out=cand)  # scratch copy; src may alias dst
+            improved = mask[: src.size].reshape(src.shape)
+            np.less(cand, dst, out=improved)
             passes += 1
             if improved.any():
                 np.copyto(dst, cand, where=improved)

@@ -21,7 +21,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.instance import Instance
 from repro.core.schedule import Schedule
 from repro.errors import InvalidInstanceError
 

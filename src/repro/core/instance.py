@@ -10,7 +10,7 @@ that generator plus a few structured generators used by the examples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

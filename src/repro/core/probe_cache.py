@@ -58,10 +58,18 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from collections import OrderedDict
+
 from repro.core.configs import enumerate_configurations
 from repro.core.dp_common import DPResult
 from repro.core.instance import Instance
 from repro.core.rounding import RoundedInstance, accuracy_k, round_instance
+from repro.dptable.plan import (
+    ProbePlan,
+    build_probe_plan,
+    configs_signature,
+    plan_signature,
+)
 from repro.dptable.table import TableGeometry
 from repro.observability import context as obs
 
@@ -306,3 +314,140 @@ class ProbeCache:
             + len(self._dp)
             + len(self._geometry)
         )
+
+
+class NullPlanCache:
+    """Pass-through stand-in for :class:`PlanCache`: builds every plan fresh.
+
+    Mirrors :class:`NullProbeCache` — engines always talk to *a* plan
+    cache so they hold one code path; this one never reuses anything.
+    """
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def plan(
+        self,
+        counts: Tuple[int, ...],
+        class_sizes: Tuple[int, ...],
+        target: int,
+        configs: Optional[np.ndarray] = None,
+    ) -> ProbePlan:
+        """Uncached :func:`~repro.dptable.plan.build_probe_plan`."""
+        return build_probe_plan(counts, class_sizes, target, configs)
+
+    def clear(self) -> None:
+        """Nothing cached, nothing to drop."""
+
+    def __len__(self) -> int:
+        return 0
+
+
+class PlanCache:
+    """LRU cache of :class:`~repro.dptable.plan.ProbePlan` objects.
+
+    The plan layer is pure structure — functions of the table shape and
+    configuration set only — so it is *always* safe to share, even for
+    the simulated engines whose DP results must not be shared
+    (``ProbeCache(share_dp=False)``): a plan hit skips re-deriving
+    levels, work profiles, and block schedules, while every engine
+    still pays its own modelled hardware time for executing them.
+
+    Keys (see :func:`~repro.dptable.plan.plan_signature`):
+
+    * when the caller already holds the configuration set, the exact
+      ``("cfg", shape, configs)`` identity;
+    * otherwise the gcd-normalized ``("norm", counts, sizes/g, T//g)``
+      signature, which makes probes at different absolute targets
+      collide whenever their rounded structure agrees — the same
+      scale-invariance the probe cache exploits (quarter-split rounds
+      frequently probe four targets that normalize to one plan).
+
+    Both keys for one plan alias the same object, so a probe that
+    first arrives with configurations in hand still seeds later
+    normalized lookups.  Lookups emit ``plan.cache.hit`` /
+    ``plan.cache.miss`` observability counters; construction cost
+    flows to ``plan.build_ms``.
+
+    Plans for big tables hold several int64 arrays of table size, so
+    the cache is bounded: least-recently-used plans are evicted past
+    ``capacity``.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("PlanCache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._plans: "OrderedDict[tuple, ProbePlan]" = OrderedDict()
+        #: normalized-signature aliases pointing into ``_plans`` keys.
+        self._aliases: Dict[tuple, tuple] = {}
+
+    def plan(
+        self,
+        counts: Tuple[int, ...],
+        class_sizes: Tuple[int, ...],
+        target: int,
+        configs: Optional[np.ndarray] = None,
+    ) -> ProbePlan:
+        """The memoized plan for one probe (built on the first miss).
+
+        With ``configs`` the lookup is exact; without, it falls back to
+        the normalized signature and enumerates configurations only on
+        a miss.
+        """
+        norm_key = plan_signature(counts, class_sizes, target)
+        if configs is not None:
+            lookup = configs_signature(
+                TableGeometry.from_counts(tuple(int(c) for c in counts)), configs
+            )
+        else:
+            lookup = norm_key
+        key = self._aliases.get(lookup, lookup)
+        hit = key in self._plans
+        if hit:
+            self._plans.move_to_end(key)
+            plan = self._plans[key]
+        else:
+            plan = build_probe_plan(counts, class_sizes, target, configs)
+            self._plans[key] = plan
+            self._evict()
+        # Register both signatures so config-keyed and target-keyed
+        # lookups for the same structure converge on one plan object.
+        self._aliases.setdefault(norm_key, key)
+        self._aliases.setdefault(configs_signature(plan.geometry, plan.configs), key)
+        self._note(hit)
+        return plan
+
+    def _evict(self) -> None:
+        while len(self._plans) > self.capacity:
+            stale_key, _ = self._plans.popitem(last=False)
+            for alias, key in list(self._aliases.items()):
+                if key == stale_key:
+                    del self._aliases[alias]
+
+    def _note(self, hit: bool) -> None:
+        self.stats.record("plan", hit)
+        obs.count(f"plan.cache.{'hit' if hit else 'miss'}")
+
+    def clear(self) -> None:
+        """Drop every cached plan (stats are retained)."""
+        self._plans.clear()
+        self._aliases.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+#: Process-wide default plan cache: plans are pure structure, so a
+#: shared ambient cache is always sound (see :class:`PlanCache`).
+#: Engines resolve ``plan_cache=None`` to this instance at run time.
+_DEFAULT_PLAN_CACHE: Optional[PlanCache] = None
+
+
+def default_plan_cache() -> PlanCache:
+    """The lazily-created process-wide :class:`PlanCache`."""
+    global _DEFAULT_PLAN_CACHE
+    if _DEFAULT_PLAN_CACHE is None:
+        _DEFAULT_PLAN_CACHE = PlanCache()
+    return _DEFAULT_PLAN_CACHE

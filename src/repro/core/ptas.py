@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional, Protocol, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence, Union
 
 import numpy as np
 

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping
 
 from repro.core.instance import Instance
 from repro.errors import InvalidInstanceError

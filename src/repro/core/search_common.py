@@ -13,7 +13,7 @@ it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.instance import Instance
 from repro.core.ptas import DPSolver, ProbeResult, PtasResult

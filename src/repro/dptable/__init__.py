@@ -20,6 +20,15 @@ from repro.dptable.partition import (
     BlockPartition,
 )
 from repro.dptable.layout import BlockedLayout
+from repro.dptable.plan import (
+    BlockedSchedule,
+    KernelGroup,
+    LevelSchedule,
+    ProbePlan,
+    build_probe_plan,
+    configs_signature,
+    plan_signature,
+)
 from repro.dptable.visualize import render_levels, render_partition, render_stream_map
 
 __all__ = [
@@ -32,6 +41,13 @@ __all__ = [
     "compute_divisor",
     "BlockPartition",
     "BlockedLayout",
+    "ProbePlan",
+    "LevelSchedule",
+    "BlockedSchedule",
+    "KernelGroup",
+    "build_probe_plan",
+    "plan_signature",
+    "configs_signature",
     "render_levels",
     "render_partition",
     "render_stream_map",

@@ -23,7 +23,6 @@ from functools import cached_property
 import numpy as np
 
 from repro.dptable.partition import BlockPartition
-from repro.dptable.table import TableGeometry
 from repro.errors import PartitionError
 
 

@@ -87,6 +87,38 @@ def fill_by_groups(
     return table
 
 
+def resolve_plan(
+    plan_cache,
+    counts: Sequence[int],
+    class_sizes: Sequence[int],
+    target: int,
+    configs: np.ndarray | None,
+    plan,
+):
+    """The probe's :class:`~repro.dptable.plan.ProbePlan`, one way or another.
+
+    Engines call this at the top of :meth:`run`: an explicitly supplied
+    ``plan`` wins (the hybrid engine hands its plan down to the engine
+    it dispatched to); otherwise the engine's own ``plan_cache`` — or,
+    when it has none, the process-wide
+    :func:`~repro.core.probe_cache.default_plan_cache` — serves the
+    lookup.  Plans are pure structure, so sharing them is always sound;
+    see :class:`~repro.core.probe_cache.PlanCache`.
+    """
+    if plan is not None:
+        return plan
+    if plan_cache is None:
+        from repro.core.probe_cache import default_plan_cache
+
+        plan_cache = default_plan_cache()
+    return plan_cache.plan(
+        tuple(int(c) for c in counts),
+        tuple(int(s) for s in class_sizes),
+        int(target),
+        configs,
+    )
+
+
 def note_engine_run(run: "EngineRun") -> None:
     """Report one engine probe to the ambient tracer (no-op untraced).
 

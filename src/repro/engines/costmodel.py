@@ -24,13 +24,12 @@ and are frozen for all experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from functools import cached_property
 from typing import Sequence
 
 import numpy as np
 
-from repro.core.configs import enumerate_configurations
-from repro.dptable.table import TableGeometry
+from repro.dptable.partition import BlockPartition
+from repro.dptable.plan import ProbePlan, build_probe_plan
 from repro.errors import CalibrationError, DPError
 
 
@@ -95,6 +94,14 @@ class WorkProfile:
     """Vectorized per-cell work quantities for one DP probe.
 
     All arrays are indexed by the cell's flat row-major table index.
+
+    Since the probe-plan refactor this is a thin *view* over a
+    :class:`~repro.dptable.plan.ProbePlan` — the plan owns the shared
+    per-cell arrays (and may come from a
+    :class:`~repro.core.probe_cache.PlanCache`); the profile keeps the
+    probe's absolute quantities (``class_sizes``, ``target``) and the
+    caller's configuration array identity.  Pass ``plan=`` to wrap an
+    existing plan instead of building one.
     """
 
     def __init__(
@@ -103,54 +110,51 @@ class WorkProfile:
         class_sizes: Sequence[int],
         target: int,
         configs: np.ndarray | None = None,
+        plan: ProbePlan | None = None,
     ) -> None:
         self.counts = tuple(int(c) for c in counts)
         self.class_sizes = tuple(int(s) for s in class_sizes)
         if len(self.counts) != len(self.class_sizes):
             raise DPError("counts and class_sizes must have equal length")
         self.target = int(target)
-        self.geometry = TableGeometry.from_counts(self.counts)
-        if configs is None:
-            configs = enumerate_configurations(class_sizes, counts, target)
-        self.configs = configs
+        if plan is None:
+            plan = build_probe_plan(self.counts, self.class_sizes, self.target, configs)
+        self.plan = plan
+        self.geometry = plan.geometry
+        self.configs = configs if configs is not None else plan.configs
 
-    # -- per-cell arrays -----------------------------------------------------
+    # -- per-cell arrays (views into the plan) --------------------------------
 
-    @cached_property
+    @property
     def levels(self) -> np.ndarray:
         """Anti-diagonal level of every cell."""
-        return self.geometry.all_cells().sum(axis=1)
+        return self.plan.level_schedule.levels
 
-    @cached_property
+    @property
     def candidates(self) -> np.ndarray:
         """FindValidSub enumeration size per cell: ``prod(v_i + 1)``."""
-        cells = self.geometry.all_cells()
-        return np.prod(cells + 1, axis=1, dtype=np.int64)
+        return self.plan.candidates
 
-    @cached_property
+    @property
     def valid(self) -> np.ndarray:
-        """Applicable configurations per cell: ``#{c in C : c <= v}``.
-
-        Computed by one slice-increment per configuration over a dense
-        counter table — ``O(|C| * sigma)`` flat numpy work.
-        """
-        table = np.zeros(self.geometry.shape, dtype=np.int64)
-        for cfg in self.configs:
-            view = table[tuple(slice(int(c), None) for c in cfg)]
-            view += 1
-        return table.reshape(-1)
+        """Applicable configurations per cell: ``#{c in C : c <= v}``."""
+        return self.plan.valid
 
     # -- aggregates ------------------------------------------------------------
 
-    @cached_property
+    @property
     def total_candidates(self) -> int:
         """Sum of FindValidSub work over the whole table."""
-        return int(self.candidates.sum())
+        return self.plan.total_candidates
 
-    @cached_property
+    @property
     def total_valid(self) -> int:
         """Sum of SetOPT work items over the whole table."""
-        return int(self.valid.sum())
+        return self.plan.total_valid
+
+    def partition(self, dim: int) -> BlockPartition:
+        """The plan's memoized Algorithm 4 partition for ``dim``."""
+        return self.plan.partition(dim)
 
     def thread_ops(self, costs: CostConstants) -> np.ndarray:
         """Per-cell compute ops *excluding* the locate scan.
@@ -159,10 +163,7 @@ class WorkProfile:
         engine's storage layout (whole table vs block) and medium
         (cached CPU scan vs GPU global memory).
         """
-        return (
-            self.candidates.astype(np.float64) * costs.candidate_ops
-            + self.valid.astype(np.float64) * costs.setopt_ops
-        )
+        return self.plan.thread_ops(costs)
 
     def scan_elements(self, scan_scope: np.ndarray | int) -> np.ndarray:
         """Per-cell elements touched by locate scans.
@@ -171,5 +172,4 @@ class WorkProfile:
         per-cell array for block-local scans); the expected scan hits
         the target halfway through.
         """
-        scope = np.asarray(scan_scope, dtype=np.float64)
-        return self.valid.astype(np.float64) * scope / 2.0
+        return self.plan.scan_elements(scan_scope)

@@ -15,6 +15,10 @@ paper:
 * per-cell candidate buffers are allocated at table scope, so large
   probes exceed device memory (:class:`~repro.errors.SimulationError`),
   reproducing the out-of-memory failures §III-C describes.
+
+The level schedule and work arrays come from the probe's
+:class:`~repro.dptable.plan.ProbePlan`; the engine keeps only the
+kernel-per-level launch structure and its memory charges.
 """
 
 from __future__ import annotations
@@ -24,9 +28,15 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.dp_common import DPResult
-from repro.dptable.antidiagonal import wavefront
-from repro.engines.base import EngineRun, degenerate_run, fill_by_groups, note_engine_run
-from repro.engines.costmodel import CostConstants, DEFAULT_COSTS, WorkProfile
+from repro.dptable.plan import ProbePlan
+from repro.engines.base import (
+    EngineRun,
+    degenerate_run,
+    fill_by_groups,
+    note_engine_run,
+    resolve_plan,
+)
+from repro.engines.costmodel import CostConstants, DEFAULT_COSTS
 from repro.gpusim.engine import GpuSimulator
 from repro.gpusim.kernel import KernelSpec
 from repro.gpusim.memory import AccessPattern
@@ -41,10 +51,12 @@ class GpuNaiveEngine:
         spec: DeviceSpec = KEPLER_K40,
         costs: CostConstants = DEFAULT_COSTS,
         check_memory: bool = True,
+        plan_cache=None,
     ) -> None:
         self.spec = spec
         self.costs = costs
         self.check_memory = check_memory
+        self.plan_cache = plan_cache
         self.total_simulated_s = 0.0
         self.runs: list[EngineRun] = []
 
@@ -59,26 +71,29 @@ class GpuNaiveEngine:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        plan: Optional[ProbePlan] = None,
     ) -> EngineRun:
         """Execute one DP probe as one kernel per anti-diagonal level."""
         if len(counts) == 0:
             run = degenerate_run(self.name)
             self.runs.append(run)
             return run
-        profile = WorkProfile(counts, class_sizes, target, configs)
-        geometry = profile.geometry
+        plan = resolve_plan(
+            self.plan_cache, counts, class_sizes, target, configs, plan
+        )
+        geometry = plan.geometry
 
-        levels = list(wavefront(geometry))
-        table = fill_by_groups(geometry, profile.configs, levels)
+        levels = plan.level_groups()
+        table = fill_by_groups(geometry, plan.configs, levels)
         dp_result = DPResult(
-            table=table.reshape(geometry.shape), configs=profile.configs
+            table=table.reshape(geometry.shape), configs=plan.configs
         )
 
         # Per-thread compute (enumeration + SetOPT bookkeeping); the
         # locate scans are charged as strided memory traffic below.
         op_time = self.spec.op_time_s
-        cell_compute = profile.thread_ops(self.costs) * op_time
-        scan_elements = profile.scan_elements(geometry.size)
+        cell_compute = plan.thread_ops(self.costs) * op_time
+        scan_elements = plan.scan_elements(geometry.size)
 
         sim = GpuSimulator(self.spec, check_memory=self.check_memory)
         table_bytes = geometry.size * 8
@@ -87,7 +102,7 @@ class GpuNaiveEngine:
                 continue
             # Table-scope candidate buffers: every thread holds its
             # candidate set simultaneously (the §III-C memory hazard).
-            buffer_bytes = int(profile.candidates[level_cells].sum()) * 8
+            buffer_bytes = int(plan.candidates[level_cells].sum()) * 8
             kernel = KernelSpec(
                 name=f"naive-lvl",
                 thread_times=cell_compute[level_cells],
@@ -105,8 +120,8 @@ class GpuNaiveEngine:
             simulated_s=sim.now,
             metrics={
                 **sim.metrics.as_dict(),
-                "total_candidates": profile.total_candidates,
-                "total_valid": profile.total_valid,
+                "total_candidates": plan.total_candidates,
+                "total_valid": plan.total_valid,
                 "scan_scope": geometry.size,
             },
         )

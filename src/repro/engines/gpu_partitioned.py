@@ -2,23 +2,26 @@
 
 Execution structure, faithful to §III-C/D/E:
 
-1. Compute the divisor for the requested ``dim`` (GPU-DIM3..GPU-DIM9)
-   and partition the table into equal blocks
-   (:class:`~repro.dptable.partition.BlockPartition`).
-2. Reorganize memory block-contiguously
-   (:class:`~repro.dptable.layout.BlockedLayout`), so every in-block
-   access is coalesced and locate scans are confined to one block.
-3. Walk block-levels in order; blocks of one level are independent and
-   are distributed cyclically over ``num_streams`` CUDA streams
-   (Alg. 4 line 31 — 4 streams "provides the best performance for the
-   majority of problem instances").
-4. Inside a block, one ``FindOPT`` kernel per in-block anti-diagonal
+1. The probe's :class:`~repro.dptable.plan.ProbePlan` supplies the
+   blocked schedule for the requested ``dim`` (GPU-DIM3..GPU-DIM9):
+   divisor, equal-block partition
+   (:class:`~repro.dptable.partition.BlockPartition`), block-contiguous
+   memory layout (:class:`~repro.dptable.layout.BlockedLayout`), and
+   one :class:`~repro.dptable.plan.KernelGroup` per
+   (block, in-block-level) — all memoized on the plan and shared
+   across probes via the plan cache.
+2. The engine *interprets* that schedule: it walks block-levels in
+   order; blocks of one level are independent and are distributed
+   cyclically over ``num_streams`` CUDA streams (Alg. 4 line 31 — 4
+   streams "provides the best performance for the majority of problem
+   instances").
+3. Inside a block, one ``FindOPT`` kernel per in-block anti-diagonal
    level (kernels of the same block serialize on the block's stream —
    the block-local synchronization of §III-E); each thread handles one
    cell and dynamically launches ``FindValidSub`` + ``SetOPT`` children
    whose work is folded into the thread's time and whose launches are
    charged the device-launch overhead.
-5. ``cudaDeviceSynchronize`` between block-levels.
+4. ``cudaDeviceSynchronize`` between block-levels.
 
 Memory behaviour vs the naive port: locate scans touch
 ``cells_per_block / 2`` *contiguous* elements instead of ``sigma / 2``
@@ -33,11 +36,16 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.dp_common import DPResult
-from repro.dptable.layout import BlockedLayout
-from repro.dptable.partition import BlockPartition, compute_divisor
+from repro.dptable.plan import ProbePlan
 from repro.extensions.residency import BlockResidency
-from repro.engines.base import EngineRun, degenerate_run, fill_by_groups, note_engine_run
-from repro.engines.costmodel import CostConstants, DEFAULT_COSTS, WorkProfile
+from repro.engines.base import (
+    EngineRun,
+    degenerate_run,
+    fill_by_groups,
+    note_engine_run,
+    resolve_plan,
+)
+from repro.engines.costmodel import CostConstants, DEFAULT_COSTS
 from repro.gpusim.engine import GpuSimulator
 from repro.gpusim.kernel import KernelSpec
 from repro.gpusim.memory import AccessPattern
@@ -55,6 +63,7 @@ class GpuPartitionedEngine:
         costs: CostConstants = DEFAULT_COSTS,
         check_memory: bool = True,
         block_residency: bool = False,
+        plan_cache=None,
     ) -> None:
         self.dim = dim
         self.num_streams = num_streams
@@ -66,6 +75,7 @@ class GpuPartitionedEngine:
         # whole table.  Off by default to match the paper's published
         # implementation; the future-work bench turns it on.
         self.block_residency = block_residency
+        self.plan_cache = plan_cache
         self.total_simulated_s = 0.0
         self.runs: list[EngineRun] = []
 
@@ -73,42 +83,6 @@ class GpuPartitionedEngine:
     def name(self) -> str:
         """Engine label, e.g. ``gpu-dim6`` (the paper's GPU-DIM6)."""
         return f"gpu-dim{self.dim}"
-
-    # -- schedule construction ---------------------------------------------------
-
-    def _grouped_schedule(
-        self, partition: BlockPartition
-    ) -> list[list[tuple[int, int, np.ndarray]]]:
-        """Kernels grouped by block-level.
-
-        Returns, per block-level, a list of
-        ``(flat_block_id, inblock_level, cell_flat_indices)`` kernel
-        descriptors, ordered by block then in-block level.  Built with
-        one lexsort over the table instead of per-block scans.
-        """
-        block_ids = partition.cell_block_ids
-        block_levels = partition.cell_block_levels
-        inblock = partition.cell_inblock_levels
-
-        n_in = partition.num_inblock_levels
-        key = block_ids * n_in + inblock
-        order = np.argsort(key, kind="stable")
-        sorted_key = key[order]
-        # Kernel boundaries: one kernel per distinct (block, in-level).
-        starts = np.flatnonzero(
-            np.concatenate([[True], sorted_key[1:] != sorted_key[:-1]])
-        )
-        stops = np.concatenate([starts[1:], [sorted_key.size]])
-
-        by_level: list[list[tuple[int, int, np.ndarray]]] = [
-            [] for _ in range(partition.num_block_levels)
-        ]
-        for lo, hi in zip(starts, stops):
-            cells = order[lo:hi]
-            k = int(sorted_key[lo])
-            bid, lvl = divmod(k, n_in)
-            by_level[int(block_levels[cells[0]])].append((bid, lvl, cells))
-        return by_level
 
     # -- execution ------------------------------------------------------------------
 
@@ -118,33 +92,26 @@ class GpuPartitionedEngine:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        plan: Optional[ProbePlan] = None,
     ) -> EngineRun:
         """Execute one DP probe as the blocked two-level schedule."""
         if len(counts) == 0:
             run = degenerate_run(self.name)
             self.runs.append(run)
             return run
-        profile = WorkProfile(counts, class_sizes, target, configs)
-        geometry = profile.geometry
-        divisor = compute_divisor(geometry.shape, self.dim)
-        partition = BlockPartition(geometry, divisor)
-        layout = BlockedLayout(partition)  # materialises the Alg. 4 reorg
+        plan = resolve_plan(
+            self.plan_cache, counts, class_sizes, target, configs, plan
+        )
+        geometry = plan.geometry
+        blocked = plan.blocked(self.dim)
+        partition = blocked.partition
+        layout = blocked.layout  # the Alg. 4 reorg, materialised on the plan
 
-        schedule = self._grouped_schedule(partition)
-
-        # Real DP values in the engine's own order: the groups are the
-        # per-(block-level, in-block-level) cell sets; fill_by_groups
-        # verifies no dependency is violated.
-        groups: list[np.ndarray] = []
-        for level_kernels in schedule:
-            per_inlevel: dict[int, list[np.ndarray]] = {}
-            for _, lvl, cells in level_kernels:
-                per_inlevel.setdefault(lvl, []).append(cells)
-            for lvl in sorted(per_inlevel):
-                groups.append(np.concatenate(per_inlevel[lvl]))
-        table = fill_by_groups(geometry, profile.configs, groups)
+        # Real DP values in the engine's own order: fill_by_groups
+        # verifies no dependency is violated by the blocked schedule.
+        table = fill_by_groups(geometry, plan.configs, blocked.fill_groups)
         dp_result = DPResult(
-            table=table.reshape(geometry.shape), configs=profile.configs
+            table=table.reshape(geometry.shape), configs=plan.configs
         )
 
         # -- simulated execution --------------------------------------------------
@@ -152,9 +119,9 @@ class GpuPartitionedEngine:
         # Locate scans stay inside the block: contiguous (coalesced)
         # storage of cells_per_block cells; also charge the scan's
         # compare ops as compute (the per-thread loop of Alg.5 l.26-28).
-        scan_elems_per_cell = profile.scan_elements(partition.cells_per_block)
+        scan_elems_per_cell = plan.scan_elements(partition.cells_per_block)
         cell_compute = (
-            profile.thread_ops(self.costs)
+            plan.thread_ops(self.costs)
             + scan_elems_per_cell * self.costs.gpu_scan_ops_per_element
         ) * op_time
 
@@ -166,7 +133,7 @@ class GpuPartitionedEngine:
         residency = None
         table_resident_bytes = geometry.size * 8
         if self.block_residency:
-            residency = BlockResidency(partition, profile.configs)
+            residency = BlockResidency(partition, plan.configs)
             table_resident_bytes = residency.peak_resident_bytes()
         reorg_elements = geometry.size  # one streaming pass for the Alg.4 reorg
         sim.launch(
@@ -182,13 +149,14 @@ class GpuPartitionedEngine:
         )
         sim.synchronize()
 
-        for level_kernels in schedule:
+        for level_kernels in blocked.by_block_level:
             # Blocks of one level go round-robin into the streams; a
             # block's own kernels serialize on its stream because they
             # are launched back to back into it.
             stream_of_block: dict[int, int] = {}
             next_stream = 0
-            for bid, lvl, cells in level_kernels:
+            for kernel_group in level_kernels:
+                bid, cells = kernel_group.block_id, kernel_group.cells
                 if bid not in stream_of_block:
                     stream_of_block[bid] = next_stream % self.num_streams
                     next_stream += 1
@@ -200,7 +168,7 @@ class GpuPartitionedEngine:
                     dynamic_children=2 * int(cells.size),
                     mem_footprint_bytes=table_resident_bytes
                     + block_bytes
-                    + int(profile.candidates[cells].max()) * 8,
+                    + int(plan.candidates[cells].max()) * 8,
                 )
                 sim.launch(kernel, stream=stream_of_block[bid])
             sim.synchronize()  # block-level barrier (Alg. 4 lines 29-31)
@@ -212,14 +180,14 @@ class GpuPartitionedEngine:
             metrics={
                 **sim.metrics.as_dict(),
                 "dim": self.dim,
-                "divisor": divisor,
+                "divisor": partition.divisor,
                 "block_shape": partition.block_shape,
                 "num_blocks": partition.num_blocks,
                 "cells_per_block": partition.cells_per_block,
                 "num_block_levels": partition.num_block_levels,
                 "num_streams": self.num_streams,
-                "total_candidates": profile.total_candidates,
-                "total_valid": profile.total_valid,
+                "total_candidates": plan.total_candidates,
+                "total_valid": plan.total_valid,
                 "scan_scope": partition.cells_per_block,
                 "strided_span_example": layout.strided_span(
                     (0,) * geometry.ndim

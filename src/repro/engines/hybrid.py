@@ -12,6 +12,13 @@ The predictor is intentionally simple — the dominant cost terms only —
 and is validated in tests: its *choices* must match the simulated
 outcome (which engine actually turns out cheaper) on the vast majority
 of probes, which is what matters; exact time prediction does not.
+
+The probe's :class:`~repro.dptable.plan.ProbePlan` is resolved once
+here and handed down to whichever engine wins the prediction, so a
+routed probe never rebuilds its schedule; the predictors read the
+plan's work arrays and its memoized ``partition(dim)`` directly
+(:class:`~repro.engines.costmodel.WorkProfile` exposes the same
+surface, so either satisfies them).
 """
 
 from __future__ import annotations
@@ -22,10 +29,9 @@ import numpy as np
 
 from repro.core.dp_common import DPResult
 from repro.cpusim.spec import CpuSpec, XEON_E5_2697V3_DUAL
-from repro.dptable.partition import BlockPartition, compute_divisor
-from repro.dptable.table import TableGeometry
-from repro.engines.base import EngineRun, degenerate_run
-from repro.engines.costmodel import CostConstants, DEFAULT_COSTS, WorkProfile
+from repro.dptable.plan import ProbePlan
+from repro.engines.base import EngineRun, degenerate_run, resolve_plan
+from repro.engines.costmodel import CostConstants, DEFAULT_COSTS
 from repro.engines.gpu_partitioned import GpuPartitionedEngine
 from repro.engines.openmp_engine import OpenMPEngine
 from repro.gpusim.spec import DeviceSpec, KEPLER_K40
@@ -41,11 +47,17 @@ class HybridEngine:
         cpu_spec: CpuSpec = XEON_E5_2697V3_DUAL,
         gpu_spec: DeviceSpec = KEPLER_K40,
         costs: CostConstants = DEFAULT_COSTS,
+        plan_cache=None,
     ) -> None:
-        self.cpu_engine = OpenMPEngine(threads=threads, spec=cpu_spec, costs=costs)
-        self.gpu_engine = GpuPartitionedEngine(dim=dim, spec=gpu_spec, costs=costs)
+        self.cpu_engine = OpenMPEngine(
+            threads=threads, spec=cpu_spec, costs=costs, plan_cache=plan_cache
+        )
+        self.gpu_engine = GpuPartitionedEngine(
+            dim=dim, spec=gpu_spec, costs=costs, plan_cache=plan_cache
+        )
         self.costs = costs
         self.dim = dim
+        self.plan_cache = plan_cache
         self.choices: list[str] = []
         self.runs: list[EngineRun] = []
 
@@ -61,8 +73,12 @@ class HybridEngine:
 
     # -- cost prediction ---------------------------------------------------------
 
-    def predict_cpu_s(self, profile: WorkProfile) -> float:
-        """Dominant CPU terms: compute over threads vs shared-bandwidth floor."""
+    def predict_cpu_s(self, profile) -> float:
+        """Dominant CPU terms: compute over threads vs shared-bandwidth floor.
+
+        ``profile`` is a :class:`~repro.dptable.plan.ProbePlan` or a
+        :class:`~repro.engines.costmodel.WorkProfile` (same surface).
+        """
         spec = self.cpu_engine.spec
         ops = float(profile.thread_ops(self.costs).sum())
         scan = float(profile.scan_elements(profile.geometry.size).sum())
@@ -75,13 +91,10 @@ class HybridEngine:
         barriers = (profile.geometry.max_level + 1) * spec.fork_join_overhead_s
         return max(compute, memory) + barriers
 
-    def predict_gpu_s(self, profile: WorkProfile) -> float:
+    def predict_gpu_s(self, profile) -> float:
         """Dominant GPU terms: lane work at model utilisation + kernel chain."""
         spec = self.gpu_engine.spec
-        geometry = profile.geometry
-        partition = BlockPartition(
-            geometry, compute_divisor(geometry.shape, self.dim)
-        )
+        partition = profile.partition(self.dim)
         ops = float(profile.thread_ops(self.costs).sum())
         scan = float(
             profile.scan_elements(partition.cells_per_block).sum()
@@ -107,21 +120,28 @@ class HybridEngine:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        plan: Optional[ProbePlan] = None,
     ) -> EngineRun:
         """Route one probe to the predicted-cheaper engine and run it."""
         if len(counts) == 0:
             run = degenerate_run(self.name)
             self.runs.append(run)
             return run
-        profile = WorkProfile(counts, class_sizes, target, configs)
-        cpu_pred = self.predict_cpu_s(profile)
-        gpu_pred = self.predict_gpu_s(profile)
+        plan = resolve_plan(
+            self.plan_cache, counts, class_sizes, target, configs, plan
+        )
+        cpu_pred = self.predict_cpu_s(plan)
+        gpu_pred = self.predict_gpu_s(plan)
         if cpu_pred <= gpu_pred:
             self.choices.append("cpu")
-            run = self.cpu_engine.run(counts, class_sizes, target, profile.configs)
+            run = self.cpu_engine.run(
+                counts, class_sizes, target, plan.configs, plan=plan
+            )
         else:
             self.choices.append("gpu")
-            run = self.gpu_engine.run(counts, class_sizes, target, profile.configs)
+            run = self.gpu_engine.run(
+                counts, class_sizes, target, plan.configs, plan=plan
+            )
         self.runs.append(run)
         return run
 

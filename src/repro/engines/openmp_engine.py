@@ -11,6 +11,10 @@ The whole-table scan makes the per-cell cost grow with ``sigma``, so
 the engine's simulated time is superlinear in table size — the reason
 the OpenMP lines in Fig. 3(c) blow up on large tables while the
 partitioned GPU stays moderate.
+
+The level schedule and per-cell work arrays come from the probe's
+:class:`~repro.dptable.plan.ProbePlan`; this engine contributes only
+the ``parallel for`` cost semantics.
 """
 
 from __future__ import annotations
@@ -22,9 +26,15 @@ import numpy as np
 from repro.core.dp_common import DPResult
 from repro.cpusim.openmp import OpenMPModel
 from repro.cpusim.spec import CpuSpec, XEON_E5_2697V3_DUAL
-from repro.dptable.antidiagonal import wavefront
-from repro.engines.base import EngineRun, degenerate_run, fill_by_groups, note_engine_run
-from repro.engines.costmodel import CostConstants, DEFAULT_COSTS, WorkProfile
+from repro.dptable.plan import ProbePlan
+from repro.engines.base import (
+    EngineRun,
+    degenerate_run,
+    fill_by_groups,
+    note_engine_run,
+    resolve_plan,
+)
+from repro.engines.costmodel import CostConstants, DEFAULT_COSTS
 
 
 class OpenMPEngine:
@@ -36,11 +46,13 @@ class OpenMPEngine:
         spec: CpuSpec = XEON_E5_2697V3_DUAL,
         costs: CostConstants = DEFAULT_COSTS,
         schedule: str = "static",
+        plan_cache=None,
     ) -> None:
         self.threads = threads
         self.spec = spec
         self.costs = costs
         self.schedule = schedule
+        self.plan_cache = plan_cache
         self.total_simulated_s = 0.0
         self.runs: list[EngineRun] = []
 
@@ -55,26 +67,29 @@ class OpenMPEngine:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        plan: Optional[ProbePlan] = None,
     ) -> EngineRun:
         """Execute one DP probe level by level on the CPU model."""
         if len(counts) == 0:
             run = degenerate_run(self.name)
             self.runs.append(run)
             return run
-        profile = WorkProfile(counts, class_sizes, target, configs)
-        geometry = profile.geometry
+        plan = resolve_plan(
+            self.plan_cache, counts, class_sizes, target, configs, plan
+        )
+        geometry = plan.geometry
 
-        levels = list(wavefront(geometry))
-        table = fill_by_groups(geometry, profile.configs, levels)
+        levels = plan.level_groups()
+        table = fill_by_groups(geometry, plan.configs, levels)
         dp_result = DPResult(
-            table=table.reshape(geometry.shape), configs=profile.configs
+            table=table.reshape(geometry.shape), configs=plan.configs
         )
 
         # Per-cell cost: candidate enumeration + SetOPT bookkeeping +
         # whole-table locate scans (cached, so discounted).
-        ops = profile.thread_ops(self.costs)
+        ops = plan.thread_ops(self.costs)
         scan = (
-            profile.scan_elements(geometry.size)
+            plan.scan_elements(geometry.size)
             * self.costs.scan_ops_per_element
             * self.costs.cpu_scan_elements_cached
         )
@@ -82,7 +97,7 @@ class OpenMPEngine:
         # Streamed traffic per cell: its scans touch valid * sigma/2
         # elements of 8 bytes; the shared-bandwidth ceiling caps how
         # fast 16 or 28 threads can co-scan.
-        cell_bytes = profile.scan_elements(geometry.size) * 8.0
+        cell_bytes = plan.scan_elements(geometry.size) * 8.0
 
         model = OpenMPModel(self.spec, threads=self.threads)
         worst_imbalance = 1.0
@@ -104,8 +119,8 @@ class OpenMPEngine:
                 "threads": self.threads,
                 "regions": model.regions,
                 "worst_level_imbalance": worst_imbalance,
-                "total_candidates": profile.total_candidates,
-                "total_valid": profile.total_valid,
+                "total_candidates": plan.total_candidates,
+                "total_valid": plan.total_valid,
                 "scan_scope": geometry.size,
             },
         )

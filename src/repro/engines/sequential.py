@@ -6,6 +6,12 @@ of the sequential PTAS was already compared against the OpenMP
 implementation in [1]"); we keep it because it anchors the cost model
 (OpenMP at P threads must approach the serial time / P for
 compute-bound levels — asserted in tests) and the examples use it.
+
+Like every engine, this is an *interpreter* of a
+:class:`~repro.dptable.plan.ProbePlan`: the plan owns the wavefront
+schedule and per-cell work profile (shared across probes via the
+:class:`~repro.core.probe_cache.PlanCache`); the engine keeps only its
+cost semantics — here, one core executing every op in sequence.
 """
 
 from __future__ import annotations
@@ -17,9 +23,15 @@ import numpy as np
 from repro.core.dp_common import DPResult
 from repro.cpusim.openmp import OpenMPModel
 from repro.cpusim.spec import CpuSpec, XEON_E5_2697V3_DUAL
-from repro.dptable.antidiagonal import wavefront
-from repro.engines.base import EngineRun, degenerate_run, fill_by_groups, note_engine_run
-from repro.engines.costmodel import CostConstants, DEFAULT_COSTS, WorkProfile
+from repro.dptable.plan import ProbePlan
+from repro.engines.base import (
+    EngineRun,
+    degenerate_run,
+    fill_by_groups,
+    note_engine_run,
+    resolve_plan,
+)
+from repro.engines.costmodel import CostConstants, DEFAULT_COSTS
 
 
 class SequentialEngine:
@@ -35,9 +47,11 @@ class SequentialEngine:
         self,
         spec: CpuSpec = XEON_E5_2697V3_DUAL,
         costs: CostConstants = DEFAULT_COSTS,
+        plan_cache=None,
     ) -> None:
         self.spec = spec
         self.costs = costs
+        self.plan_cache = plan_cache
         self.total_simulated_s = 0.0
         self.runs: list[EngineRun] = []
 
@@ -52,31 +66,34 @@ class SequentialEngine:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        plan: Optional[ProbePlan] = None,
     ) -> EngineRun:
         """Execute one DP probe; returns values plus simulated time."""
         if len(counts) == 0:
             run = degenerate_run(self.name)
             self.runs.append(run)
             return run
-        profile = WorkProfile(counts, class_sizes, target, configs)
-        geometry = profile.geometry
+        plan = resolve_plan(
+            self.plan_cache, counts, class_sizes, target, configs, plan
+        )
+        geometry = plan.geometry
 
-        table = fill_by_groups(geometry, profile.configs, wavefront(geometry))
+        table = fill_by_groups(geometry, plan.configs, plan.level_groups())
         dp_result = DPResult(
-            table=table.reshape(geometry.shape), configs=profile.configs
+            table=table.reshape(geometry.shape), configs=plan.configs
         )
 
         # Serial cost: every op in sequence; scans run from cache.
-        ops = profile.thread_ops(self.costs)
+        ops = plan.thread_ops(self.costs)
         scan = (
-            profile.scan_elements(geometry.size)
+            plan.scan_elements(geometry.size)
             * self.costs.scan_ops_per_element
             * self.costs.cpu_scan_elements_cached
         )
         model = OpenMPModel(self.spec, threads=1)
         model.parallel_for(
             (ops + scan) * self.spec.op_time_s,
-            mem_bytes=int(profile.total_valid) * 8,
+            mem_bytes=int(plan.total_valid) * 8,
         )
 
         run = EngineRun(
@@ -85,8 +102,8 @@ class SequentialEngine:
             simulated_s=model.elapsed_s,
             metrics={
                 "regions": model.regions,
-                "total_candidates": profile.total_candidates,
-                "total_valid": profile.total_valid,
+                "total_candidates": plan.total_candidates,
+                "total_valid": plan.total_valid,
             },
         )
         self.total_simulated_s += run.simulated_s

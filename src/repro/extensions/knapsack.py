@@ -24,7 +24,7 @@ vector ``c``, the best achievable value using each item at most once
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

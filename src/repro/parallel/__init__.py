@@ -9,11 +9,12 @@ speedup mechanism the OpenMP baseline uses and gives downstream users a
 fast multi-core solver.
 """
 
-from repro.parallel.wavefront import parallel_wavefront_dp
+from repro.parallel.wavefront import WavefrontSolver, parallel_wavefront_dp
 from repro.parallel.chunking import split_evenly, split_by_cost
 
 __all__ = [
     "parallel_wavefront_dp",
+    "WavefrontSolver",
     "split_evenly",
     "split_by_cost",
 ]

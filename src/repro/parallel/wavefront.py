@@ -13,20 +13,28 @@ This is genuinely parallel execution on the reproduction host (not the
 simulator).  Per the HPC-Python guides: vectorized worker bodies, no
 per-cell Python loops, no table pickling (only ``(lo, hi)`` ranges
 cross the process boundary).
+
+The level order, boundaries, and per-cell cost estimates come from the
+probe's :class:`~repro.dptable.plan.ProbePlan` — the *same* schedule
+the simulated engines interpret, so real and modelled execution
+provably walk identical wavefronts.  Shared-memory segments are
+context-managed (:func:`_shared_segment`): they are closed and
+unlinked the moment the probe exits, including on error paths such as
+a raised :class:`~repro.errors.DPError` — no interpreter-exit hooks
+involved.
 """
 
 from __future__ import annotations
 
-import atexit
+from contextlib import ExitStack, contextmanager
 from multiprocessing import get_context
 from multiprocessing.shared_memory import SharedMemory
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-from repro.core.configs import enumerate_configurations
 from repro.core.dp_common import DPResult, UNREACHABLE, empty_dp_result
-from repro.dptable.antidiagonal import cell_levels
+from repro.dptable.plan import ProbePlan
 from repro.dptable.table import TableGeometry
 from repro.errors import DPError
 from repro.parallel.chunking import split_by_cost
@@ -71,6 +79,26 @@ def _work_range(bounds: tuple[int, int]) -> int:
     return int(cells_flat.size)
 
 
+@contextmanager
+def _shared_segment(nbytes: int) -> Iterator[SharedMemory]:
+    """One shared-memory segment, released on block exit no matter what.
+
+    ``close()`` drops this process's mapping; ``unlink()`` removes the
+    OS object so nothing outlives the probe — also on exception paths
+    (a raised :class:`DPError` must not leak segments, which is what
+    the old ``atexit``-based cleanup could not guarantee mid-session).
+    """
+    segment = SharedMemory(create=True, size=nbytes)
+    try:
+        yield segment
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # already unlinked elsewhere
+            pass
+
+
 def parallel_wavefront_dp(
     counts: Sequence[int],
     class_sizes: Sequence[int],
@@ -78,12 +106,21 @@ def parallel_wavefront_dp(
     configs: Optional[np.ndarray] = None,
     workers: int = 4,
     min_parallel_level: int = 256,
+    plan: Optional[ProbePlan] = None,
+    plan_cache=None,
 ) -> DPResult:
     """Solve the DP on ``workers`` processes; result identical to serial.
 
     Levels smaller than ``min_parallel_level`` cells are executed inline
     (dispatch overhead would dominate) — the host-side analogue of the
     paper's observation that narrow levels cannot feed wide hardware.
+
+    ``plan`` / ``plan_cache`` follow the engine convention (see
+    :func:`repro.engines.base.resolve_plan`): pass a prebuilt
+    :class:`~repro.dptable.plan.ProbePlan` to skip schedule
+    derivation, or a :class:`~repro.core.probe_cache.PlanCache` to
+    share schedules across probes; by default the process-wide plan
+    cache serves the lookup.
     """
     counts = tuple(int(c) for c in counts)
     if len(counts) != len(class_sizes):
@@ -92,22 +129,27 @@ def parallel_wavefront_dp(
         raise DPError(f"workers must be >= 1, got {workers}")
     if len(counts) == 0:
         return empty_dp_result()
-    if configs is None:
-        configs = enumerate_configurations(class_sizes, counts, target)
+    from repro.engines.base import resolve_plan
 
-    geometry = TableGeometry.from_counts(counts)
+    plan = resolve_plan(plan_cache, counts, class_sizes, target, configs, plan)
+    if configs is None:
+        configs = plan.configs
+
+    geometry = plan.geometry
     size = geometry.size
 
-    levels = cell_levels(geometry)
-    order = np.argsort(levels, kind="stable").astype(np.int64)
-    boundaries = np.searchsorted(levels[order], np.arange(geometry.max_level + 2))
+    schedule = plan.level_schedule
+    order = schedule.order
+    boundaries = schedule.boundaries
     # Per-cell cost estimate for balanced chunks: the downset size
-    # dominates the real per-cell work (see costmodel.WorkProfile).
-    cost = np.prod(geometry.all_cells() + 1, axis=1, dtype=np.float64)
+    # (plan.candidates) dominates the real per-cell work.
+    cost = plan.candidates.astype(np.float64)
 
-    table_shm = SharedMemory(create=True, size=size * 8)
-    order_shm = SharedMemory(create=True, size=size * 8)
-    try:
+    with ExitStack() as stack:
+        table_shm = stack.enter_context(_shared_segment(size * 8))
+        order_shm = stack.enter_context(_shared_segment(size * 8))
+        stack.callback(_W.clear)
+
         table = np.ndarray((size,), dtype=np.int64, buffer=table_shm.buf)
         table[:] = UNREACHABLE
         table[0] = 0
@@ -141,11 +183,53 @@ def parallel_wavefront_dp(
                 pool.close()
                 pool.join()
         result = table.reshape(geometry.shape).copy()
-    finally:
-        _W.clear()
-        table_shm.close()
-        table_shm.unlink()
-        order_shm.close()
-        order_shm.unlink()
 
     return DPResult(table=result, configs=configs)
+
+
+class WavefrontSolver:
+    """:func:`parallel_wavefront_dp` as a registry backend.
+
+    Binds the worker count (``"wavefront-<workers>"`` in
+    :mod:`repro.backends`) and an optional shared
+    :class:`~repro.core.probe_cache.PlanCache`, and satisfies the
+    :class:`~repro.core.ptas.DPSolver` protocol so the PTAS drivers and
+    the batch service can use real host parallelism like any other
+    backend.  Pure wall-clock execution: no simulated time, no ``runs``
+    log.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        min_parallel_level: int = 256,
+        plan_cache=None,
+    ) -> None:
+        if workers < 1:
+            raise DPError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.min_parallel_level = min_parallel_level
+        self.plan_cache = plan_cache
+
+    @property
+    def name(self) -> str:
+        """Backend label, e.g. ``wavefront-4``."""
+        return f"wavefront-{self.workers}"
+
+    def __call__(
+        self,
+        counts: Sequence[int],
+        class_sizes: Sequence[int],
+        target: int,
+        configs: Optional[np.ndarray] = None,
+    ) -> DPResult:
+        """DPSolver protocol: solve one probe on the host pool."""
+        return parallel_wavefront_dp(
+            counts,
+            class_sizes,
+            target,
+            configs,
+            workers=self.workers,
+            min_parallel_level=self.min_parallel_level,
+            plan_cache=self.plan_cache,
+        )

@@ -15,6 +15,11 @@ Theory to Practice"*):
   same normalized geometry reuse each other's configuration sets and
   DP-tables (scale-invariance makes such collisions common — see the
   cache module docstring);
+* one :class:`~repro.core.probe_cache.PlanCache` is likewise shared:
+  plan-aware backends (``BackendSpec.plan_aware``) reuse probe *plans*
+  — level schedules, work profiles, block partitions — across every
+  request of the batch, which is sound even when DP sharing is off
+  (plans are pure structure);
 * each request records into its own
   :class:`~repro.observability.Tracer`; after the fan-out they are
   **merged in request order** into one aggregate tracer, so the
@@ -41,7 +46,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.backends import get_spec, resolve
 from repro.core.executor import default_executor
 from repro.core.instance import Instance
-from repro.core.probe_cache import CacheStats, ProbeCache
+from repro.core.probe_cache import CacheStats, PlanCache, ProbeCache
 from repro.core.ptas import PtasResult, ptas_schedule
 from repro.errors import InvalidInstanceError
 from repro.observability import Tracer
@@ -97,6 +102,9 @@ class BatchReport:
     results: List[BatchRequestResult] = field(default_factory=list)
     tracer: Tracer = field(default_factory=Tracer)
     cache_stats: Optional[CacheStats] = None
+    #: tallies of the batch's shared plan cache (``None`` when the
+    #: batch's backend is not plan-aware).
+    plan_cache_stats: Optional[CacheStats] = None
     wall_s: float = 0.0
 
     @property
@@ -141,6 +149,9 @@ class BatchReport:
             "total_iterations": self.total_iterations,
             "counters": dict(self.tracer.counters),
             "cache": self.cache_stats.as_dict() if self.cache_stats else {},
+            "plan_cache": (
+                self.plan_cache_stats.as_dict() if self.plan_cache_stats else {}
+            ),
             "wall_s": self.wall_s,
         }
 
@@ -186,6 +197,13 @@ class BatchScheduler:
         self.cache: Optional[ProbeCache] = (
             ProbeCache() if cache is ... else cache
         )
+        # One plan cache per scheduler, shared by every plan-aware
+        # request of every batch: plans are pure structure, so sharing
+        # is always sound — even when the probe cache is off or
+        # share_dp=False keeps simulated timing honest (the time to
+        # *execute* a schedule is still charged per probe; only its
+        # derivation is reused).
+        self.plan_cache = PlanCache()
         self.search = search
         self.eps = eps
 
@@ -213,8 +231,17 @@ class BatchScheduler:
         )
 
     def _run_one(self, request: BatchRequest) -> tuple[BatchRequestResult, Tracer]:
-        """Execute one request with a fresh solver, executor, and tracer."""
-        solver = resolve(request.backend or self.backend)
+        """Execute one request with a fresh solver, executor, and tracer.
+
+        Plan-aware backends receive the scheduler's shared
+        :class:`~repro.core.probe_cache.PlanCache`, so requests whose
+        probes round to the same structure reuse one probe plan.
+        """
+        name = request.backend or self.backend
+        if get_spec(name).plan_aware:
+            solver = resolve(name, plan_cache=self.plan_cache)
+        else:
+            solver = resolve(name)
         executor = default_executor(solver)
         tracer = Tracer()
         start = time.perf_counter()
@@ -260,6 +287,9 @@ class BatchScheduler:
             backend=self.backend,
             workers=self.workers,
             cache_stats=self.cache.stats if self.cache is not None else None,
+            plan_cache_stats=(
+                self.plan_cache.stats if len(self.plan_cache) else None
+            ),
         )
         for item_result, tracer in outcomes:
             report.results.append(item_result)

@@ -9,7 +9,7 @@ fixed seed and every run regenerates the identical instance set.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

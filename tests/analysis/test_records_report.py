@@ -60,7 +60,7 @@ class TestRenderTable:
 
     def test_alignment(self, result):
         lines = render_table(result.rows).splitlines()
-        assert len({len(l) for l in lines[1:]}) == 1  # rectangular
+        assert len({len(ln) for ln in lines[1:]}) == 1  # rectangular
 
     def test_title(self, result):
         assert render_table(result.rows, title="T7").startswith("T7")
@@ -95,6 +95,6 @@ class TestAsciiPlot:
         text = ascii_plot(
             {"gpu-a": [(1, 1)], "gpu-b": [(2, 2)]}, width=20, height=5
         )
-        legend = [l for l in text.splitlines() if l.startswith("legend")][0]
+        legend = [ln for ln in text.splitlines() if ln.startswith("legend")][0]
         marks = [part.split("=")[0] for part in legend.replace("legend: ", "").split("  ")]
         assert len(set(marks)) == 2

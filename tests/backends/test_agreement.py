@@ -19,12 +19,13 @@ agreement down:
   acceptance criterion, not drift.
 """
 
-import pytest
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.backends import backend_names, resolve
 from repro.core.bisection import bisection_search
+from repro.core.dp_reference import dp_reference
 from repro.core.instance import Instance
 from repro.core.quarter_split import quarter_split_search
 from repro.engines.runner import run_ptas_gpu
@@ -109,6 +110,41 @@ def test_gpu_runner_is_the_shared_quarter_split(inst, eps):
     assert [p.target for p in run.result.probes] == [
         p.target for p in plain.probes
     ]
+
+
+def probes():
+    # Raw DP probes (post-rounding): small enough for the pure-Python
+    # reference, varied enough to hit 1-3 dims and empty config sets.
+    return st.integers(min_value=1, max_value=3).flatmap(
+        lambda d: st.tuples(
+            st.lists(
+                st.integers(min_value=1, max_value=3),
+                min_size=d, max_size=d,
+            ).map(tuple),
+            st.lists(
+                st.integers(min_value=1, max_value=9),
+                min_size=d, max_size=d, unique=True,
+            ).map(tuple),
+            st.integers(min_value=1, max_value=14),
+        )
+    )
+
+
+@given(probe=probes())
+@settings(max_examples=12, deadline=None)
+def test_every_backend_table_is_bit_identical_to_reference(probe):
+    # The probe-plan refactor's acceptance criterion: every backend —
+    # pure solvers and all plan-interpreting engines — produces a
+    # DPResult whose dense table is *bit-identical* to the explicit
+    # Algorithm 2 reference, not merely the same OPT.
+    counts, sizes, target = probe
+    reference = dp_reference(counts, sizes, target)
+    for name in backend_names():
+        result = _resolve(name)(counts, sizes, target)
+        assert result.table.dtype == reference.table.dtype, name
+        assert result.table.shape == reference.table.shape, name
+        assert np.array_equal(result.table, reference.table), name
+        assert np.array_equal(result.configs, reference.configs), name
 
 
 def test_registry_has_the_expected_simulated_population():

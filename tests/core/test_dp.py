@@ -6,7 +6,6 @@ both must satisfy the recurrence's semantic characterisation: OPT(u) is
 the minimum number of configurations from C summing componentwise to u.
 """
 
-import itertools
 
 import numpy as np
 import pytest
@@ -134,6 +133,19 @@ class TestDPVectorized:
         )
         r = dp_vectorized_for(medium_probe, configs)
         assert r.configs is configs
+
+    def test_scratch_reuse_is_bit_identical(self):
+        # The per-pass candidate buffer is now one preallocated scratch
+        # array reused across every config pass of every round; the
+        # aliasing-safe formulation must stay bit-identical to the
+        # reference on a probe with many configs (many reuses per round).
+        counts, sizes, target = [3, 3, 2, 2], [2, 3, 5, 7], 17
+        reference = dp_reference(counts, sizes, target)
+        first = dp_vectorized(counts, sizes, target)
+        second = dp_vectorized(counts, sizes, target)
+        assert first.table.dtype == np.int64
+        assert np.array_equal(first.table, reference.table)
+        assert np.array_equal(first.table, second.table)
 
 
 class TestDPResult:

@@ -1,6 +1,5 @@
 """Unit tests for repro.core.instance."""
 
-import numpy as np
 import pytest
 
 from repro.core.instance import (

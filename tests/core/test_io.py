@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.instance import Instance, uniform_instance
+from repro.core.instance import uniform_instance
 from repro.core.io import (
     dumps_instance,
     dumps_schedule,

@@ -1,0 +1,135 @@
+"""Tests for the cross-probe plan cache (``repro.core.probe_cache.PlanCache``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configs import enumerate_configurations
+from repro.core.probe_cache import (
+    NullPlanCache,
+    PlanCache,
+    default_plan_cache,
+)
+from repro.observability import Tracer
+
+
+PROBE = ((3, 2), (3, 5), 11)
+
+
+class TestHitsAndMisses:
+    def test_first_lookup_misses_then_hits(self):
+        cache = PlanCache()
+        a = cache.plan(*PROBE)
+        b = cache.plan(*PROBE)
+        assert a is b
+        assert cache.stats.misses.get("plan") == 1
+        assert cache.stats.hits.get("plan") == 1
+        assert len(cache) == 1
+
+    def test_scale_invariant_collision(self):
+        # Same structure at doubled sizes and target: one plan object.
+        cache = PlanCache()
+        a = cache.plan((3, 2), (3, 5), 11)
+        b = cache.plan((3, 2), (6, 10), 22)
+        assert a is b
+        assert cache.stats.hit_rate("plan") == 0.5
+
+    def test_config_keyed_lookup_aliases_normalized(self):
+        cache = PlanCache()
+        configs = enumerate_configurations([3, 5], [3, 2], 11)
+        by_cfg = cache.plan((3, 2), (3, 5), 11, configs=configs)
+        by_norm = cache.plan((3, 2), (3, 5), 11)
+        assert by_cfg is by_norm
+        assert cache.stats.hits.get("plan") == 1
+
+    def test_normalized_lookup_then_config_keyed(self):
+        cache = PlanCache()
+        by_norm = cache.plan(*PROBE)
+        configs = enumerate_configurations([3, 5], [3, 2], 11)
+        by_cfg = cache.plan((3, 2), (3, 5), 11, configs=configs)
+        assert by_cfg is by_norm
+
+    def test_different_probes_get_different_plans(self):
+        cache = PlanCache()
+        a = cache.plan((3, 2), (3, 5), 11)
+        b = cache.plan((3, 2), (3, 5), 8)  # tighter budget, fewer configs
+        assert a is not b
+        assert not np.array_equal(a.configs, b.configs)
+
+    def test_cached_plan_is_correct(self):
+        cache = PlanCache()
+        plan = cache.plan(*PROBE)
+        expected = enumerate_configurations([3, 5], [3, 2], 11)
+        assert np.array_equal(plan.configs, expected)
+
+
+class TestEviction:
+    def test_lru_eviction_bounds_size(self):
+        cache = PlanCache(capacity=2)
+        cache.plan((2,), (3,), 7)
+        cache.plan((3,), (3,), 7)
+        cache.plan((4,), (3,), 7)
+        assert len(cache) == 2
+
+    def test_eviction_is_least_recently_used(self):
+        cache = PlanCache(capacity=2)
+        a = cache.plan((2,), (3,), 7)
+        cache.plan((3,), (3,), 7)
+        cache.plan((2,), (3,), 7)  # refresh a
+        cache.plan((4,), (3,), 7)  # evicts (3,), not a
+        assert cache.plan((2,), (3,), 7) is a
+        assert cache.stats.misses.get("plan") == 3
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_clear_drops_plans_keeps_stats(self):
+        cache = PlanCache()
+        cache.plan(*PROBE)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses.get("plan") == 1
+        fresh = cache.plan(*PROBE)
+        assert fresh is not None
+        assert cache.stats.misses.get("plan") == 2
+
+
+class TestObservability:
+    def test_counters_emitted(self):
+        tracer = Tracer()
+        cache = PlanCache()
+        with tracer.activate():
+            cache.plan(*PROBE)
+            cache.plan(*PROBE)
+        assert tracer.counters["plan.cache.miss"] == 1
+        assert tracer.counters["plan.cache.hit"] == 1
+        assert tracer.counters["plan.build_ms"] > 0
+
+    def test_hit_emits_no_build_time(self):
+        cache = PlanCache()
+        cache.plan(*PROBE)
+        tracer = Tracer()
+        with tracer.activate():
+            cache.plan(*PROBE)
+        assert "plan.build_ms" not in tracer.counters
+
+
+class TestNullPlanCache:
+    def test_builds_fresh_every_time(self):
+        null = NullPlanCache()
+        a = null.plan(*PROBE)
+        b = null.plan(*PROBE)
+        assert a is not b
+        assert len(null) == 0
+        null.clear()  # no-op
+
+    def test_plans_still_correct(self):
+        plan = NullPlanCache().plan(*PROBE)
+        expected = enumerate_configurations([3, 5], [3, 2], 11)
+        assert np.array_equal(plan.configs, expected)
+
+
+class TestDefaultPlanCache:
+    def test_is_a_process_singleton(self):
+        assert default_plan_cache() is default_plan_cache()
+        assert isinstance(default_plan_cache(), PlanCache)

@@ -1,6 +1,5 @@
 """Unit tests for repro.core.schedule."""
 
-import numpy as np
 import pytest
 
 from repro.core.instance import Instance

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.core.bisection import bisection_search
 from repro.core.bounds import makespan_bounds

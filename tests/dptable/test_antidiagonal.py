@@ -53,7 +53,7 @@ class TestCellsAtLevel:
 
     def test_levels_partition_table(self):
         g = TableGeometry((3, 2, 4))
-        seen = np.concatenate([cells_at_level(g, l) for l in range(g.max_level + 1)])
+        seen = np.concatenate([cells_at_level(g, lvl) for lvl in range(g.max_level + 1)])
         assert sorted(seen.tolist()) == list(range(g.size))
 
     def test_rejects_out_of_range(self):

@@ -1,0 +1,205 @@
+"""Tests for the probe-plan IR (``repro.dptable.plan``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configs import enumerate_configurations
+from repro.dptable.antidiagonal import is_topological_order, wavefront
+from repro.dptable.partition import BlockPartition, compute_divisor
+from repro.dptable.plan import (
+    ProbePlan,
+    build_probe_plan,
+    configs_signature,
+    plan_signature,
+)
+from repro.dptable.table import TableGeometry
+from repro.errors import DPError
+
+
+@pytest.fixture
+def plan():
+    return build_probe_plan((3, 2, 2), (3, 5, 7), 14)
+
+
+class TestLevelSchedule:
+    def test_groups_identical_to_wavefront(self, plan):
+        # The plan's level groups must be bit-identical to the
+        # generator every engine used to call — same cells, same
+        # within-level order.
+        expected = list(wavefront(plan.geometry))
+        groups = plan.level_groups()
+        assert len(groups) == len(expected)
+        for got, want in zip(groups, expected):
+            assert np.array_equal(got, want)
+
+    def test_boundaries_partition_the_table(self, plan):
+        schedule = plan.level_schedule
+        assert schedule.boundaries[0] == 0
+        assert schedule.boundaries[-1] == plan.geometry.size
+        assert int(schedule.sizes.sum()) == plan.geometry.size
+
+    def test_group_cells_have_their_level(self, plan):
+        schedule = plan.level_schedule
+        for lvl in range(schedule.num_levels):
+            cells = schedule.group(lvl)
+            assert (schedule.levels[cells] == lvl).all()
+
+    def test_group_out_of_range_raises(self, plan):
+        with pytest.raises(DPError):
+            plan.level_schedule.group(plan.level_schedule.num_levels)
+
+    def test_order_is_topological(self, plan):
+        assert is_topological_order(
+            plan.geometry, plan.level_schedule.order, plan.configs
+        )
+
+
+class TestWorkProfileArrays:
+    def test_candidates_formula(self, plan):
+        cells = plan.geometry.all_cells()
+        expected = np.prod(cells + 1, axis=1)
+        assert np.array_equal(plan.candidates, expected)
+
+    def test_valid_matches_bruteforce(self, plan):
+        cells = plan.geometry.all_cells()
+        for flat in range(plan.geometry.size):
+            expected = int(
+                np.count_nonzero((plan.configs <= cells[flat]).all(axis=1))
+            )
+            assert plan.valid[flat] == expected
+
+    def test_totals(self, plan):
+        assert plan.total_candidates == int(plan.candidates.sum())
+        assert plan.total_valid == int(plan.valid.sum())
+
+    def test_scan_elements_scalar_scope(self, plan):
+        assert np.array_equal(plan.scan_elements(10), plan.valid * 5.0)
+
+
+class TestBlockedSchedule:
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_fill_groups_are_topological(self, plan, dim):
+        blocked = plan.blocked(dim)
+        order = np.concatenate(blocked.fill_groups)
+        assert order.size == plan.geometry.size
+        assert is_topological_order(plan.geometry, order, plan.configs)
+
+    def test_kernels_cover_every_cell_once(self, plan):
+        blocked = plan.blocked(2)
+        cells = np.concatenate(
+            [k.cells for level in blocked.by_block_level for k in level]
+        )
+        assert np.array_equal(np.sort(cells), np.arange(plan.geometry.size))
+
+    def test_kernel_cells_share_block_and_inlevel(self, plan):
+        blocked = plan.blocked(2)
+        partition = blocked.partition
+        for level in blocked.by_block_level:
+            for kernel in level:
+                assert (
+                    partition.cell_block_ids[kernel.cells] == kernel.block_id
+                ).all()
+                assert (
+                    partition.cell_inblock_levels[kernel.cells]
+                    == kernel.inblock_level
+                ).all()
+
+    def test_partition_matches_direct_construction(self, plan):
+        direct = BlockPartition(
+            plan.geometry, compute_divisor(plan.geometry.shape, 2)
+        )
+        assert plan.partition(2).divisor == direct.divisor
+
+    def test_blocked_is_memoized_per_dim(self, plan):
+        assert plan.blocked(2) is plan.blocked(2)
+        assert plan.blocked(2) is not plan.blocked(3)
+        assert plan.partition(2) is plan.blocked(2).partition
+
+
+class TestImmutability:
+    def test_exposed_arrays_are_read_only(self, plan):
+        for array in (
+            plan.configs,
+            plan.candidates,
+            plan.valid,
+            plan.level_schedule.levels,
+            plan.level_schedule.order,
+            plan.level_schedule.boundaries,
+        ):
+            assert not array.flags.writeable
+
+    def test_writable_configs_are_copied_not_frozen_in_place(self):
+        configs = enumerate_configurations([3, 5], [3, 2], 11)
+        assert configs.flags.writeable
+        plan = ProbePlan(TableGeometry.from_counts((3, 2)), configs)
+        assert configs.flags.writeable  # caller's array untouched
+        assert not plan.configs.flags.writeable
+        assert np.array_equal(plan.configs, configs)
+
+    def test_read_only_configs_are_shared(self):
+        configs = enumerate_configurations([3, 5], [3, 2], 11)
+        configs.setflags(write=False)
+        plan = ProbePlan(TableGeometry.from_counts((3, 2)), configs)
+        assert plan.configs is configs
+
+
+class TestSignatures:
+    def test_scale_invariant(self):
+        # Rescaling sizes and target by any factor leaves the signature
+        # unchanged — the collision the plan cache exploits.
+        base = plan_signature((3, 2), (3, 5), 11)
+        assert plan_signature((3, 2), (6, 10), 22) == base
+        assert plan_signature((3, 2), (9, 15), 33) == base
+
+    def test_target_remainder_is_dropped_soundly(self):
+        # floor(T/g) differences below g do not change feasibility:
+        # sum s_i * (size_i/g) is an integer.
+        g = 3
+        a = plan_signature((3, 2), (3 * g, 5 * g), 34)
+        b = plan_signature((3, 2), (3 * g, 5 * g), 35)
+        assert a == b  # 34//3 == 35//3
+        configs_a = enumerate_configurations([3 * g, 5 * g], [3, 2], 34)
+        configs_b = enumerate_configurations([3 * g, 5 * g], [3, 2], 35)
+        assert np.array_equal(configs_a, configs_b)
+
+    def test_different_structure_differs(self):
+        base = plan_signature((3, 2), (3, 5), 11)
+        assert plan_signature((3, 2), (3, 5), 20) != base
+        assert plan_signature((2, 3), (3, 5), 11) != base
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(DPError):
+            plan_signature((3, 2), (3,), 11)
+
+    def test_configs_signature_exact(self, plan):
+        sig = configs_signature(plan.geometry, plan.configs)
+        assert sig == configs_signature(plan.geometry, plan.configs.copy())
+        other = plan.configs.copy()
+        other[0, 0] += 1
+        assert sig != configs_signature(plan.geometry, other)
+
+
+class TestBuilder:
+    def test_enumerates_configs_when_absent(self):
+        counts, sizes, target = (3, 2), (3, 5), 11
+        expected = enumerate_configurations(sizes, counts, target)
+        plan = build_probe_plan(counts, sizes, target)
+        assert np.array_equal(plan.configs, expected)
+
+    def test_rejects_arity_mismatch(self):
+        with pytest.raises(DPError):
+            build_probe_plan((1, 2), (3,), 10)
+
+    def test_rejects_bad_configs_arity(self):
+        with pytest.raises(DPError):
+            ProbePlan(
+                TableGeometry.from_counts((3, 2)),
+                np.zeros((2, 3), dtype=np.int64),
+            )
+
+    def test_zero_dim_plan(self):
+        plan = build_probe_plan((), (), 5)
+        assert plan.geometry.size == 1
+        assert plan.level_schedule.num_levels == 1
+        assert plan.total_candidates == 1
+        assert plan.total_valid == 0

@@ -19,7 +19,7 @@ class TestRenderLevels:
     def test_wide_labels_aligned(self):
         text = render_levels(TableGeometry((8, 8)))
         lines = text.splitlines()
-        assert len({len(l) for l in lines}) == 1
+        assert len({len(ln) for ln in lines}) == 1
 
     def test_rejects_non_2d(self):
         with pytest.raises(PartitionError):
@@ -34,18 +34,18 @@ class TestRenderPartition:
     def test_block_levels_shown(self, partition):
         text = render_partition(partition)
         # Top-left block is level 0, bottom-right is level 4.
-        rows = [l for l in text.splitlines() if not set(l) <= {"-"}]
+        rows = [ln for ln in text.splitlines() if not set(ln) <= {"-"}]
         assert rows[0].split("|")[0].split() == ["0", "0"]
         assert rows[-1].split("|")[-1].split() == ["4", "4"]
 
     def test_separators_present(self, partition):
         text = render_partition(partition)
         assert "|" in text
-        assert any(set(l) <= {"-"} and l for l in text.splitlines())
+        assert any(set(ln) <= {"-"} and ln for ln in text.splitlines())
 
     def test_cell_rows_match_table(self, partition):
-        rows = [l for l in render_partition(partition).splitlines() if "|" in l or l.split()]
-        cell_rows = [l for l in rows if not set(l) <= {"-"}]
+        rows = [ln for ln in render_partition(partition).splitlines() if "|" in ln or ln.split()]
+        cell_rows = [ln for ln in rows if not set(ln) <= {"-"}]
         assert len(cell_rows) == 6
 
     def test_trivial_partition_no_separators(self):
@@ -70,6 +70,6 @@ class TestRenderStreamMap:
         part = BlockPartition(TableGeometry((8, 8)), (4, 4))
         text = render_stream_map(part, num_streams=2)
         # Level-1 blocks (0,1) and (1,0) get streams 0 and 1.
-        rows = [l for l in text.splitlines() if not set(l) <= {"-"}]
+        rows = [ln for ln in text.splitlines() if not set(ln) <= {"-"}]
         assert rows[0].split("|")[1].strip().split()[0] == "0"
         assert rows[-1].split("|")[0].strip().split()[0] == "1"

@@ -94,7 +94,7 @@ class TestRenderTimeline:
         sim.launch(kernel(t=1e-3), stream=1)
         sim.synchronize()
         text = render_timeline(rec, width=40)
-        stream1 = next(l for l in text.splitlines() if l.startswith("stream  1"))
+        stream1 = next(ln for ln in text.splitlines() if ln.startswith("stream  1"))
         assert "." in stream1  # idle first half
 
     def test_empty(self):

@@ -1,11 +1,15 @@
 """Tests for the real host-parallel wavefront DP (shared memory)."""
 
+from multiprocessing.shared_memory import SharedMemory
+
 import numpy as np
 import pytest
 
 from repro.core.dp_vectorized import dp_vectorized
+from repro.dptable.plan import build_probe_plan
 from repro.errors import DPError
-from repro.parallel.wavefront import parallel_wavefront_dp
+from repro.parallel import wavefront
+from repro.parallel.wavefront import WavefrontSolver, parallel_wavefront_dp
 
 
 class TestParallelWavefront:
@@ -61,3 +65,62 @@ class TestParallelWavefront:
         # Run twice: leaked segments would collide or exhaust /dev/shm.
         for _ in range(2):
             parallel_wavefront_dp([3, 3], [4, 5], 12, workers=2, min_parallel_level=1)
+
+    def test_no_segment_leak_after_dp_error(self, monkeypatch):
+        # The context-managed segments must be unlinked even when the
+        # fill itself blows up mid-probe (the atexit-based cleanup this
+        # replaced could not guarantee that before interpreter exit).
+        created = []
+        real_shm = wavefront.SharedMemory
+
+        def tracking_shm(*args, **kwargs):
+            segment = real_shm(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(segment.name)
+            return segment
+
+        def exploding_work_range(bounds):
+            raise DPError("injected mid-probe failure")
+
+        monkeypatch.setattr(wavefront, "SharedMemory", tracking_shm)
+        monkeypatch.setattr(wavefront, "_work_range", exploding_work_range)
+        with pytest.raises(DPError, match="injected"):
+            parallel_wavefront_dp([3, 3], [4, 5], 12, workers=1)
+        assert len(created) == 2  # table + order segments
+        for name in created:
+            with pytest.raises(FileNotFoundError):
+                SharedMemory(name=name)
+        assert wavefront._W == {}  # worker globals released too
+
+    def test_accepts_prebuilt_plan(self):
+        counts, sizes, target = (3, 2, 2), (3, 5, 7), 14
+        plan = build_probe_plan(counts, sizes, target)
+        with_plan = parallel_wavefront_dp(counts, sizes, target, plan=plan)
+        assert np.array_equal(
+            with_plan.table, dp_vectorized(counts, sizes, target).table
+        )
+        assert with_plan.configs is plan.configs
+
+
+class TestWavefrontSolver:
+    def test_satisfies_dp_solver_protocol(self):
+        solver = WavefrontSolver(workers=1)
+        result = solver([3, 2], [3, 5], 11)
+        assert np.array_equal(result.table, dp_vectorized([3, 2], [3, 5], 11).table)
+
+    def test_name_reflects_workers(self):
+        assert WavefrontSolver(workers=3).name == "wavefront-3"
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(DPError):
+            WavefrontSolver(workers=0)
+
+    def test_uses_bound_plan_cache(self):
+        from repro.core.probe_cache import PlanCache
+
+        cache = PlanCache()
+        solver = WavefrontSolver(workers=1, plan_cache=cache)
+        solver([3, 2], [3, 5], 11)
+        solver([3, 2], [3, 5], 11)
+        assert cache.stats.hits.get("plan") == 1
+        assert cache.stats.misses.get("plan") == 1

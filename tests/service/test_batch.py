@@ -80,6 +80,44 @@ class TestSharedCache:
         assert cache.stats.hits.get("dp", 0) > first
 
 
+class TestSharedPlanCache:
+    def test_plan_aware_backend_reports_plan_stats(self, fleet):
+        # Probe caching off so every probe reaches the engine: with it
+        # on, DP-table hits short-circuit the solver and the plan cache
+        # only sees the residual misses.
+        scheduler = BatchScheduler(backend="serial", workers=2, cache=None)
+        report = scheduler.run(fleet)
+        stats = report.plan_cache_stats
+        assert stats is not None
+        assert stats.hits.get("plan", 0) > 0  # probes overlap across requests
+        assert report.as_dict()["plan_cache"] == stats.as_dict()
+
+    def test_pure_backend_reports_no_plan_stats(self, fleet):
+        # "vectorized" is not plan-aware: the shared plan cache stays
+        # untouched and the report says so.
+        report = BatchScheduler(backend="vectorized", workers=2).run(fleet[:2])
+        assert report.plan_cache_stats is None
+        assert report.as_dict()["plan_cache"] == {}
+
+    def test_plan_cache_persists_across_batches(self, fleet):
+        scheduler = BatchScheduler(backend="serial", workers=2, cache=None)
+        scheduler.run(fleet[:3])
+        misses_after_first = scheduler.plan_cache.stats.misses.get("plan", 0)
+        scheduler.run(fleet[:3])
+        # The second identical batch resolves every plan from cache.
+        assert (
+            scheduler.plan_cache.stats.misses.get("plan", 0)
+            == misses_after_first
+        )
+
+    def test_plan_sharing_does_not_change_results(self, fleet):
+        shared = BatchScheduler(backend="serial", workers=3).run(fleet)
+        for inst, req_result in zip(fleet, shared.results):
+            solo = ptas_schedule(inst, eps=0.3, search="quarter")
+            assert req_result.makespan == solo.makespan
+            assert req_result.result.final_target == solo.final_target
+
+
 class TestReport:
     def test_report_structure(self, fleet):
         report = BatchScheduler(workers=2, eps=0.2).run(fleet[:3])

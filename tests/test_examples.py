@@ -6,10 +6,8 @@ the README's promised walkthroughs are broken.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
 

@@ -7,7 +7,7 @@ once, complementing the per-module suites.
 import numpy as np
 import pytest
 
-from repro import Instance, ptas_schedule, uniform_instance
+from repro import ptas_schedule, uniform_instance
 from repro.core.baselines import branch_and_bound_optimal, lpt_schedule
 from repro.core.dp_frontier import dp_frontier
 from repro.core.improve import improve_schedule
