@@ -63,6 +63,13 @@ class BackendSpec:
     #: :class:`~repro.core.probe_cache.PlanCache`).  The batch service
     #: and the runners use this to inject a shared plan cache.
     plan_aware: bool = False
+    #: True when the backend only answers the feasibility predicate
+    #: ``OPT(N) <= m`` and produces no backtrackable table — schedule
+    #: extraction is impossible by construction.  The runners and the
+    #: batch service refuse such backends up front with a clear
+    #: :class:`~repro.errors.BackendError`; a direct extraction attempt
+    #: fails loudly inside the result object itself.
+    decision_only: bool = False
 
     def __post_init__(self) -> None:
         if self.concurrency not in CONCURRENCY_MODELS:

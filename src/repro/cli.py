@@ -48,9 +48,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument(
         "--backend", default="vectorized", metavar="NAME",
         help="DP solver backend from the registry (repro.backends): "
-             "'vectorized' (default), 'frontier', 'reference', or a "
-             "simulated engine such as 'serial', 'omp-28', 'gpu-dim6', "
-             "'hybrid'",
+             "'vectorized' (default), 'auto' (cost-model kernel "
+             "selection per probe), 'decision', 'sweep', 'frontier', "
+             "'reference', or a simulated engine such as 'serial', "
+             "'omp-28', 'gpu-dim6', 'hybrid'",
+    )
+    p_sched.add_argument(
+        "--parallel-probes", type=int, default=None, metavar="N",
+        help="run each search round's probes on N host threads (real "
+             "concurrency; pairs naturally with --search quarter, whose "
+             "rounds probe four targets).  Ignored for simulated "
+             "engines, whose concurrency is modelled instead",
     )
     p_sched.add_argument(
         "--baselines", action="store_true", help="also run LPT and MULTIFIT"
@@ -119,11 +127,18 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         return 2
 
     from repro.backends import get_spec, resolve
-    from repro.core.executor import default_executor
+    from repro.core.executor import ParallelHostExecutor, default_executor
     from repro.errors import BackendError
 
     try:
         spec = get_spec(args.backend)
+        if spec.decision_only:
+            raise BackendError(
+                f"backend {spec.name!r} is decision-only: it answers the "
+                "feasibility predicate without a backtrackable table, so "
+                "'schedule' cannot extract a schedule from it — use a "
+                "table-producing backend such as 'auto' or 'vectorized'"
+            )
         solver = resolve(args.backend)
     except BackendError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -139,7 +154,10 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
         tracer = Tracer()
 
-    executor = default_executor(solver)
+    if args.parallel_probes and not spec.simulated:
+        executor = ParallelHostExecutor(workers=args.parallel_probes)
+    else:
+        executor = default_executor(solver)
     result = ptas_schedule(
         inst, eps=args.eps, search=args.search, dp_solver=solver,
         cache=cache, trace=tracer, executor=executor,

@@ -30,8 +30,18 @@ from repro.core.bisection import bisection_search
 from repro.core.quarter_split import quarter_split_search
 from repro.core.executor import (
     ConcurrentDeviceExecutor,
+    ParallelHostExecutor,
     ProbeExecutor,
     SequentialExecutor,
+)
+from repro.core.kernels import (
+    AutoKernel,
+    DecisionKernel,
+    FrontierDecisionKernel,
+    SweepKernel,
+    choose_kernel,
+    dp_decision,
+    dp_levelsweep,
 )
 
 __all__ = [
@@ -56,4 +66,12 @@ __all__ = [
     "ProbeExecutor",
     "SequentialExecutor",
     "ConcurrentDeviceExecutor",
+    "ParallelHostExecutor",
+    "AutoKernel",
+    "DecisionKernel",
+    "FrontierDecisionKernel",
+    "SweepKernel",
+    "choose_kernel",
+    "dp_decision",
+    "dp_levelsweep",
 ]

@@ -8,6 +8,7 @@ same dense table so they can be compared cell-for-cell in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -17,6 +18,56 @@ from repro.errors import DPError
 #: ``UNREACHABLE + 1`` never overflows int64 and never collides with a
 #: real machine count.
 UNREACHABLE: int = np.iinfo(np.int64).max // 4
+
+#: Narrow table dtypes the solvers may fill with, smallest first.  DP
+#: values are machine counts bounded by ``sum(counts)``, so most probes
+#: fit comfortably in int16 — a 4x cut in memory traffic per relaxation
+#: pass against the historical always-int64 tables.
+_TABLE_DTYPES = (np.dtype(np.int16), np.dtype(np.int32), np.dtype(np.int64))
+
+
+def unreachable_for(dtype: np.dtype) -> int:
+    """The per-dtype "no packing" sentinel (``iinfo(dtype).max // 4``).
+
+    Mirrors :data:`UNREACHABLE`'s construction so ``sentinel + 1`` can
+    never overflow the narrow dtype either; :func:`widen_table` maps it
+    back to the canonical int64 :data:`UNREACHABLE` at the end of a
+    fill.
+    """
+    return int(np.iinfo(dtype).max) // 4
+
+
+def pick_table_dtype(value_bound: int) -> np.dtype:
+    """Smallest table dtype that can hold values up to ``value_bound``.
+
+    ``value_bound`` is the largest finite value a fill can produce —
+    ``sum(counts)`` for an exact fill, ``machines + 1`` for a clamped
+    decision fill.  The chosen dtype must keep ``value_bound`` strictly
+    below its :func:`unreachable_for` sentinel (so real values and the
+    sentinel never collide) with headroom for the ``sentinel + 1``
+    temporaries the relaxation kernels create.
+    """
+    bound = int(value_bound)
+    for dtype in _TABLE_DTYPES:
+        if bound + 2 <= unreachable_for(dtype):
+            return dtype
+    return _TABLE_DTYPES[-1]
+
+
+def widen_table(table: np.ndarray) -> np.ndarray:
+    """Upcast a narrow-dtype fill to the canonical int64 table.
+
+    Finite values are exact machine counts and carry over verbatim; the
+    narrow dtype's :func:`unreachable_for` sentinel becomes the int64
+    :data:`UNREACHABLE`, so the widened table is bit-identical to one
+    filled in int64 directly (tested).  int64 input is returned as-is.
+    """
+    if table.dtype == np.int64:
+        return table
+    sentinel = unreachable_for(table.dtype)
+    wide = table.astype(np.int64)
+    wide[table >= sentinel] = UNREACHABLE
+    return wide
 
 
 @dataclass(frozen=True)
@@ -33,10 +84,21 @@ class DPResult:
     configs:
         The ``(num_configs, d)`` configuration set used (Equation 1's
         ``C``), in the library's canonical lexicographic order.
+    clamp:
+        ``None`` for an exact fill.  For a decision-mode fill
+        (:func:`repro.core.kernels.dp_decision`) the saturation value
+        ``machines + 1``: every cell whose true ``OPT`` is at least
+        ``clamp`` — including unreachable cells — holds exactly
+        ``clamp``, while values below it are exact.  Such a table
+        answers ``fits(machines)`` and is backtrackable whenever the
+        probe accepts, but must not be reused under a different
+        machine budget (the probe cache keys clamped tables per
+        budget).
     """
 
     table: np.ndarray
     configs: np.ndarray
+    clamp: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.table.dtype != np.int64:
@@ -65,11 +127,37 @@ class DPResult:
 
     @property
     def feasible(self) -> bool:
-        """Whether *any* packing of the full job vector exists."""
+        """Whether *any* packing of the full job vector exists.
+
+        A clamped table cannot distinguish "needs more than the budget"
+        from "no packing at all" — both saturate at :attr:`clamp` — so
+        for decision-mode results check :attr:`decided_infeasible`
+        first (the probe driver does).
+        """
         return self.opt < UNREACHABLE
 
+    @property
+    def decided_infeasible(self) -> bool:
+        """Decision-mode rejection: the corner cell hit the clamp.
+
+        ``True`` means the fill proved ``OPT(N) > machines`` (or no
+        packing exists at all) for the machine budget the table was
+        clamped at; always ``False`` for exact fills.
+        """
+        return self.clamp is not None and self.opt >= self.clamp
+
     def fits(self, machines: int) -> bool:
-        """``OPT(N) <= machines`` — the bisection predicate (Alg. 1 line 11)."""
+        """``OPT(N) <= machines`` — the bisection predicate (Alg. 1 line 11).
+
+        Valid on a clamped table only for budgets below the clamp
+        (``machines < clamp``); larger budgets would read saturated
+        values as real counts.
+        """
+        if self.clamp is not None and machines >= self.clamp:
+            raise DPError(
+                f"table is clamped at {self.clamp}; fits({machines}) is "
+                "undecidable — re-solve with a larger machine budget"
+            )
         return self.opt <= machines
 
 

@@ -26,7 +26,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.configs import enumerate_configurations
-from repro.core.dp_common import UNREACHABLE
+from repro.core.dp_common import UNREACHABLE, pick_table_dtype, unreachable_for
 from repro.dptable.table import TableGeometry
 from repro.errors import DPError
 from repro.observability import context as obs
@@ -67,6 +67,12 @@ def dp_frontier(
     config_levels = configs.sum(axis=1)
     config_flat = configs @ strides
 
+    # Window *values* are machine counts bounded by sum(counts); store
+    # them in the narrowest dtype that holds the bound (indices stay
+    # int64).  The per-dtype sentinel maps back to UNREACHABLE on exit.
+    value_dtype = pick_table_dtype(sum(counts))
+    unreach = value_dtype.type(unreachable_for(value_dtype))
+
     # Enumerate each level's cells lazily from the previous level:
     # level L+1 cells are level L cells plus one unit step in any
     # dimension (deduplicated) — no full-table materialisation.
@@ -74,10 +80,10 @@ def dp_frontier(
 
     # window[l % (depth+1)] = (sorted flat indices, values) of level l.
     window: list[tuple[np.ndarray, np.ndarray]] = [
-        (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        (np.empty(0, dtype=np.int64), np.empty(0, dtype=value_dtype))
         for _ in range(depth + 1)
     ]
-    level0 = (np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64))
+    level0 = (np.zeros(1, dtype=np.int64), np.zeros(1, dtype=value_dtype))
     window[0] = level0
 
     max_level = geometry.max_level
@@ -99,7 +105,7 @@ def dp_frontier(
         flat, first = np.unique(flat, return_index=True)
         cells = grown[first]
 
-        best = np.full(flat.size, UNREACHABLE, dtype=np.int64)
+        best = np.full(flat.size, unreach, dtype=value_dtype)
         for idx in range(configs.shape[0]):
             span = int(config_levels[idx])
             if span > level or span > depth:
@@ -115,11 +121,11 @@ def dp_frontier(
             found = (pos < prev_flat_all.size) & (
                 prev_flat_all[np.minimum(pos, prev_flat_all.size - 1)] == lookup
             )
-            vals = np.where(found, prev_vals[np.minimum(pos, prev_vals.size - 1)], UNREACHABLE)
+            vals = np.where(found, prev_vals[np.minimum(pos, prev_vals.size - 1)], unreach)
             sel = np.flatnonzero(ok_cfg)
-            best[sel] = np.minimum(best[sel], vals)
+            best[sel] = np.minimum(best[sel], vals.astype(value_dtype, copy=False))
 
-        reachable = best < UNREACHABLE
+        reachable = best < unreach
         best[reachable] += 1
         window[level % (depth + 1)] = (flat[reachable], best[reachable])
         current_cells = cells

@@ -29,22 +29,66 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.configs import enumerate_configurations
-from repro.core.dp_common import DPResult, UNREACHABLE, empty_dp_result
+from repro.core.dp_common import (
+    DPResult,
+    empty_dp_result,
+    pick_table_dtype,
+    unreachable_for,
+    widen_table,
+)
 from repro.core.rounding import RoundedInstance
 from repro.errors import DPError
 from repro.observability import context as obs
 
 
-def _shift_views(table: np.ndarray, cfg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Destination and source views for one configuration's relaxation.
+def shift_selectors(
+    shape: tuple[int, ...], configs: np.ndarray, order: np.ndarray
+) -> tuple[tuple[tuple, tuple], ...]:
+    """Slice-selector pairs for every configuration's relaxation pass.
 
-    ``dst[u] = table[u]`` for cells ``u >= cfg``; ``src[u] = table[u - cfg]``.
-    Both are views — no copies (the addition below makes the one
-    required temporary).
+    For each config ``c`` (visited in ``order``) the pair selects the
+    destination view ``dst[u] = table[u]`` for cells ``u >= c`` and the
+    source view ``src[u] = table[u - c]``.  Selectors depend only on
+    ``(shape, configs, order)`` — i.e. on the probe *plan*, not on any
+    concrete table — so :attr:`repro.dptable.plan.ProbePlan.shift_slices`
+    caches them across probes, and a single fill builds them once
+    instead of once per relaxation round (the tuple-of-slices
+    construction used to dominate small-table fills).
     """
-    dst = table[tuple(slice(int(c), None) for c in cfg)]
-    src = table[tuple(slice(None, s - int(c)) for s, c in zip(table.shape, cfg))]
-    return dst, src
+    return tuple(
+        (
+            tuple(slice(int(c), None) for c in configs[idx]),
+            tuple(
+                slice(None, s - int(c)) for s, c in zip(shape, configs[idx])
+            ),
+        )
+        for idx in order
+    )
+
+
+def bind_passes(
+    table: np.ndarray,
+    shifts: tuple[tuple[tuple, tuple], ...],
+    scratch: np.ndarray,
+    mask: np.ndarray,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Materialise per-pass working views against one concrete table.
+
+    Each entry is ``(dst, src, cand, improved)``: the two table views
+    of one configuration's shift plus that pass's scratch/mask windows.
+    All four are views — binding them once lets the round loop run
+    pure ufunc calls with zero per-pass Python construction.  Sharing
+    one scratch and one mask across passes is safe because passes run
+    sequentially and every pass overwrites its windows before reading.
+    """
+    bound = []
+    for dst_sel, src_sel in shifts:
+        dst = table[dst_sel]
+        src = table[src_sel]
+        cand = scratch[: src.size].reshape(src.shape)
+        improved = mask[: src.size].reshape(src.shape)
+        bound.append((dst, src, cand, improved))
+    return bound
 
 
 def dp_vectorized(
@@ -53,6 +97,8 @@ def dp_vectorized(
     target: int,
     configs: np.ndarray | None = None,
     max_rounds: int | None = None,
+    order: np.ndarray | None = None,
+    shifts: tuple[tuple[tuple, tuple], ...] | None = None,
 ) -> DPResult:
     """Fill the DP-table by repeated vectorized relaxation.
 
@@ -61,6 +107,18 @@ def dp_vectorized(
     ``max_rounds`` caps the relaxation loop (defaults to the number of
     long jobs plus one, the worst-case diameter); reaching the cap
     without convergence indicates a bug and raises :class:`DPError`.
+
+    ``order`` is an optional precomputed config processing order (the
+    :attr:`~repro.dptable.plan.ProbePlan.relaxation_order` of a cached
+    plan); when omitted the largest-first order is derived locally.
+    ``shifts`` are the matching precomputed slice selectors (a plan's
+    :attr:`~repro.dptable.plan.ProbePlan.shift_slices`); they must be
+    aligned with ``order`` and are rebuilt locally when omitted.
+
+    The fill runs in the narrowest dtype that holds ``sum(counts)``
+    (usually int16 — a 4x cut in memory traffic per relaxation pass)
+    and is widened to the canonical int64 table at the end, so the
+    result is bit-identical to the historical int64 fill.
     """
     counts = tuple(int(c) for c in counts)
     if len(counts) != len(class_sizes):
@@ -70,51 +128,56 @@ def dp_vectorized(
     if configs is None:
         configs = enumerate_configurations(class_sizes, counts, target)
 
+    dtype = pick_table_dtype(sum(counts))
+    unreach = unreachable_for(dtype)
     shape = tuple(c + 1 for c in counts)
-    table = np.full(shape, UNREACHABLE, dtype=np.int64)
+    table = np.full(shape, unreach, dtype=dtype)
     table[(0,) * len(counts)] = 0
 
     if configs.shape[0] == 0:
         # No machine can take even one job within T: only the origin is
         # reachable.
-        return DPResult(table=table, configs=configs)
+        return DPResult(table=widen_table(table), configs=configs)
 
     if max_rounds is None:
         max_rounds = sum(counts) + 1
 
-    # Larger configurations first: they reach far cells in fewer rounds,
-    # accelerating convergence of the in-place propagation.
-    order = np.argsort(-configs.sum(axis=1), kind="stable")
+    if shifts is None:
+        if order is None:
+            # Larger configurations first: they reach far cells in fewer
+            # rounds, accelerating convergence of in-place propagation.
+            order = np.argsort(-configs.sum(axis=1), kind="stable")
+        shifts = shift_selectors(shape, configs, order)
 
     # One scratch buffer (plus one bool mask) reused by every config
     # pass: each pass needs a copy of the shifted source — src may
     # alias dst — but a fresh `src + 1` allocation per pass makes the
     # allocator the bottleneck on large tables.  Every pass's views
     # are at most table-sized, so slices of these two flats suffice.
-    scratch = np.empty(table.size, dtype=np.int64)
+    # All per-pass views are bound once, before the loop: the rounds
+    # then execute pure ufunc calls (the np.add below copies src into
+    # the scratch window first because src may alias dst).
+    scratch = np.empty(table.size, dtype=dtype)
     mask = np.empty(table.size, dtype=bool)
+    bound = bind_passes(table, shifts, scratch, mask)
 
     rounds = 0
     passes = 0
     for _ in range(max_rounds):
         rounds += 1
         changed = False
-        for idx in order:
-            cfg = configs[idx]
-            dst, src = _shift_views(table, cfg)
-            cand = scratch[: src.size].reshape(src.shape)
-            np.add(src, 1, out=cand)  # scratch copy; src may alias dst
-            improved = mask[: src.size].reshape(src.shape)
+        for dst, src, cand, improved in bound:
+            np.add(src, 1, out=cand)
             np.less(cand, dst, out=improved)
-            passes += 1
             if improved.any():
                 np.copyto(dst, cand, where=improved)
                 changed = True
+        passes += len(bound)
         if not changed:
             obs.count("dp.vectorized.calls")
             obs.count("dp.vectorized.rounds", rounds)
             obs.count("dp.vectorized.config_passes", passes)
-            return DPResult(table=table, configs=configs)
+            return DPResult(table=widen_table(table), configs=configs)
     raise DPError(
         f"relaxation did not converge within {max_rounds} rounds "
         f"(shape={shape}, |C|={configs.shape[0]})"

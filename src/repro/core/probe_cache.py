@@ -53,6 +53,7 @@ across processes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -214,9 +215,10 @@ class ProbeCache:
     def __init__(self, share_dp: bool = True) -> None:
         self.share_dp = share_dp
         self.stats = CacheStats()
+        self._lock = threading.Lock()
         self._rounding: Dict[Tuple[Instance, int, int], RoundedInstance] = {}
         self._configs: Dict[NormalizedKey, np.ndarray] = {}
-        self._dp: Dict[NormalizedKey, DPResult] = {}
+        self._dp: Dict[Tuple[NormalizedKey, object], DPResult] = {}
         self._geometry: Dict[Tuple[int, ...], TableGeometry] = {}
         #: cache outcomes of the most recent probe ("hit"/"miss" per
         #: kind) — consumed by the per-probe trace events.
@@ -260,16 +262,21 @@ class ProbeCache:
 
         ``solver`` follows the :class:`~repro.core.ptas.DPSolver`
         protocol and receives the (cached) configuration set, so a
-        miss still skips re-enumeration.  All solvers produce
-        identical tables for identical inputs (tested), so a table
-        cached under one solver is valid for any other.
+        miss still skips re-enumeration.  All *exact* solvers produce
+        identical tables for identical inputs (tested), so their
+        tables share one entry per normalized key.  Solvers whose
+        results are valid only under extra context — the decision
+        kernels, whose clamped tables depend on the machine budget —
+        advertise a ``dp_cache_token`` that extends the key, so a
+        clamped table is never served to a different budget (or to an
+        exact solver).
         """
         if not self.share_dp:
             configs = self.configurations(rounded)
             return solver(
                 rounded.counts, rounded.class_sizes, rounded.target, configs=configs
             )
-        key = normalized_probe_key(rounded)
+        key = (normalized_probe_key(rounded), getattr(solver, "dp_cache_token", None))
         hit = key in self._dp
         if not hit:
             configs = self.configurations(rounded)
@@ -291,8 +298,12 @@ class ProbeCache:
     # -- bookkeeping --------------------------------------------------------
 
     def _note(self, kind: str, hit: bool) -> None:
-        self.stats.record(kind, hit)
-        self.last_events[kind] = "hit" if hit else "miss"
+        # The lock covers the read-modify-write tallies; the artifact
+        # dicts themselves rely on the GIL (idempotent inserts — a
+        # concurrent double-miss wastes one solve, never corrupts).
+        with self._lock:
+            self.stats.record(kind, hit)
+            self.last_events[kind] = "hit" if hit else "miss"
         obs.count(f"cache.{kind}.{'hit' if hit else 'miss'}")
 
     def begin_probe(self) -> None:
@@ -332,9 +343,10 @@ class NullPlanCache:
         class_sizes: Tuple[int, ...],
         target: int,
         configs: Optional[np.ndarray] = None,
+        eager: bool = True,
     ) -> ProbePlan:
         """Uncached :func:`~repro.dptable.plan.build_probe_plan`."""
-        return build_probe_plan(counts, class_sizes, target, configs)
+        return build_probe_plan(counts, class_sizes, target, configs, eager=eager)
 
     def clear(self) -> None:
         """Nothing cached, nothing to drop."""
@@ -379,6 +391,12 @@ class PlanCache:
             raise ValueError("PlanCache capacity must be >= 1")
         self.capacity = capacity
         self.stats = CacheStats()
+        # The LRU reorder (move_to_end) plus eviction are not safe
+        # under the GIL alone; the parallel host executor's probe
+        # threads share this cache, so the bookkeeping takes a lock.
+        # Plan *construction* happens outside it (a concurrent
+        # double-miss builds one redundant plan, never corrupts).
+        self._lock = threading.Lock()
         self._plans: "OrderedDict[tuple, ProbePlan]" = OrderedDict()
         #: normalized-signature aliases pointing into ``_plans`` keys.
         self._aliases: Dict[tuple, tuple] = {}
@@ -389,12 +407,17 @@ class PlanCache:
         class_sizes: Tuple[int, ...],
         target: int,
         configs: Optional[np.ndarray] = None,
+        eager: bool = True,
     ) -> ProbePlan:
         """The memoized plan for one probe (built on the first miss).
 
         With ``configs`` the lookup is exact; without, it falls back to
         the normalized signature and enumerates configurations only on
-        a miss.
+        a miss.  ``eager=False`` skips the up-front build of the
+        expensive layers on a miss — the relaxation kernels only need
+        :attr:`~repro.dptable.plan.ProbePlan.relaxation_order`, and an
+        engine that later hits the same plan builds (and then shares)
+        the heavy layers on first touch.
         """
         norm_key = plan_signature(counts, class_sizes, target)
         if configs is not None:
@@ -403,19 +426,30 @@ class PlanCache:
             )
         else:
             lookup = norm_key
-        key = self._aliases.get(lookup, lookup)
-        hit = key in self._plans
-        if hit:
-            self._plans.move_to_end(key)
-            plan = self._plans[key]
-        else:
-            plan = build_probe_plan(counts, class_sizes, target, configs)
-            self._plans[key] = plan
-            self._evict()
-        # Register both signatures so config-keyed and target-keyed
-        # lookups for the same structure converge on one plan object.
-        self._aliases.setdefault(norm_key, key)
-        self._aliases.setdefault(configs_signature(plan.geometry, plan.configs), key)
+        with self._lock:
+            key = self._aliases.get(lookup, lookup)
+            hit = key in self._plans
+            if hit:
+                self._plans.move_to_end(key)
+                plan = self._plans[key]
+        if not hit:
+            plan = build_probe_plan(counts, class_sizes, target, configs, eager=eager)
+            with self._lock:
+                existing = self._aliases.get(lookup, lookup)
+                if existing in self._plans:
+                    # Another thread built it first; keep theirs.
+                    plan = self._plans[existing]
+                    key = existing
+                else:
+                    self._plans[key] = plan
+                    self._evict()
+        with self._lock:
+            # Register both signatures so config-keyed and target-keyed
+            # lookups for the same structure converge on one plan object.
+            self._aliases.setdefault(norm_key, key)
+            self._aliases.setdefault(
+                configs_signature(plan.geometry, plan.configs), key
+            )
         self._note(hit)
         return plan
 
@@ -427,13 +461,15 @@ class PlanCache:
                     del self._aliases[alias]
 
     def _note(self, hit: bool) -> None:
-        self.stats.record("plan", hit)
+        with self._lock:
+            self.stats.record("plan", hit)
         obs.count(f"plan.cache.{'hit' if hit else 'miss'}")
 
     def clear(self) -> None:
         """Drop every cached plan (stats are retained)."""
-        self._plans.clear()
-        self._aliases.clear()
+        with self._lock:
+            self._plans.clear()
+            self._aliases.clear()
 
     def __len__(self) -> int:
         return len(self._plans)

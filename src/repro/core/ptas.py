@@ -199,6 +199,13 @@ def probe_target(
     from repro.core.probe_cache import as_cache
 
     cache = as_cache(cache)
+    # Decision-capable solvers (the clamped kernels) need the machine
+    # budget, which is not part of the DPSolver call signature; bind it
+    # here.  The bound copy carries a dp_cache_token so the probe cache
+    # never serves its budget-dependent tables to another budget.
+    bind = getattr(dp_solver, "bind_machines", None)
+    if bind is not None:
+        dp_solver = bind(instance.machines)
     timer = PhaseTimer()
     cache.begin_probe()
     with timer.phase("rounding"):
@@ -206,9 +213,11 @@ def probe_target(
     with timer.phase("dp"):
         dp_result = cache.dp(rounded, dp_solver)
 
-    if not dp_result.feasible:
-        # Some long job (or combination) cannot fit within T at all —
-        # e.g. a single job larger than T.  Certify OPT > T.
+    if not dp_result.feasible or dp_result.decided_infeasible:
+        # Either no packing fits within T at all (e.g. a single job
+        # larger than T), or a decision-mode fill proved OPT > m at
+        # this target without finishing the table.  Certify OPT > T
+        # either way.
         _emit_probe_trace(
             timer, rounded, dp_result, instance.machines + 1, False, cache
         )

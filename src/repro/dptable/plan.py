@@ -227,6 +227,46 @@ class ProbePlan:
         """Per-level cell groups — the serial/OpenMP/naive-GPU order."""
         return self.level_schedule.groups()
 
+    @cached_property
+    def relaxation_order(self) -> np.ndarray:
+        """Config processing order for the relaxation kernels.
+
+        Largest configurations first (stable on ties): they reach far
+        cells in fewer rounds, accelerating convergence of the in-place
+        propagation in :func:`repro.core.dp_vectorized.dp_vectorized`
+        and the decision kernel.  Historically re-derived by an argsort
+        on *every* probe; as a plan layer it is computed once per
+        ``(shape, configs)`` and shared across all probes that hit the
+        same plan.
+        """
+        with _build_timer():
+            if self.configs.shape[0] == 0:
+                return _frozen(np.zeros(0, dtype=np.int64))
+            return _frozen(
+                np.argsort(-self.configs.sum(axis=1), kind="stable").astype(
+                    np.int64
+                )
+            )
+
+    @cached_property
+    def shift_slices(self) -> tuple:
+        """Relaxation slice selectors, aligned with :attr:`relaxation_order`.
+
+        The ``(dst, src)`` slice-tuple pairs every relaxation pass
+        applies (see
+        :func:`repro.core.dp_vectorized.shift_selectors`).  Building a
+        tuple of slices per configuration is pure-Python work that used
+        to run once per *round* per config; as a plan layer it runs
+        once per ``(shape, configs)`` and is shared by every probe —
+        and every relaxation round — that hits this plan.
+        """
+        with _build_timer():
+            from repro.core.dp_vectorized import shift_selectors
+
+            return shift_selectors(
+                self.geometry.shape, self.configs, self.relaxation_order
+            )
+
     # -- work profile --------------------------------------------------------
 
     @cached_property
@@ -431,13 +471,19 @@ def build_probe_plan(
     class_sizes: Sequence[int],
     target: int,
     configs: Optional[np.ndarray] = None,
+    eager: bool = True,
 ) -> ProbePlan:
     """Construct a plan for one probe, enumerating configurations if needed.
 
-    The level schedule and work profile are built eagerly (every
-    engine touches them); the blocked structure stays lazy per
-    ``dim``.  Prefer :class:`repro.core.probe_cache.PlanCache` — this
-    builder is the miss path.
+    With ``eager=True`` (the engine default) the level schedule and
+    work profile are built immediately — every engine touches them, so
+    the cost is paid (and measured) here, on the cache's miss path,
+    not on first use.  The relaxation kernels only need the cheap
+    :attr:`~ProbePlan.relaxation_order` layer and pass ``eager=False``
+    to keep the expensive layers lazy.  The blocked structure stays
+    lazy per ``dim`` either way.  Prefer
+    :class:`repro.core.probe_cache.PlanCache` — this builder is the
+    miss path.
     """
     counts = tuple(int(c) for c in counts)
     if len(counts) != len(class_sizes):
@@ -448,9 +494,8 @@ def build_probe_plan(
 
         configs = enumerate_configurations(class_sizes, counts, target)
     plan = ProbePlan(geometry, configs)
-    # Touch the universally-needed layers so the build cost is paid
-    # (and measured) here, on the cache's miss path, not on first use.
-    plan.level_schedule
-    plan.candidates
-    plan.valid
+    if eager:
+        plan.level_schedule
+        plan.candidates
+        plan.valid
     return plan

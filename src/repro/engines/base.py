@@ -21,7 +21,13 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.dp_common import DPResult, UNREACHABLE
+from repro.core.dp_common import (
+    DPResult,
+    UNREACHABLE,
+    pick_table_dtype,
+    unreachable_for,
+    widen_table,
+)
 from repro.dptable.table import TableGeometry
 from repro.errors import DPError
 from repro.observability import context as obs
@@ -37,10 +43,14 @@ def fill_by_groups(
     Every dependency of a cell must lie in an earlier group (or be the
     origin).  Raises :class:`DPError` if a group reads a cell that no
     earlier group wrote and that is reachable — which would mean the
-    schedule violated a dependency.  Returns the flat int64 table.
+    schedule violated a dependency.  Returns the flat int64 table (the
+    fill itself runs in the narrowest dtype holding the level bound
+    and is widened at the end — bit-identical, less memory traffic).
     """
     size = geometry.size
-    table = np.full(size, UNREACHABLE, dtype=np.int64)
+    dtype = pick_table_dtype(geometry.max_level)
+    unreach = unreachable_for(dtype)
+    table = np.full(size, unreach, dtype=dtype)
     table[0] = 0  # the origin: zero jobs need zero machines
     written = np.zeros(size, dtype=bool)
     written[0] = True
@@ -59,7 +69,7 @@ def fill_by_groups(
         if group.size == 0:
             continue
         coords = np.stack(np.unravel_index(group, shape), axis=1)
-        best = np.full(group.size, UNREACHABLE, dtype=np.int64)
+        best = np.full(group.size, unreach, dtype=dtype)
         for cfg in configs:
             prev = coords - cfg
             ok = (prev >= 0).all(axis=1)
@@ -74,7 +84,7 @@ def fill_by_groups(
             vals = table[prev_flat]
             sel = np.flatnonzero(ok)  # unique per cell, plain fancy indexing is safe
             best[sel] = np.minimum(best[sel], vals)
-        reachable = best < UNREACHABLE
+        reachable = best < unreach
         table[group[reachable]] = best[reachable] + 1
         written[group] = True
 
@@ -84,7 +94,7 @@ def fill_by_groups(
         )
     obs.count("engine.fill.calls")
     obs.count("engine.fill.cells", covered)
-    return table
+    return widen_table(table)
 
 
 def resolve_plan(

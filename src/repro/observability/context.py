@@ -17,6 +17,7 @@ cannot pollute each other's counters.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Dict, Iterator, List, Optional
@@ -25,6 +26,15 @@ from repro.observability.timers import PhaseTimer
 from repro.observability.trace import ProbeTrace, TraceSink
 
 _ACTIVE: ContextVar[Optional["Tracer"]] = ContextVar("repro_tracer", default=None)
+
+#: Number of currently-active tracer activations, process-wide.  The
+#: module-level helpers check this plain integer before touching the
+#: ContextVar: in production (no tracer anywhere) the per-config-pass
+#: counters in the kernel hot loops then cost one global load and a
+#: falsy test instead of a ContextVar lookup.  Over-counting across
+#: threads is harmless — a non-zero count merely routes a call to the
+#: exact ContextVar check, which still answers per-context.
+_ACTIVATIONS = 0
 
 
 class Tracer:
@@ -54,16 +64,23 @@ class Tracer:
         self.counters: Dict[str, float] = {}
         #: every probe event recorded while active.
         self.probes: List[ProbeTrace] = []
+        # One tracer may receive events from several threads at once
+        # (the parallel host executor propagates the ambient context
+        # into its probe workers); the read-modify-write tallies take
+        # a lock so no increment is lost.
+        self._lock = threading.Lock()
 
     # -- collection ---------------------------------------------------------
 
     def count(self, name: str, delta: float = 1) -> None:
-        """Add ``delta`` to counter ``name``."""
-        self.counters[name] = self.counters.get(name, 0) + delta
+        """Add ``delta`` to counter ``name`` (thread-safe)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + delta
 
     def record_probe(self, probe: ProbeTrace) -> None:
         """Record one probe event (and forward it to the sink)."""
-        self.probes.append(probe)
+        with self._lock:
+            self.probes.append(probe)
         if self.sink is not None:
             self.sink.record(probe)
 
@@ -86,10 +103,13 @@ class Tracer:
     @contextmanager
     def activate(self) -> Iterator["Tracer"]:
         """Install this tracer as the ambient collector for the block."""
+        global _ACTIVATIONS
         token = _ACTIVE.set(self)
+        _ACTIVATIONS += 1
         try:
             yield self
         finally:
+            _ACTIVATIONS -= 1
             _ACTIVE.reset(token)
 
     # -- reporting ----------------------------------------------------------
@@ -122,16 +142,25 @@ def as_tracer(trace: object) -> Optional[Tracer]:
 
 
 def current_tracer() -> Optional[Tracer]:
-    """The ambient tracer, or ``None`` when nothing is being traced."""
+    """The ambient tracer, or ``None`` when nothing is being traced.
+
+    Costs one global load when no tracer exists anywhere in the
+    process — the common production case.
+    """
+    if not _ACTIVATIONS:
+        return None
     return _ACTIVE.get()
 
 
 def count(name: str, delta: float = 1) -> None:
     """Increment counter ``name`` on the ambient tracer (no-op if none).
 
-    Hot loops should accumulate locally and call this once — the
-    helper is cheap but not free.
+    Hot loops should accumulate locally and call this once — with no
+    tracer active anywhere the no-op path is a single global check,
+    cheap enough for per-config-pass call sites.
     """
+    if not _ACTIVATIONS:
+        return
     tracer = _ACTIVE.get()
     if tracer is not None:
         tracer.count(name, delta)
@@ -139,6 +168,8 @@ def count(name: str, delta: float = 1) -> None:
 
 def add_time(name: str, seconds: float) -> None:
     """Credit ``seconds`` to phase ``name`` on the ambient tracer."""
+    if not _ACTIVATIONS:
+        return
     tracer = _ACTIVE.get()
     if tracer is not None:
         tracer.timer.add(name, seconds)
@@ -148,9 +179,12 @@ def add_time(name: str, seconds: float) -> None:
 def phase(name: str) -> Iterator[None]:
     """Time a block as phase ``name`` on the ambient tracer.
 
-    A fast no-op when no tracer is active (the ``ContextVar`` lookup
-    is the only cost).
+    A fast no-op when no tracer is active (a global check plus, with
+    tracers elsewhere, the ``ContextVar`` lookup).
     """
+    if not _ACTIVATIONS:
+        yield
+        return
     tracer = _ACTIVE.get()
     if tracer is None:
         yield
@@ -161,6 +195,8 @@ def phase(name: str) -> Iterator[None]:
 
 def record_probe(probe: ProbeTrace) -> None:
     """Record a probe event on the ambient tracer (no-op if none)."""
+    if not _ACTIVATIONS:
+        return
     tracer = _ACTIVE.get()
     if tracer is not None:
         tracer.record_probe(probe)

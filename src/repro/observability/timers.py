@@ -12,6 +12,7 @@ the harness.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
@@ -35,13 +36,17 @@ class PhaseTimer:
     name, which is the conventional inclusive-time reading).
     """
 
-    __slots__ = ("seconds", "entries")
+    __slots__ = ("seconds", "entries", "_lock")
 
     def __init__(self) -> None:
         #: phase name -> accumulated seconds.
         self.seconds: Dict[str, float] = {}
         #: phase name -> number of times the phase was entered.
         self.entries: Dict[str, int] = {}
+        # The ambient tracer's timer receives add() calls from the
+        # parallel host executor's probe threads; the accumulation is
+        # a read-modify-write, so it takes a lock.
+        self._lock = threading.Lock()
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -53,9 +58,10 @@ class PhaseTimer:
             self.add(name, time.perf_counter() - start)
 
     def add(self, name: str, seconds: float) -> None:
-        """Credit ``seconds`` to ``name`` directly (merge path)."""
-        self.seconds[name] = self.seconds.get(name, 0.0) + float(seconds)
-        self.entries[name] = self.entries.get(name, 0) + 1
+        """Credit ``seconds`` to ``name`` directly (merge path; thread-safe)."""
+        with self._lock:
+            self.seconds[name] = self.seconds.get(name, 0.0) + float(seconds)
+            self.entries[name] = self.entries.get(name, 0) + 1
 
     def merge(self, other: "PhaseTimer") -> None:
         """Fold another timer's accumulations into this one."""

@@ -48,8 +48,21 @@ from repro.core.executor import default_executor
 from repro.core.instance import Instance
 from repro.core.probe_cache import CacheStats, PlanCache, ProbeCache
 from repro.core.ptas import PtasResult, ptas_schedule
-from repro.errors import InvalidInstanceError
+from repro.errors import BackendError, InvalidInstanceError
 from repro.observability import Tracer
+
+
+def _require_schedule_capable(name: str):
+    """Resolve ``name``'s spec, refusing decision-only backends loudly."""
+    spec = get_spec(name)
+    if spec.decision_only:
+        raise BackendError(
+            f"backend {name!r} is decision-only (it answers OPT(N) <= m "
+            "without a backtrackable table) and cannot produce the "
+            "schedules the batch service exists to build — pick a "
+            "table-producing backend such as 'auto' or 'vectorized'"
+        )
+    return spec
 
 
 @dataclass(frozen=True)
@@ -163,7 +176,12 @@ class BatchScheduler:
     ----------
     backend:
         Registry name resolved *fresh per request* (engines are
-        stateful).  Individual requests may override it.
+        stateful).  Individual requests may override it.  Defaults to
+        ``"auto"`` — the cost-model kernel selector of
+        :mod:`repro.core.kernels`, which routes each probe to the
+        cheapest kernel for its shape and budget.  Decision-only
+        backends are rejected here: the service's whole point is
+        producing schedules.
     workers:
         Thread-pool size; results are independent of it (tested).
     cache:
@@ -175,7 +193,7 @@ class BatchScheduler:
     Example::
 
         from repro.service import BatchScheduler
-        scheduler = BatchScheduler(backend="vectorized", workers=4)
+        scheduler = BatchScheduler(workers=4)      # backend="auto"
         report = scheduler.run([inst_a, inst_b, inst_c])
         report.makespans()          # deterministic, order-preserving
         report.cache_stats          # shared-cache tallies for the batch
@@ -183,7 +201,7 @@ class BatchScheduler:
 
     def __init__(
         self,
-        backend: str = "vectorized",
+        backend: str = "auto",
         workers: int = 4,
         cache: Optional[ProbeCache] = ...,  # type: ignore[assignment]
         search: str = "quarter",
@@ -191,7 +209,7 @@ class BatchScheduler:
     ) -> None:
         if workers < 1:
             raise InvalidInstanceError(f"workers must be >= 1, got {workers}")
-        get_spec(backend)  # fail fast on unknown names, before any work
+        _require_schedule_capable(backend)  # fail fast, before any work
         self.backend = backend
         self.workers = int(workers)
         self.cache: Optional[ProbeCache] = (
@@ -238,7 +256,7 @@ class BatchScheduler:
         probes round to the same structure reuse one probe plan.
         """
         name = request.backend or self.backend
-        if get_spec(name).plan_aware:
+        if _require_schedule_capable(name).plan_aware:
             solver = resolve(name, plan_cache=self.plan_cache)
         else:
             solver = resolve(name)
