@@ -31,6 +31,19 @@ ROOT = Path(__file__).resolve().parent.parent
 # ISSUE.md is a scratch work-ticket, not shipped documentation.
 SKIP = {"ISSUE.md"}
 
+# Shipped documentation that must exist (a rename or deletion should
+# fail this check, not silently shrink the scanned set).
+REQUIRED_DOCS = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/API.md",
+    "docs/PERFORMANCE.md",
+    "docs/RELIABILITY.md",
+    "docs/SIMULATOR.md",
+    "docs/THEORY.md",
+)
+
 DOC_FILES = sorted(
     path
     for path in [
@@ -65,6 +78,12 @@ def targets_in(path: Path):
 
 
 def main() -> int:
+    missing = [doc for doc in REQUIRED_DOCS if not (ROOT / doc).is_file()]
+    if missing:
+        print(f"{len(missing)} required doc(s) missing:")
+        for doc in missing:
+            print(f"  {doc}")
+        return 1
     broken: list[tuple[Path, str]] = []
     checked = 0
     for doc in DOC_FILES:

@@ -27,6 +27,10 @@ hardware):
 * ``"wavefront"`` — :class:`~repro.parallel.wavefront.WavefrontSolver`,
   real host-parallel execution on shared-memory worker processes; any
   ``wavefront-<workers>`` resolves.
+* ``"fallback"`` — :class:`~repro.resilience.FallbackChain` over
+  ``auto → sweep → vectorized``: steps down to the next member when one
+  fails hard (OOM, backend bug); any ``fallback:<a>,<b>,...`` resolves
+  a custom chain.  See ``docs/RELIABILITY.md``.
 
 Simulator engines (``simulated=True`` — compute the same DP values
 while charging time to a modelled device):
@@ -236,6 +240,41 @@ def _register_defaults() -> None:
         )
     )
 
+    def _fallback_factory(members):
+        def factory(**kw):
+            # Imported lazily: repro.resilience.fallback resolves its
+            # members through this package, so a top-level import of
+            # either module from the other would be circular.
+            from repro.resilience.fallback import FallbackChain
+
+            return FallbackChain(members, **kw)
+
+        return factory
+
+    register(
+        BackendSpec(
+            name="fallback",
+            factory=_fallback_factory(("auto", "sweep", "vectorized")),
+            simulated=False,
+            concurrency="none",
+            description=(
+                "resilient chain auto→sweep→vectorized: steps down to a "
+                "cheaper solver on hard failure"
+            ),
+            plan_aware=True,
+        )
+    )
+    register_family(
+        r"fallback:(.+)",
+        lambda m: BackendSpec(
+            name=f"fallback:{m.group(1)}",
+            factory=_fallback_factory(tuple(m.group(1).split(","))),
+            simulated=False,
+            concurrency="none",
+            description=f"resilient chain {'→'.join(m.group(1).split(','))}",
+            plan_aware=True,
+        ),
+    )
     register_family(
         r"(?:omp|openmp)-(\d+)",
         lambda m: BackendSpec(

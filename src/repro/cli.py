@@ -1,13 +1,21 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands:
+Four commands:
 
 * ``schedule`` — run the PTAS (and the classical baselines) on an
   instance given inline or generated at random;
+* ``batch`` — run a fleet of random instances through the
+  :class:`~repro.service.batch.BatchScheduler`, with the resilience
+  knobs (fault injection, memory budget, retries, deadlines) exposed;
 * ``engines`` — fill one DP probe on every simulated engine and print
   the simulated-time comparison (a miniature Fig. 3 row);
 * ``experiment`` — regenerate a paper exhibit at reduced scale and
   print its report (the benchmarks run the full versions).
+
+Exit codes (``docs/RELIABILITY.md``): 0 success, 2 usage error
+(bad flags, unknown backend), 3 invalid instance, 4 backend failure,
+5 memory budget exceeded, 6 batch succeeded but served at least one
+degraded (baseline) result.
 """
 
 from __future__ import annotations
@@ -21,6 +29,101 @@ from repro.core.baselines import lpt_schedule, multifit_schedule
 from repro.core.instance import Instance, uniform_instance
 from repro.core.ptas import ptas_schedule
 from repro.core.rounding import round_instance
+
+#: Process exit codes — one per failure class, so scripts and CI can
+#: react without parsing stderr.
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_INVALID_INSTANCE = 3
+EXIT_BACKEND_FAILURE = 4
+EXIT_BUDGET = 5
+EXIT_DEGRADED = 6
+
+_SIZE_SUFFIXES = {
+    "k": 10**3, "m": 10**6, "g": 10**9,
+    "kb": 10**3, "mb": 10**6, "gb": 10**9,
+    "kib": 2**10, "mib": 2**20, "gib": 2**30,
+}
+
+
+def parse_bytes(spec: str) -> int:
+    """Parse a byte budget like ``"64MiB"``, ``"2gb"``, or ``"4096"``."""
+    text = spec.strip().lower()
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if text.endswith(suffix):
+            number = text[: -len(suffix)].strip()
+            try:
+                return int(float(number) * _SIZE_SUFFIXES[suffix])
+            except ValueError:
+                break
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse byte size {spec!r}; use e.g. 4096, 64KiB, 16MB, 2GiB"
+        ) from None
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared resilience knobs (see docs/RELIABILITY.md)."""
+    parser.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="deterministic chaos: comma-separated key=value pairs, e.g. "
+             "'seed=7,rate=0.5,kinds=dperror|crash,sites=dp,max=1'",
+    )
+    parser.add_argument(
+        "--memory-budget", type=parse_bytes, default=None, metavar="BYTES",
+        help="per-probe admission budget (e.g. 64MiB); probes whose "
+             "estimated DP table exceeds it are rejected before any "
+             "allocation",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry transient probe failures up to N attempts total",
+    )
+    parser.add_argument(
+        "--probe-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-probe wall-clock deadline; probes over it raise "
+             "ProbeTimeoutError (retried as transient)",
+    )
+
+
+def _resilience_from_args(args: argparse.Namespace):
+    """Build (policy, injector) from the shared flags; (None, None) if unset."""
+    from repro.resilience import (
+        AdmissionController,
+        FaultInjector,
+        ResiliencePolicy,
+        RetryPolicy,
+    )
+
+    faults = (
+        FaultInjector.from_spec(args.inject_faults)
+        if args.inject_faults
+        else None
+    )
+    retry = RetryPolicy(max_attempts=args.retries) if args.retries else None
+    if faults is not None and retry is None:
+        retry = RetryPolicy()
+    admission = (
+        AdmissionController(args.memory_budget)
+        if args.memory_budget is not None
+        else None
+    )
+    if (
+        faults is None
+        and retry is None
+        and args.probe_deadline is None
+        and admission is None
+    ):
+        return None, None
+    policy = ResiliencePolicy(
+        faults=faults,
+        retry=retry,
+        deadline_s=args.probe_deadline,
+        admission=admission,
+    )
+    return policy, faults
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,6 +189,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable the cross-probe solver cache (identical results, "
              "fewer enumerations/DP fills; stats printed with --profile)",
     )
+    _add_resilience_flags(p_sched)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="schedule a fleet of random instances via the batch service",
+    )
+    p_batch.add_argument(
+        "--requests", type=int, default=4, metavar="N",
+        help="number of random instances in the fleet",
+    )
+    p_batch.add_argument("--jobs", type=int, default=20)
+    p_batch.add_argument("--machines", type=int, default=4)
+    p_batch.add_argument("--low", type=int, default=1)
+    p_batch.add_argument("--high", type=int, default=100)
+    p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument("--eps", type=float, default=0.3)
+    p_batch.add_argument(
+        "--backend", default="auto", metavar="NAME",
+        help="registry backend for every request; 'fallback' or "
+             "'fallback:<a>,<b>,...' enables backend step-down chains",
+    )
+    p_batch.add_argument("--workers", type=int, default=4)
+    p_batch.add_argument(
+        "--no-degrade", action="store_true",
+        help="abort the batch on the first hard failure instead of "
+             "serving a bounded LPT/MULTIFIT answer for that request",
+    )
+    _add_resilience_flags(p_batch)
 
     p_eng = sub.add_parser(
         "engines", help="compare simulated engines on one DP probe"
@@ -109,26 +240,40 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.errors import InvalidInstanceError
+
     if not args.from_file and args.machines is None:
         print("error: --machines is required unless --from-file", file=sys.stderr)
-        return 2
-    if args.from_file:
-        from repro.core.io import load_instance
+        return EXIT_USAGE
+    try:
+        if args.from_file:
+            from repro.core.io import load_instance
 
-        inst = load_instance(args.from_file)
-    elif args.random is not None:
-        inst = uniform_instance(
-            args.random, args.machines, low=args.low, high=args.high, seed=args.seed
-        )
-    elif args.times:
-        inst = Instance(times=tuple(args.times), machines=args.machines)
-    else:
-        print("error: provide --times, --random N, or --from-file", file=sys.stderr)
-        return 2
+            inst = load_instance(args.from_file)
+        elif args.random is not None:
+            inst = uniform_instance(
+                args.random, args.machines,
+                low=args.low, high=args.high, seed=args.seed,
+            )
+        elif args.times:
+            inst = Instance(times=tuple(args.times), machines=args.machines)
+        else:
+            print(
+                "error: provide --times, --random N, or --from-file",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+    except InvalidInstanceError as exc:
+        print(f"error: invalid instance: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INSTANCE
 
     from repro.backends import get_spec, resolve
     from repro.core.executor import ParallelHostExecutor, default_executor
-    from repro.errors import BackendError
+    from repro.errors import (
+        BackendError,
+        MemoryBudgetExceeded,
+        ReproError,
+    )
 
     try:
         spec = get_spec(args.backend)
@@ -142,7 +287,13 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         solver = resolve(args.backend)
     except BackendError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+
+    try:
+        resilience, _ = _resilience_from_args(args)
+    except InvalidInstanceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
     cache = tracer = None
     if args.cache:
@@ -155,13 +306,25 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         tracer = Tracer()
 
     if args.parallel_probes and not spec.simulated:
-        executor = ParallelHostExecutor(workers=args.parallel_probes)
+        executor = ParallelHostExecutor(
+            workers=args.parallel_probes, resilience=resilience
+        )
     else:
-        executor = default_executor(solver)
-    result = ptas_schedule(
-        inst, eps=args.eps, search=args.search, dp_solver=solver,
-        cache=cache, trace=tracer, executor=executor,
-    )
+        executor = default_executor(solver, resilience=resilience)
+    try:
+        result = ptas_schedule(
+            inst, eps=args.eps, search=args.search, dp_solver=solver,
+            cache=cache, trace=tracer, executor=executor,
+        )
+    except MemoryBudgetExceeded as exc:
+        print(f"error: memory budget exceeded: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except (ReproError, MemoryError) as exc:
+        print(
+            f"error: backend failure: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_BACKEND_FAILURE
     print(f"instance: {inst}")
     print(
         f"PTAS(eps={args.eps}, {args.search}): makespan {result.makespan} "
@@ -198,7 +361,88 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     if args.baselines:
         print(f"LPT:      makespan {lpt_schedule(inst).makespan}")
         print(f"MULTIFIT: makespan {multifit_schedule(inst).makespan}")
-    return 0
+    return EXIT_OK
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.errors import (
+        BackendError,
+        InvalidInstanceError,
+        MemoryBudgetExceeded,
+        ReproError,
+    )
+    from repro.resilience import FaultInjector, RetryPolicy
+    from repro.service.batch import BatchScheduler
+
+    if args.requests < 1:
+        print("error: --requests must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        instances = [
+            uniform_instance(
+                args.jobs, args.machines,
+                low=args.low, high=args.high, seed=args.seed + i,
+            )
+            for i in range(args.requests)
+        ]
+    except InvalidInstanceError as exc:
+        print(f"error: invalid instance: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INSTANCE
+
+    try:
+        faults = (
+            FaultInjector.from_spec(args.inject_faults)
+            if args.inject_faults
+            else None
+        )
+        retry = RetryPolicy(max_attempts=args.retries) if args.retries else None
+        scheduler = BatchScheduler(
+            backend=args.backend,
+            workers=args.workers,
+            eps=args.eps,
+            faults=faults,
+            retry=retry,
+            deadline_s=args.probe_deadline,
+            memory_budget_bytes=args.memory_budget,
+            degrade=not args.no_degrade,
+        )
+    except (BackendError, InvalidInstanceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    try:
+        report = scheduler.run(instances)
+    except MemoryBudgetExceeded as exc:
+        print(f"error: memory budget exceeded: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except (ReproError, MemoryError) as exc:
+        print(
+            f"error: backend failure: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_BACKEND_FAILURE
+
+    for r in report.results:
+        if r.degraded:
+            print(
+                f"{r.name}: makespan {r.makespan} DEGRADED "
+                f"(served by {r.degraded_by}, proven <= "
+                f"{r.degraded_bound:.4f} * OPT) — {r.error}"
+            )
+        else:
+            print(
+                f"{r.name}: makespan {r.makespan} "
+                f"({r.result.iterations} iterations, "
+                f"{len(r.result.probes)} probes)"
+            )
+    print(
+        f"batch: {len(report.results)} requests, "
+        f"{report.degraded_count} degraded, "
+        f"{report.total_probes} probes, backend {report.backend}"
+    )
+    if faults is not None and faults.events:
+        print(f"faults injected: {len(faults.events)}")
+    return EXIT_DEGRADED if report.degraded_count else EXIT_OK
 
 
 def _cmd_engines(args: argparse.Namespace) -> int:
@@ -299,6 +543,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "schedule":
         return _cmd_schedule(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "engines":
         return _cmd_engines(args)
     return _cmd_experiment(args)

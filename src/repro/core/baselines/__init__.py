@@ -8,13 +8,15 @@ exact branch-and-bound used by the tests to verify the PTAS's
 """
 
 from repro.core.baselines.listsched import list_schedule
-from repro.core.baselines.lpt import lpt_schedule
-from repro.core.baselines.multifit import multifit_schedule
+from repro.core.baselines.lpt import lpt_bound, lpt_schedule
+from repro.core.baselines.multifit import multifit_bound, multifit_schedule
 from repro.core.baselines.exact import branch_and_bound_optimal
 
 __all__ = [
     "list_schedule",
+    "lpt_bound",
     "lpt_schedule",
+    "multifit_bound",
     "multifit_schedule",
     "branch_and_bound_optimal",
 ]

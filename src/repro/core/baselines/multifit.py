@@ -40,6 +40,11 @@ def ffd_pack(instance: Instance, capacity: int) -> Optional[list[list[int]]]:
     return bins
 
 
+def multifit_bound() -> float:
+    """The proven MULTIFIT approximation ratio ``13/11`` (Yue, 1990)."""
+    return 13.0 / 11.0
+
+
 def multifit_schedule(instance: Instance, rounds: int = 20) -> Schedule:
     """Run MULTIFIT with ``rounds`` bisection steps over the capacity.
 

@@ -54,6 +54,36 @@ def pick_table_dtype(value_bound: int) -> np.dtype:
     return _TABLE_DTYPES[-1]
 
 
+def relaxation_scratch_bytes(sigma: int, dtype: np.dtype) -> int:
+    """Transient footprint of one relaxation fill: two full-size buffers.
+
+    The in-place relaxation kernels keep the table plus one same-shape
+    scratch buffer alive at once; this is the quantity the ``auto``
+    kernel's cost model compares against its memory budget.
+    """
+    return 2 * int(sigma) * int(dtype.itemsize)
+
+
+def estimate_fill_bytes(counts, value_bound: Optional[int] = None) -> int:
+    """Conservative peak-byte estimate for one dense DP fill — no allocation.
+
+    The estimate is ``sigma * (narrow_itemsize + 8)``: the narrow-dtype
+    fill buffer (dtype from :func:`pick_table_dtype` at ``value_bound``,
+    default ``sum(counts)``) plus the canonical int64 table that
+    :func:`widen_table` materialises at the end.  Everything is
+    arithmetic on the count vector, so admission control
+    (:class:`repro.resilience.AdmissionController`) can reject an
+    oversized probe *before* any array exists.
+    """
+    counts = tuple(int(c) for c in counts)
+    sigma = 1
+    for c in counts:
+        sigma *= c + 1
+    bound = int(value_bound) if value_bound is not None else sum(counts)
+    dtype = pick_table_dtype(bound)
+    return sigma * (int(dtype.itemsize) + int(np.dtype(np.int64).itemsize))
+
+
 def widen_table(table: np.ndarray) -> np.ndarray:
     """Upcast a narrow-dtype fill to the canonical int64 table.
 

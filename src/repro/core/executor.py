@@ -54,6 +54,7 @@ from repro.observability import context as obs
 
 if TYPE_CHECKING:
     from repro.core.probe_cache import ProbeCache
+    from repro.resilience.policy import ResiliencePolicy
 
 
 @runtime_checkable
@@ -92,11 +93,34 @@ class _AccountingExecutor:
     a function of the engine runs the round triggered.  Solvers without
     a ``runs`` log (the pure DP functions) produce an empty run list
     and a zero charge.
+
+    ``resilience`` is an optional
+    :class:`~repro.resilience.ResiliencePolicy`: when set, every probe
+    of every round runs through
+    :meth:`~repro.resilience.ResiliencePolicy.run_probe` — admission
+    control, fault-injection hooks, bounded retries, and the per-probe
+    deadline (:class:`~repro.errors.ProbeTimeoutError`) — instead of a
+    bare :func:`~repro.core.ptas.probe_target`.  Successful probes are
+    bit-identical either way (tested).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, resilience: Optional["ResiliencePolicy"] = None) -> None:
         self.elapsed_s = 0.0
         self.rounds = 0
+        self.resilience = resilience
+
+    def _probe(
+        self,
+        instance: Instance,
+        target: int,
+        eps: float,
+        dp_solver: DPSolver,
+        cache: Optional["ProbeCache"],
+    ) -> ProbeResult:
+        """One probe, through the resilience policy when one is set."""
+        if self.resilience is None:
+            return probe_target(instance, target, eps, dp_solver, cache=cache)
+        return self.resilience.run_probe(instance, target, eps, dp_solver, cache=cache)
 
     def run_round(
         self,
@@ -110,7 +134,7 @@ class _AccountingExecutor:
         run_log = getattr(dp_solver, "runs", None)
         mark = len(run_log) if run_log is not None else 0
         probes = [
-            probe_target(instance, t, eps, dp_solver, cache=cache) for t in targets
+            self._probe(instance, t, eps, dp_solver, cache) for t in targets
         ]
         new_runs: list[SimulatedRun] = (
             list(run_log[mark:]) if run_log is not None else []
@@ -148,8 +172,10 @@ class ConcurrentDeviceExecutor(_AccountingExecutor):
     never more than the sequential sum (tested).
     """
 
-    def __init__(self, warp_slots: int) -> None:
-        super().__init__()
+    def __init__(
+        self, warp_slots: int, resilience: Optional["ResiliencePolicy"] = None
+    ) -> None:
+        super().__init__(resilience=resilience)
         if warp_slots < 1:
             raise InvalidInstanceError(
                 f"warp_slots must be a positive integer, got {warp_slots}"
@@ -211,8 +237,10 @@ class ParallelHostExecutor(_AccountingExecutor):
     wall times (the overlap evidence).
     """
 
-    def __init__(self, workers: int = 4) -> None:
-        super().__init__()
+    def __init__(
+        self, workers: int = 4, resilience: Optional["ResiliencePolicy"] = None
+    ) -> None:
+        super().__init__(resilience=resilience)
         if workers < 1:
             raise InvalidInstanceError(
                 f"workers must be a positive integer, got {workers}"
@@ -241,7 +269,7 @@ class ParallelHostExecutor(_AccountingExecutor):
 
         def timed(t: int) -> tuple[ProbeResult, float]:
             start = time.perf_counter()
-            probe = probe_target(instance, t, eps, dp_solver, cache=cache)
+            probe = self._probe(instance, t, eps, dp_solver, cache)
             return probe, time.perf_counter() - start
 
         round_start = time.perf_counter()
@@ -252,7 +280,15 @@ class ParallelHostExecutor(_AccountingExecutor):
                 pool.submit(contextvars.copy_context().run, timed, t)
                 for t in targets
             ]
-            outcomes = [f.result() for f in futures]
+            try:
+                outcomes = [f.result() for f in futures]
+            except BaseException:
+                # One worker failed: cancel everything still queued and
+                # wait out the in-flight probes so no thread outlives the
+                # round, then surface the *original* failure (not a
+                # CancelledError from a sibling).
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
         self.last_round_wall_s = time.perf_counter() - round_start
         self.last_probe_wall_s = [wall for _, wall in outcomes]
         self.rounds += 1
@@ -265,7 +301,9 @@ class ParallelHostExecutor(_AccountingExecutor):
         return float(sum(r.simulated_s for r in runs))
 
 
-def default_executor(dp_solver: object) -> _AccountingExecutor:
+def default_executor(
+    dp_solver: object, resilience: Optional["ResiliencePolicy"] = None
+) -> _AccountingExecutor:
     """The executor a backend would pick for itself.
 
     Device engines (anything exposing ``spec.warp_slots``) get a
@@ -273,9 +311,10 @@ def default_executor(dp_solver: object) -> _AccountingExecutor:
     overlap on the device — and every other backend (host engines,
     pure DP functions, the hybrid dispatcher) gets a
     :class:`SequentialExecutor`.  Used by the runner and the CLI when
-    the caller does not choose explicitly.
+    the caller does not choose explicitly.  ``resilience`` is threaded
+    through to whichever executor is built.
     """
     warp_slots = getattr(getattr(dp_solver, "spec", None), "warp_slots", None)
     if warp_slots is not None:
-        return ConcurrentDeviceExecutor(int(warp_slots))
-    return SequentialExecutor()
+        return ConcurrentDeviceExecutor(int(warp_slots), resilience=resilience)
+    return SequentialExecutor(resilience=resilience)

@@ -38,7 +38,12 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.configs import enumerate_configurations
-from repro.core.dp_common import DPResult, empty_dp_result, pick_table_dtype
+from repro.core.dp_common import (
+    DPResult,
+    empty_dp_result,
+    pick_table_dtype,
+    relaxation_scratch_bytes,
+)
 from repro.core.dp_vectorized import dp_vectorized
 from repro.core.kernels.decision import dp_decision
 from repro.core.kernels.sweep import dp_levelsweep
@@ -117,9 +122,9 @@ def choose_kernel(
             est_rounds=est,
             reason=f"small table (sigma={sigma})",
         )
-    if memory_budget_bytes is not None and 2 * sigma * dtype.itemsize > int(
-        memory_budget_bytes
-    ):
+    if memory_budget_bytes is not None and relaxation_scratch_bytes(
+        sigma, dtype
+    ) > int(memory_budget_bytes):
         obs.count("kernel.auto.over_budget")
         return KernelChoice(
             kernel="sweep",

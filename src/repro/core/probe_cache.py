@@ -77,18 +77,26 @@ from repro.observability import context as obs
 #: Normalized probe key: (class-index vector, counts, scaled target).
 NormalizedKey = Tuple[Tuple[int, ...], Tuple[int, ...], int]
 
+#: Sentinel distinguishing "not cached" from a cached falsy artifact.
+_MISS = object()
+
 
 @dataclass
 class CacheStats:
-    """Hit/miss tallies per cached artifact kind."""
+    """Hit/miss (and eviction) tallies per cached artifact kind."""
 
     hits: Dict[str, int] = field(default_factory=dict)
     misses: Dict[str, int] = field(default_factory=dict)
+    evictions: Dict[str, int] = field(default_factory=dict)
 
     def record(self, kind: str, hit: bool) -> None:
         """Tally one lookup of ``kind``."""
         bucket = self.hits if hit else self.misses
         bucket[kind] = bucket.get(kind, 0) + 1
+
+    def record_eviction(self, kind: str) -> None:
+        """Tally one capacity eviction of ``kind``."""
+        self.evictions[kind] = self.evictions.get(kind, 0) + 1
 
     def hit_rate(self, kind: str) -> float:
         """Fraction of ``kind`` lookups served from the cache."""
@@ -106,17 +114,29 @@ class CacheStats:
         """Misses summed over every artifact kind."""
         return sum(self.misses.values())
 
+    @property
+    def total_evictions(self) -> int:
+        """Evictions summed over every artifact kind."""
+        return sum(self.evictions.values())
+
     def as_dict(self) -> Dict[str, object]:
-        """JSON-ready view with per-kind rates."""
-        kinds = sorted(set(self.hits) | set(self.misses))
-        return {
-            kind: {
+        """JSON-ready view with per-kind rates.
+
+        The ``evictions`` entry appears only for kinds that actually
+        evicted — unbounded caches keep the historical compact shape.
+        """
+        kinds = sorted(set(self.hits) | set(self.misses) | set(self.evictions))
+        out: Dict[str, object] = {}
+        for kind in kinds:
+            spec: Dict[str, object] = {
                 "hits": self.hits.get(kind, 0),
                 "misses": self.misses.get(kind, 0),
                 "hit_rate": round(self.hit_rate(kind), 4),
             }
-            for kind in kinds
-        }
+            if self.evictions.get(kind, 0):
+                spec["evictions"] = self.evictions[kind]
+            out[kind] = spec
+        return out
 
     def __repr__(self) -> str:
         parts = ", ".join(
@@ -210,16 +230,31 @@ class ProbeCache:
         are cached and every probe still runs its DP solver.  Use
         this when the solver's side effects matter (e.g. the
         simulated engines accumulating per-probe hardware time).
+    capacity:
+        Maximum entries *per artifact kind*; least-recently-used
+        entries are evicted past it (tallied in ``stats.evictions``
+        and the ``cache.<kind>.evicted`` counter).  ``None`` keeps the
+        historical unbounded behaviour.  The default bounds a
+        long-lived batch service: DP entries hold full tables, so an
+        unbounded cache fed adversarial probe mixes grows without
+        limit.
     """
 
-    def __init__(self, share_dp: bool = True) -> None:
+    def __init__(
+        self, share_dp: bool = True, capacity: Optional[int] = 4096
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("ProbeCache capacity must be >= 1 (or None)")
         self.share_dp = share_dp
+        self.capacity = capacity
         self.stats = CacheStats()
         self._lock = threading.Lock()
-        self._rounding: Dict[Tuple[Instance, int, int], RoundedInstance] = {}
-        self._configs: Dict[NormalizedKey, np.ndarray] = {}
-        self._dp: Dict[Tuple[NormalizedKey, object], DPResult] = {}
-        self._geometry: Dict[Tuple[int, ...], TableGeometry] = {}
+        self._rounding: "OrderedDict[Tuple[Instance, int, int], RoundedInstance]" = (
+            OrderedDict()
+        )
+        self._configs: "OrderedDict[NormalizedKey, np.ndarray]" = OrderedDict()
+        self._dp: "OrderedDict[Tuple[NormalizedKey, object], DPResult]" = OrderedDict()
+        self._geometry: "OrderedDict[Tuple[int, ...], TableGeometry]" = OrderedDict()
         #: cache outcomes of the most recent probe ("hit"/"miss" per
         #: kind) — consumed by the per-probe trace events.
         self.last_events: Dict[str, str] = {}
@@ -234,11 +269,13 @@ class ProbeCache:
         is frozen and hashable).
         """
         key = (instance, int(target), accuracy_k(eps))
-        hit = key in self._rounding
+        value = self._lookup(self._rounding, key)
+        hit = value is not _MISS
         if not hit:
-            self._rounding[key] = round_instance(instance, target, eps)
+            value = round_instance(instance, target, eps)
+            value = self._store("rounding", self._rounding, key, value)
         self._note("rounding", hit)
-        return self._rounding[key]
+        return value
 
     def configurations(self, rounded: RoundedInstance) -> np.ndarray:
         """Memoized configuration set ``C`` for a rounded probe.
@@ -247,15 +284,16 @@ class ProbeCache:
         mutating (no library code mutates them).
         """
         key = normalized_probe_key(rounded)
-        hit = key in self._configs
+        value = self._lookup(self._configs, key)
+        hit = value is not _MISS
         if not hit:
             configs = enumerate_configurations(
                 rounded.class_sizes, rounded.counts, rounded.target
             )
             configs.setflags(write=False)
-            self._configs[key] = configs
+            value = self._store("configs", self._configs, key, configs)
         self._note("configs", hit)
-        return self._configs[key]
+        return value
 
     def dp(self, rounded: RoundedInstance, solver) -> DPResult:
         """DP-table for a rounded probe, via ``solver`` on a miss.
@@ -277,25 +315,60 @@ class ProbeCache:
                 rounded.counts, rounded.class_sizes, rounded.target, configs=configs
             )
         key = (normalized_probe_key(rounded), getattr(solver, "dp_cache_token", None))
-        hit = key in self._dp
+        value = self._lookup(self._dp, key)
+        hit = value is not _MISS
         if not hit:
             configs = self.configurations(rounded)
-            self._dp[key] = solver(
+            result = solver(
                 rounded.counts, rounded.class_sizes, rounded.target, configs=configs
             )
+            value = self._store("dp", self._dp, key, result)
         self._note("dp", hit)
-        return self._dp[key]
+        return value
 
     def geometry(self, counts: Tuple[int, ...]) -> TableGeometry:
         """Memoized :meth:`TableGeometry.from_counts` (strides reuse)."""
         counts = tuple(int(c) for c in counts)
-        hit = counts in self._geometry
+        value = self._lookup(self._geometry, counts)
+        hit = value is not _MISS
         if not hit:
-            self._geometry[counts] = TableGeometry.from_counts(counts)
+            value = self._store(
+                "geometry", self._geometry, counts, TableGeometry.from_counts(counts)
+            )
         self._note("geometry", hit)
-        return self._geometry[counts]
+        return value
 
     # -- bookkeeping --------------------------------------------------------
+
+    def _lookup(self, store: "OrderedDict", key: object) -> object:
+        """Locked LRU read: hit refreshes recency, miss returns ``_MISS``."""
+        with self._lock:
+            if key in store:
+                store.move_to_end(key)
+                return store[key]
+        return _MISS
+
+    def _store(self, kind: str, store: "OrderedDict", key: object, value: object):
+        """Locked insert with LRU eviction past ``capacity``.
+
+        Returns the entry actually cached — a concurrent double-miss
+        keeps the first writer's artifact so every caller shares one
+        object, matching the idempotent-insert contract.
+        """
+        evicted = 0
+        with self._lock:
+            if key in store:
+                store.move_to_end(key)
+                return store[key]
+            store[key] = value
+            if self.capacity is not None:
+                while len(store) > self.capacity:
+                    store.popitem(last=False)
+                    self.stats.record_eviction(kind)
+                    evicted += 1
+        for _ in range(evicted):
+            obs.count(f"cache.{kind}.evicted")
+        return value
 
     def _note(self, kind: str, hit: bool) -> None:
         # The lock covers the read-modify-write tallies; the artifact
@@ -456,6 +529,8 @@ class PlanCache:
     def _evict(self) -> None:
         while len(self._plans) > self.capacity:
             stale_key, _ = self._plans.popitem(last=False)
+            self.stats.record_eviction("plan")
+            obs.count("plan.cache.evicted")
             for alias, key in list(self._aliases.items()):
                 if key == stale_key:
                     del self._aliases[alias]

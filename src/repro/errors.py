@@ -74,3 +74,52 @@ class BackendError(ReproError, LookupError):
     message always lists the valid canonical names so callers (the CLI
     in particular) can surface an actionable error.
     """
+
+
+class TransientError(ReproError):
+    """Marker base for failures that may well succeed on retry.
+
+    The resilience layer (:mod:`repro.resilience`) retries only
+    subclasses of this marker (plus :class:`ProbeTimeoutError`);
+    everything else is treated as deterministic — retrying an OOM or a
+    genuinely invalid instance would only repeat the failure, so those
+    flow to fallback chains and graceful degradation instead.
+    """
+
+
+class TransientDPError(DPError, TransientError):
+    """A DP fill failed in a way that is expected to clear on retry.
+
+    The :class:`~repro.resilience.FaultInjector` raises this for its
+    ``"dperror"`` fault kind; real systems would map spurious device
+    resets or checksum mismatches here.
+    """
+
+
+class WorkerCrashError(TransientError):
+    """A probe worker died before producing a result.
+
+    Models a crashed thread/process in the probe fan-out; transient by
+    definition — the work itself was never attempted to completion.
+    """
+
+
+class ProbeTimeoutError(ReproError):
+    """A probe exceeded its per-probe deadline.
+
+    Raised by the executors (:mod:`repro.core.executor`) when a
+    :class:`~repro.resilience.ResiliencePolicy` sets ``deadline_s``.
+    Classified as retryable: slowness is usually contention, and the
+    retry budget caps how often an oversized probe is re-attempted.
+    """
+
+
+class MemoryBudgetExceeded(ReproError):
+    """Admission control rejected a probe before any allocation.
+
+    The estimated DP-table footprint (table plus relaxation scratch,
+    from :func:`repro.core.dp_common.estimate_fill_bytes`) exceeds the
+    configured ``memory_budget_bytes``.  Deliberately raised *before*
+    the fill allocates anything, so one adversarial ``(eps, T)`` pair
+    cannot take down a whole batch with a real ``MemoryError``.
+    """

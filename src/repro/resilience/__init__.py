@@ -1,0 +1,54 @@
+"""repro.resilience — engineering the PTAS for a hostile world.
+
+The theory in this repository assumes probes always finish; production
+does not.  This package is the resilience layer (see
+``docs/RELIABILITY.md`` for the full fault model and guarantees):
+
+* :class:`FaultInjector` — deterministic, seedable chaos for the probe
+  path (OOMs, transient DP errors, worker crashes, slow probes), keyed
+  so thread interleavings cannot change which probes fail.
+* :class:`AdmissionController` — rejects probes whose estimated
+  DP-table footprint exceeds a byte budget *before* any allocation
+  (:class:`~repro.errors.MemoryBudgetExceeded`).
+* :class:`RetryPolicy` — bounded retries of *transient* failures with
+  exponential backoff charged in simulated time.
+* :class:`ResiliencePolicy` — the bundle the probe executors consult;
+  adds per-probe deadlines (:class:`~repro.errors.ProbeTimeoutError`).
+* :class:`FallbackChain` — a registry backend
+  (``"fallback:auto,vectorized"``, or the curated ``"fallback"``) that
+  steps down to a cheaper solver on non-transient failure.
+
+Graceful degradation — returning a bounded LPT/MULTIFIT answer when
+every backend fails — lives in
+:class:`~repro.service.batch.BatchScheduler`, built on these parts.
+
+Typical chaos-test wiring::
+
+    from repro.resilience import FaultInjector, RetryPolicy, ResiliencePolicy
+    from repro.core.executor import SequentialExecutor
+
+    policy = ResiliencePolicy(
+        faults=FaultInjector(seed=7, rate=0.3, kinds=("dperror", "crash")),
+        retry=RetryPolicy(max_attempts=4),
+    )
+    executor = SequentialExecutor(resilience=policy)
+    result = ptas_schedule(inst, executor=executor)   # same makespan, tested
+"""
+
+from repro.resilience.admission import AdmissionController
+from repro.resilience.fallback import FallbackChain
+from repro.resilience.faults import FAULT_KINDS, FaultEvent, FaultInjector
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.retry import TRANSIENT_TYPES, RetryPolicy, is_transient
+
+__all__ = [
+    "AdmissionController",
+    "FallbackChain",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "TRANSIENT_TYPES",
+    "is_transient",
+]

@@ -1,0 +1,91 @@
+"""Admission control: reject oversized probes before any allocation.
+
+The DP-table for a probe has ``prod(n_i + 1)`` cells, so one
+adversarial ``(eps, T)`` pair can request a table orders of magnitude
+larger than every other probe in a batch.  Waiting for the resulting
+``MemoryError`` means the allocation was already attempted — possibly
+taking the whole process (and every sibling request) down with it.
+
+:class:`AdmissionController` closes that hole: the peak footprint of a
+fill is pure arithmetic on the rounded count vector
+(:func:`repro.core.dp_common.estimate_fill_bytes` — table size times
+the narrow dtype :func:`~repro.core.dp_common.pick_table_dtype` would
+choose, plus the widened int64 table), so the controller can refuse
+with :class:`~repro.errors.MemoryBudgetExceeded` *before* a single
+array exists.  Rejections emit the ``admission.rejected`` counter.
+
+Rejection composes with re-routing: the ``auto`` kernel
+(:mod:`repro.core.kernels.auto`) accepts its own
+``memory_budget_bytes`` and re-routes over-budget fills to the
+low-footprint sweep kernel, so a deployment typically sets the kernel
+budget below the admission budget — probes between the two run on the
+sweep, probes above the admission budget are refused outright (and a
+:class:`~repro.service.batch.BatchScheduler` degrades them to a
+bounded baseline answer instead of erroring the request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.dp_common import estimate_fill_bytes
+from repro.dptable.table import TableGeometry
+from repro.errors import InvalidInstanceError, MemoryBudgetExceeded
+from repro.observability import context as obs
+
+
+@dataclass(frozen=True)
+class AdmissionController:
+    """Pre-allocation gate on the estimated DP fill footprint.
+
+    ``memory_budget_bytes`` is the per-probe ceiling; probes whose
+    estimate exceeds it are refused with
+    :class:`~repro.errors.MemoryBudgetExceeded`.
+    """
+
+    memory_budget_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.memory_budget_bytes < 1:
+            raise InvalidInstanceError(
+                f"memory_budget_bytes must be >= 1, got {self.memory_budget_bytes}"
+            )
+
+    def estimate(self, counts: Sequence[int], value_bound: Optional[int] = None) -> int:
+        """Estimated peak bytes for a fill over ``counts`` (no allocation)."""
+        return estimate_fill_bytes(counts, value_bound=value_bound)
+
+    def admit(
+        self,
+        counts: Sequence[int],
+        value_bound: Optional[int] = None,
+        target: Optional[int] = None,
+    ) -> int:
+        """Admit or refuse one probe; returns the estimate on admission.
+
+        Raises :class:`~repro.errors.MemoryBudgetExceeded` (and counts
+        ``admission.rejected``) when the estimate exceeds the budget.
+        """
+        estimate = self.estimate(counts, value_bound=value_bound)
+        if estimate > self.memory_budget_bytes:
+            obs.count("admission.rejected")
+            shape = tuple(int(c) + 1 for c in counts)
+            at = f" at T={target}" if target is not None else ""
+            raise MemoryBudgetExceeded(
+                f"probe{at} needs an estimated {estimate} bytes "
+                f"(table shape {shape}) but the memory budget is "
+                f"{self.memory_budget_bytes} bytes; raise the budget, loosen "
+                "eps, or let the batch service degrade this request"
+            )
+        obs.count("admission.admitted")
+        return estimate
+
+    def admit_geometry(self, geometry: TableGeometry, value_bound: int) -> int:
+        """:meth:`admit` from a :class:`~repro.dptable.table.TableGeometry`.
+
+        Convenience for callers already holding a probe plan's geometry
+        (``ProbePlan.geometry``); extents are ``n_i + 1``, hence the
+        ``- 1`` when reconstructing the count vector.
+        """
+        return self.admit([s - 1 for s in geometry.shape], value_bound=value_bound)

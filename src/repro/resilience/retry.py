@@ -1,0 +1,82 @@
+"""Retry policy: bounded re-attempts for transient probe failures.
+
+Retrying is only sound for failures that are expected to clear on
+their own: the marker class :class:`~repro.errors.TransientError`
+(injected transient DP errors, worker crashes) and
+:class:`~repro.errors.ProbeTimeoutError` (slowness is usually
+contention).  Deterministic failures — ``MemoryError``,
+:class:`~repro.errors.MemoryBudgetExceeded`, invalid instances — are
+never retried; they flow to fallback chains and graceful degradation
+instead (:mod:`repro.resilience.fallback`,
+:class:`~repro.service.batch.BatchScheduler`).
+
+Backoff is **simulated**: :meth:`RetryPolicy.backoff_s` returns the
+seconds a production deployment would wait, and the caller accounts
+them as a counter (``resilience.backoff_s``) instead of sleeping — the
+test suite stays fast and deterministic, and the accounting still
+shows what the recovery cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Type
+
+from repro.errors import InvalidInstanceError, ProbeTimeoutError, TransientError
+
+#: Exception types a retry may legitimately re-attempt.
+TRANSIENT_TYPES: Tuple[Type[BaseException], ...] = (
+    TransientError,
+    ProbeTimeoutError,
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` is worth retrying (see module docstring)."""
+    return isinstance(exc, TRANSIENT_TYPES)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-attempt a probe, and at what simulated cost.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first (``1`` disables retries).
+    backoff_base_s:
+        Simulated wait before the first retry.
+    backoff_factor:
+        Exponential growth factor between consecutive retries.
+    retry_on:
+        Exception types eligible for retry; defaults to
+        :data:`TRANSIENT_TYPES`.  Narrow it to make a policy stricter —
+        widening it past the transient family voids the determinism
+        guarantees documented in ``docs/RELIABILITY.md``.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.01
+    backoff_factor: float = 2.0
+    retry_on: Tuple[Type[BaseException], ...] = TRANSIENT_TYPES
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidInstanceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise InvalidInstanceError(
+                "backoff_base_s must be >= 0 and backoff_factor >= 1.0, got "
+                f"{self.backoff_base_s}/{self.backoff_factor}"
+            )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Simulated seconds to wait after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise InvalidInstanceError(f"attempt must be >= 1, got {attempt}")
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Whether failed attempt ``attempt`` (1-based) warrants another."""
+        return attempt < self.max_attempts and isinstance(exc, self.retry_on)

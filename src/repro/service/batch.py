@@ -44,12 +44,25 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.backends import get_spec, resolve
+from repro.core.baselines import (
+    lpt_bound,
+    lpt_schedule,
+    multifit_bound,
+    multifit_schedule,
+)
 from repro.core.executor import default_executor
 from repro.core.instance import Instance
 from repro.core.probe_cache import CacheStats, PlanCache, ProbeCache
 from repro.core.ptas import PtasResult, ptas_schedule
-from repro.errors import BackendError, InvalidInstanceError
+from repro.core.schedule import Schedule
+from repro.errors import BackendError, InvalidInstanceError, ReproError
 from repro.observability import Tracer
+from repro.resilience import (
+    AdmissionController,
+    FaultInjector,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 
 
 def _require_schedule_capable(name: str):
@@ -83,21 +96,52 @@ class BatchRequest:
 
 @dataclass(frozen=True)
 class BatchRequestResult:
-    """Outcome of one request: the PTAS result plus accounting."""
+    """Outcome of one request: the PTAS result (or a degraded answer).
+
+    N requests always yield N of these.  When every backend failed and
+    the scheduler degrades (the default), ``result`` is ``None`` and
+    the ``degraded_*`` fields carry a bounded baseline answer instead —
+    LPT or MULTIFIT, whichever is better for the instance — plus the
+    failure that forced the step-down (``error``, ``fault_chain``).
+    """
 
     name: str
     request: BatchRequest
-    result: PtasResult
+    result: Optional[PtasResult]
     #: simulated hardware seconds charged by the request's executor
     #: (0.0 for pure, non-simulated backends).
     simulated_s: float
     #: real wall seconds the request took inside the pool.
     wall_s: float
+    #: True when the PTAS failed and a baseline answer was substituted.
+    degraded: bool = False
+    #: ``"ExcType: message"`` of the failure that triggered degradation.
+    error: Optional[str] = None
+    #: per-backend failure log (a fallback chain's step-downs plus the
+    #: final error), most-preferred member first.
+    fault_chain: tuple = ()
+    #: the baseline schedule served instead of the PTAS one.
+    degraded_schedule: Optional[Schedule] = None
+    #: which baseline produced it (``"lpt"`` or ``"multifit"``).
+    degraded_by: Optional[str] = None
+    #: that baseline's proven approximation ratio vs. OPT.
+    degraded_bound: Optional[float] = None
 
     @property
     def makespan(self) -> int:
-        """Makespan of the request's schedule."""
-        return self.result.makespan
+        """Makespan served to the caller (PTAS or degraded baseline)."""
+        if self.result is not None:
+            return self.result.makespan
+        assert self.degraded_schedule is not None
+        return self.degraded_schedule.makespan
+
+    @property
+    def schedule(self) -> Schedule:
+        """Schedule served to the caller (PTAS or degraded baseline)."""
+        if self.result is not None:
+            return self.result.schedule
+        assert self.degraded_schedule is not None
+        return self.degraded_schedule
 
 
 @dataclass
@@ -122,13 +166,22 @@ class BatchReport:
 
     @property
     def total_probes(self) -> int:
-        """DP probes across every request."""
-        return sum(len(r.result.probes) for r in self.results)
+        """DP probes across every request (degraded requests ran none)."""
+        return sum(
+            len(r.result.probes) for r in self.results if r.result is not None
+        )
 
     @property
     def total_iterations(self) -> int:
         """Search iterations across every request."""
-        return sum(r.result.iterations for r in self.results)
+        return sum(
+            r.result.iterations for r in self.results if r.result is not None
+        )
+
+    @property
+    def degraded_count(self) -> int:
+        """Requests served by a baseline instead of the PTAS."""
+        return sum(1 for r in self.results if r.degraded)
 
     @property
     def total_simulated_s(self) -> float:
@@ -148,18 +201,34 @@ class BatchReport:
                 {
                     "name": r.name,
                     "makespan": r.makespan,
-                    "final_target": r.result.final_target,
-                    "iterations": r.result.iterations,
-                    "probes": len(r.result.probes),
+                    "final_target": (
+                        r.result.final_target if r.result is not None else None
+                    ),
+                    "iterations": (
+                        r.result.iterations if r.result is not None else 0
+                    ),
+                    "probes": len(r.result.probes) if r.result is not None else 0,
                     "eps": r.request.eps,
                     "search": r.request.search,
                     "simulated_s": r.simulated_s,
                     "wall_s": r.wall_s,
+                    **(
+                        {
+                            "degraded": True,
+                            "degraded_by": r.degraded_by,
+                            "degraded_bound": r.degraded_bound,
+                            "error": r.error,
+                            "fault_chain": list(r.fault_chain),
+                        }
+                        if r.degraded
+                        else {}
+                    ),
                 }
                 for r in self.results
             ],
             "total_probes": self.total_probes,
             "total_iterations": self.total_iterations,
+            "degraded_requests": self.degraded_count,
             "counters": dict(self.tracer.counters),
             "cache": self.cache_stats.as_dict() if self.cache_stats else {},
             "plan_cache": (
@@ -189,6 +258,18 @@ class BatchScheduler:
         ``None`` to disable cross-request reuse entirely.
     search / eps:
         Defaults for requests that do not specify their own.
+    faults / retry / deadline_s / memory_budget_bytes:
+        The resilience knobs (see ``docs/RELIABILITY.md``): a
+        deterministic :class:`~repro.resilience.FaultInjector` for
+        chaos testing, a :class:`~repro.resilience.RetryPolicy` for
+        transient failures (defaulted to ``RetryPolicy()`` whenever
+        ``faults`` is armed), a per-probe deadline in wall seconds,
+        and a per-probe admission budget in bytes.  All default off.
+    degrade:
+        When ``True`` (default) a request whose backends all fail is
+        served a bounded LPT/MULTIFIT baseline answer tagged
+        ``degraded=True`` instead of aborting the batch — N requests
+        always produce N results.  ``False`` re-raises the failure.
 
     Example::
 
@@ -206,6 +287,11 @@ class BatchScheduler:
         cache: Optional[ProbeCache] = ...,  # type: ignore[assignment]
         search: str = "quarter",
         eps: float = 0.3,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadline_s: Optional[float] = None,
+        memory_budget_bytes: Optional[int] = None,
+        degrade: bool = True,
     ) -> None:
         if workers < 1:
             raise InvalidInstanceError(f"workers must be >= 1, got {workers}")
@@ -215,6 +301,33 @@ class BatchScheduler:
         self.cache: Optional[ProbeCache] = (
             ProbeCache() if cache is ... else cache
         )
+        # Resilience (docs/RELIABILITY.md): an armed fault injector with
+        # no explicit retry policy still gets bounded retries — that is
+        # the configuration the chaos tests run, and retrying transient
+        # faults is what makes them invisible in the results.
+        if faults is not None and retry is None:
+            retry = RetryPolicy()
+        self.faults = faults
+        self.degrade = bool(degrade)
+        admission = (
+            AdmissionController(memory_budget_bytes)
+            if memory_budget_bytes is not None
+            else None
+        )
+        if (
+            faults is not None
+            or retry is not None
+            or deadline_s is not None
+            or admission is not None
+        ):
+            self.resilience: Optional[ResiliencePolicy] = ResiliencePolicy(
+                faults=faults,
+                retry=retry,
+                deadline_s=deadline_s,
+                admission=admission,
+            )
+        else:
+            self.resilience = None
         # One plan cache per scheduler, shared by every plan-aware
         # request of every batch: plans are pure structure, so sharing
         # is always sound — even when the probe cache is off or
@@ -256,22 +369,37 @@ class BatchScheduler:
         probes round to the same structure reuse one probe plan.
         """
         name = request.backend or self.backend
+        kwargs: Dict[str, object] = {}
         if _require_schedule_capable(name).plan_aware:
-            solver = resolve(name, plan_cache=self.plan_cache)
-        else:
-            solver = resolve(name)
-        executor = default_executor(solver)
+            kwargs["plan_cache"] = self.plan_cache
+        if self.faults is not None and (
+            name == "fallback" or name.startswith("fallback:")
+        ):
+            # Chains check each member at site "dp.<member>", letting
+            # chaos tests poison one named member of the chain.
+            kwargs["faults"] = self.faults
+        solver = resolve(name, **kwargs)
+        executor = default_executor(solver, resilience=self.resilience)
         tracer = Tracer()
         start = time.perf_counter()
-        result = ptas_schedule(
-            request.instance,
-            eps=request.eps,
-            dp_solver=solver,
-            search=request.search,
-            cache=self.cache,
-            trace=tracer,
-            executor=executor,
-        )
+        try:
+            result = ptas_schedule(
+                request.instance,
+                eps=request.eps,
+                dp_solver=solver,
+                search=request.search,
+                cache=self.cache,
+                trace=tracer,
+                executor=executor,
+            )
+        except (ReproError, MemoryError) as exc:
+            if not self.degrade:
+                raise
+            wall = time.perf_counter() - start
+            return (
+                self._degraded_result(request, exc, executor.elapsed_s, wall, tracer),
+                tracer,
+            )
         wall = time.perf_counter() - start
         return (
             BatchRequestResult(
@@ -282,6 +410,46 @@ class BatchScheduler:
                 wall_s=wall,
             ),
             tracer,
+        )
+
+    def _degraded_result(
+        self,
+        request: BatchRequest,
+        exc: BaseException,
+        simulated_s: float,
+        wall_s: float,
+        tracer: Tracer,
+    ) -> BatchRequestResult:
+        """A bounded baseline answer for a request whose backends all failed.
+
+        LPT guarantees ``4/3 - 1/(3m)`` and MULTIFIT ``13/11`` times the
+        optimal makespan; both are cheap enough to never fail on a valid
+        instance, so the batch still returns N results for N requests.
+        The better of the two is served, tagged ``degraded=True`` with
+        the error (and any fallback chain log) that forced it.
+        """
+        inst = request.instance
+        lpt = lpt_schedule(inst)
+        mf = multifit_schedule(inst)
+        if mf.makespan <= lpt.makespan:
+            schedule, by, bound = mf, "multifit", multifit_bound()
+        else:
+            schedule, by, bound = lpt, "lpt", lpt_bound(inst.machines)
+        chain = tuple(getattr(exc, "fault_chain", ()))
+        chain = chain + (f"{type(exc).__name__}: {exc}",)
+        tracer.count("resilience.degraded")
+        return BatchRequestResult(
+            name=request.name,
+            request=request,
+            result=None,
+            simulated_s=simulated_s,
+            wall_s=wall_s,
+            degraded=True,
+            error=f"{type(exc).__name__}: {exc}",
+            fault_chain=chain,
+            degraded_schedule=schedule,
+            degraded_by=by,
+            degraded_bound=bound,
         )
 
     def run(

@@ -268,3 +268,87 @@ class TestDefaultExecutor:
 
     def test_pure_solver_gets_sequential(self):
         assert isinstance(default_executor(dp_vectorized), SequentialExecutor)
+
+
+class TestParallelWorkerFailure:
+    """Regression: a poisoned probe must not leak threads or mask errors."""
+
+    class _Poisoned:
+        """Solver that fails on exactly one target, succeeds elsewhere."""
+
+        def __init__(self, poison_target):
+            self.poison_target = poison_target
+
+        def __call__(self, counts, class_sizes, target, configs=None):
+            if target == self.poison_target:
+                raise MemoryError(f"poisoned fill at T={target}")
+            from repro.core.dp_vectorized import dp_vectorized
+
+            return dp_vectorized(counts, class_sizes, target, configs=configs)
+
+    def _poisoned_round(self, workers=4):
+        import threading
+
+        inst = uniform_instance(20, 4, low=5, high=60, seed=3)
+        from repro.core.bounds import makespan_bounds
+
+        bounds = makespan_bounds(inst)
+        step = max(1, bounds.width // 5)
+        targets = [bounds.lower + (i + 1) * step for i in range(4)]
+        solver = self._Poisoned(targets[1])
+        before = threading.active_count()
+        ex = ParallelHostExecutor(workers=workers)
+        with pytest.raises(MemoryError, match="poisoned fill"):
+            ex.run_round(inst, targets, 0.3, solver)
+        return before
+
+    def test_original_exception_propagates(self):
+        self._poisoned_round()
+
+    def test_no_leaked_threads(self):
+        import threading
+        import time
+
+        before = self._poisoned_round()
+        # The pool context manager shut down with cancel_futures; give
+        # any straggler a beat to exit, then require no thread growth.
+        deadline = time.time() + 5.0
+        while threading.active_count() > before and time.time() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() <= before
+
+    def test_sequential_fallback_path_also_propagates(self):
+        inst = uniform_instance(20, 4, low=5, high=60, seed=3)
+        from repro.core.bounds import makespan_bounds
+
+        target = makespan_bounds(inst).upper
+        with pytest.raises(MemoryError):
+            SequentialExecutor().run_round(
+                inst, [target], 0.3, self._Poisoned(target)
+            )
+
+
+class TestResilienceDispatch:
+    def test_executors_accept_resilience_and_stay_identical(self):
+        from repro.core.ptas import ptas_schedule
+        from repro.resilience import ResiliencePolicy
+
+        inst = uniform_instance(24, 4, low=5, high=70, seed=7)
+        reference = ptas_schedule(inst, eps=0.3)
+        for ex in (
+            SequentialExecutor(resilience=ResiliencePolicy()),
+            ParallelHostExecutor(workers=4, resilience=ResiliencePolicy()),
+        ):
+            result = ptas_schedule(inst, eps=0.3, executor=ex)
+            assert result.makespan == reference.makespan
+            assert result.final_target == reference.final_target
+
+    def test_default_executor_threads_resilience_through(self):
+        from repro.resilience import ResiliencePolicy
+
+        policy = ResiliencePolicy()
+        assert default_executor(dp_vectorized, resilience=policy).resilience is policy
+        assert (
+            default_executor(GpuPartitionedEngine(dim=6), resilience=policy).resilience
+            is policy
+        )

@@ -203,3 +203,58 @@ class TestCachedSearchEquivalence:
         outcomes = [e.cache_events.get("dp") for e in rec.events]
         assert all(o in ("hit", "miss") for o in outcomes)
         assert outcomes.count("hit") == cache.stats.hits.get("dp", 0)
+
+
+class TestLRUBounding:
+    def _fill_geometry(self, cache, n):
+        for i in range(n):
+            cache.geometry((i + 1, 1))
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = ProbeCache(capacity=3)
+        self._fill_geometry(cache, 3)
+        cache.geometry((1, 1))        # refresh the oldest entry
+        cache.geometry((99, 1))       # evicts (2, 1), not (1, 1)
+        assert cache.stats.evictions.get("geometry") == 1
+        cache.geometry((1, 1))        # still cached -> hit
+        assert cache.stats.hits["geometry"] == 2
+        cache.geometry((2, 1))        # evicted -> miss
+        assert cache.stats.misses["geometry"] == 5
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = ProbeCache(capacity=None)
+        self._fill_geometry(cache, 50)
+        assert len(cache) == 50
+        assert cache.stats.total_evictions == 0
+
+    def test_capacity_bounds_every_kind(self):
+        inst = uniform_instance(24, 4, low=5, high=70, seed=9)
+        cache = ProbeCache(capacity=2)
+        ptas_schedule(inst, eps=0.3, cache=cache)
+        # Each artifact store is individually bounded.
+        assert len(cache._rounding) <= 2
+        assert len(cache._configs) <= 2
+        assert len(cache._dp) <= 2
+        assert len(cache._geometry) <= 2
+
+    def test_bounded_cache_results_identical(self):
+        inst = uniform_instance(24, 4, low=5, high=70, seed=9)
+        unbounded = ptas_schedule(inst, eps=0.3, cache=ProbeCache())
+        bounded = ptas_schedule(inst, eps=0.3, cache=ProbeCache(capacity=1))
+        assert bounded.makespan == unbounded.makespan
+        assert bounded.schedule.assignment == unbounded.schedule.assignment
+
+    def test_eviction_appears_in_as_dict_only_when_nonzero(self):
+        cache = ProbeCache(capacity=1)
+        self._fill_geometry(cache, 3)
+        spec = cache.stats.as_dict()["geometry"]
+        assert spec["evictions"] == 2
+        fresh = ProbeCache()
+        fresh.geometry((1, 1))
+        assert "evictions" not in fresh.stats.as_dict()["geometry"]
+
+    def test_invalid_capacity_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ProbeCache(capacity=0)

@@ -1,0 +1,150 @@
+"""Graceful degradation: N requests in, N results out — always.
+
+This is the acceptance scenario for the resilience layer: a batch where
+one request OOMs on *every* PTAS backend must still produce a result
+for every request, with the poisoned one served a bounded LPT/MULTIFIT
+answer tagged ``degraded=True`` and carrying the fault chain.
+"""
+
+import pytest
+
+from repro.core.baselines import (
+    lpt_bound,
+    lpt_schedule,
+    multifit_bound,
+    multifit_schedule,
+)
+from repro.core.instance import Instance
+from repro.errors import ReproError
+from repro.resilience import FaultInjector
+from repro.service.batch import BatchScheduler
+
+INSTANCES = [
+    Instance(machines=3, times=(5, 7, 3, 9, 4, 6, 2)),
+    Instance(machines=2, times=(4, 4, 5, 6)),
+    Instance(machines=4, times=(9, 8, 7, 6, 5, 4, 3, 2, 1)),
+]
+
+#: poisons every fallback member, but only for the machines==2 instance.
+POISON = dict(
+    seed=1, rate=1.0, kinds=("oom",),
+    sites=("dp.auto", "dp.sweep", "dp.vectorized"),
+    max_failures=10**9,
+    match=lambda site, inst, target: inst is not None and inst.machines == 2,
+)
+
+
+class TestPoisonedBatch:
+    def run_poisoned(self, workers=2):
+        scheduler = BatchScheduler(
+            backend="fallback", workers=workers, faults=FaultInjector(**POISON)
+        )
+        return scheduler.run(INSTANCES)
+
+    def test_n_requests_n_results_one_degraded(self):
+        report = self.run_poisoned()
+        assert len(report.results) == len(INSTANCES)
+        assert report.degraded_count == 1
+        degraded = [r for r in report.results if r.degraded]
+        assert len(degraded) == 1
+        assert degraded[0].request.instance.machines == 2
+
+    def test_degraded_result_serves_best_baseline(self):
+        report = self.run_poisoned()
+        victim = next(r for r in report.results if r.degraded)
+        inst = victim.request.instance
+        best = min(
+            lpt_schedule(inst).makespan, multifit_schedule(inst).makespan
+        )
+        assert victim.makespan == best
+        assert victim.degraded_by in ("lpt", "multifit")
+        expected_bound = (
+            multifit_bound()
+            if victim.degraded_by == "multifit"
+            else lpt_bound(inst.machines)
+        )
+        assert victim.degraded_bound == pytest.approx(expected_bound)
+        # Schedule validates feasibility at construction; check coverage.
+        assert len(victim.schedule.assignment) == inst.n_jobs
+
+    def test_degraded_result_carries_fault_chain(self):
+        report = self.run_poisoned()
+        victim = next(r for r in report.results if r.degraded)
+        assert victim.error and "MemoryError" in victim.error
+        # Every chain member's failure is logged, most-preferred first.
+        assert any("auto:" in e for e in victim.fault_chain)
+        assert any("vectorized:" in e for e in victim.fault_chain)
+
+    def test_healthy_requests_are_unaffected(self):
+        clean = BatchScheduler(backend="fallback", workers=2).run(INSTANCES)
+        poisoned = self.run_poisoned()
+        for a, b in zip(clean.results, poisoned.results):
+            if not b.degraded:
+                assert a.makespan == b.makespan
+
+    def test_report_counters_and_dict(self):
+        report = self.run_poisoned()
+        d = report.as_dict()
+        assert d["degraded_requests"] == 1
+        assert d["counters"].get("resilience.degraded") == 1
+        assert d["counters"].get("resilience.fallback", 0) >= 3
+        victim = next(r for r in d["requests"] if r.get("degraded"))
+        assert victim["degraded_by"] in ("lpt", "multifit")
+        assert victim["fault_chain"]
+        import json
+
+        json.dumps(d)  # must stay JSON-serializable
+
+    def test_worker_count_does_not_change_outcome(self):
+        serial = self.run_poisoned(workers=1)
+        threaded = self.run_poisoned(workers=3)
+        assert serial.makespans() == threaded.makespans()
+        assert serial.degraded_count == threaded.degraded_count
+
+    def test_degrade_false_raises_instead(self):
+        scheduler = BatchScheduler(
+            backend="fallback", workers=1,
+            faults=FaultInjector(**POISON), degrade=False,
+        )
+        with pytest.raises((MemoryError, ReproError)):
+            scheduler.run(INSTANCES)
+
+
+class TestAdmissionDegradation:
+    def test_over_budget_request_degrades(self):
+        scheduler = BatchScheduler(
+            backend="auto", workers=1, memory_budget_bytes=1
+        )
+        report = scheduler.run(INSTANCES[:1])
+        assert report.degraded_count == 1
+        victim = report.results[0]
+        assert victim.degraded and "MemoryBudgetExceeded" in victim.error
+        assert len(victim.schedule.assignment) == INSTANCES[0].n_jobs
+
+    def test_generous_budget_is_invisible(self):
+        base = BatchScheduler(backend="auto", workers=1).run(INSTANCES)
+        budgeted = BatchScheduler(
+            backend="auto", workers=1, memory_budget_bytes=10**12
+        ).run(INSTANCES)
+        assert base.makespans() == budgeted.makespans()
+        assert budgeted.degraded_count == 0
+
+
+class TestTransientFaultsAreInvisible:
+    def test_retries_absorb_transient_faults(self):
+        from repro.resilience import RetryPolicy
+
+        base = BatchScheduler(backend="auto", workers=1).run(INSTANCES)
+        flaky = BatchScheduler(
+            backend="auto", workers=1,
+            faults=FaultInjector(
+                seed=5, rate=0.4, kinds=("dperror", "crash"),
+                sites=("dp", "probe"), max_failures=2,
+            ),
+            retry=RetryPolicy(max_attempts=5),
+        ).run(INSTANCES)
+        # Two armed sites x max_failures=2 < max_attempts=5: every
+        # fault clears within the retry budget — bit-identical results.
+        assert flaky.makespans() == base.makespans()
+        assert flaky.degraded_count == 0
+        assert flaky.tracer.counters.get("resilience.retry", 0) >= 1

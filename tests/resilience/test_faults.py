@@ -1,0 +1,207 @@
+"""Unit tests for the deterministic fault injector and the retry policy."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.errors import (
+    InvalidInstanceError,
+    ProbeTimeoutError,
+    TransientDPError,
+    WorkerCrashError,
+)
+from repro.resilience import FaultInjector, RetryPolicy, is_transient
+
+INST = Instance(machines=3, times=(5, 7, 3, 9, 4, 6, 2))
+
+
+def drain(injector, site="dp", instance=INST, target=10, checks=20):
+    """Run ``checks`` checks at one key, collecting raised fault types."""
+    raised = []
+    for _ in range(checks):
+        try:
+            injector.check(site, instance=instance, target=target)
+        except (MemoryError, TransientDPError, WorkerCrashError) as exc:
+            raised.append(type(exc).__name__)
+    return raised
+
+
+class TestDeterminism:
+    def test_same_seed_same_events(self):
+        runs = []
+        for _ in range(2):
+            inj = FaultInjector(seed=42, rate=0.7, kinds=("dperror", "oom"))
+            drain(inj)
+            for t in (11, 12, 13):
+                drain(inj, target=t)
+            runs.append(tuple(inj.events))
+        assert runs[0] == runs[1]
+
+    def test_replay_signature_matches_across_runs(self):
+        sigs = []
+        for _ in range(2):
+            inj = FaultInjector(seed=9, rate=0.5, kinds=("crash", "dperror"))
+            for t in range(5, 25):
+                drain(inj, target=t, checks=4)
+            sigs.append(inj.replay_signature())
+        assert sigs[0] == sigs[1]
+
+    def test_different_seeds_differ(self):
+        outcomes = []
+        for seed in (1, 2):
+            inj = FaultInjector(seed=seed, rate=0.5, max_failures=100)
+            for t in range(50):
+                drain(inj, target=t, checks=1)
+            outcomes.append({(e.site, e.target) for e in inj.events})
+        assert outcomes[0] != outcomes[1]  # different probes fail
+
+    def test_decisions_keyed_not_sequenced(self):
+        # Checking keys in a different order must not change which fire.
+        a = FaultInjector(seed=5, rate=0.5, max_failures=1)
+        b = FaultInjector(seed=5, rate=0.5, max_failures=1)
+        targets = list(range(30))
+        for t in targets:
+            drain(a, target=t, checks=1)
+        for t in reversed(targets):
+            drain(b, target=t, checks=1)
+        assert a.replay_signature() == b.replay_signature()
+
+
+class TestGating:
+    def test_max_failures_caps_each_key(self):
+        inj = FaultInjector(seed=0, rate=1.0, kinds=("dperror",), max_failures=2)
+        assert len(drain(inj, checks=10)) == 2  # fires twice, then passes
+
+    def test_unarmed_site_passes(self):
+        inj = FaultInjector(seed=0, rate=1.0, sites=("dp",))
+        assert drain(inj, site="probe", checks=5) == []
+
+    def test_match_predicate_gates(self):
+        other = Instance(machines=2, times=(4, 4, 5))
+        inj = FaultInjector(
+            seed=0, rate=1.0, max_failures=100,
+            match=lambda site, inst, target: inst is not None
+            and inst.machines == 2,
+        )
+        assert drain(inj, instance=INST, checks=3) == []
+        assert len(drain(inj, instance=other, checks=3)) == 3
+
+    def test_rate_zero_never_fires(self):
+        inj = FaultInjector(seed=0, rate=0.0, max_failures=100)
+        for t in range(20):
+            assert drain(inj, target=t, checks=2) == []
+
+    def test_reset_forgets_history(self):
+        inj = FaultInjector(seed=0, rate=1.0, max_failures=1)
+        first = drain(inj, checks=3)
+        inj.reset()
+        assert drain(inj, checks=3) == first
+        assert len(inj.events) == 1
+
+
+class TestKinds:
+    def test_oom_raises_memoryerror(self):
+        inj = FaultInjector(seed=0, rate=1.0, kinds=("oom",), max_failures=1)
+        with pytest.raises(MemoryError):
+            inj.check("dp", instance=INST, target=3)
+
+    def test_dperror_is_transient(self):
+        inj = FaultInjector(seed=0, rate=1.0, kinds=("dperror",), max_failures=1)
+        with pytest.raises(TransientDPError) as err:
+            inj.check("dp", instance=INST, target=3)
+        assert is_transient(err.value)
+
+    def test_crash_is_transient(self):
+        inj = FaultInjector(seed=0, rate=1.0, kinds=("crash",), max_failures=1)
+        with pytest.raises(WorkerCrashError) as err:
+            inj.check("dp", instance=INST, target=3)
+        assert is_transient(err.value)
+
+    def test_oom_is_not_transient(self):
+        assert not is_transient(MemoryError("boom"))
+
+    def test_slow_sleeps_instead_of_raising(self):
+        inj = FaultInjector(
+            seed=0, rate=1.0, kinds=("slow",), max_failures=1, slow_s=0.0
+        )
+        inj.check("dp", instance=INST, target=3)  # no exception
+        assert inj.events[0].kind == "slow"
+
+
+class TestFromSpec:
+    def test_full_spec_parses(self):
+        inj = FaultInjector.from_spec(
+            "seed=7,rate=0.5,kinds=dperror|crash,sites=dp|probe,max=1,slow=0.02"
+        )
+        assert inj.seed == 7
+        assert inj.rate == 0.5
+        assert inj.kinds == ("dperror", "crash")
+        assert inj.sites == ("dp", "probe")
+        assert inj.max_failures == 1
+        assert inj.slow_s == 0.02
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown"):
+            FaultInjector.from_spec("seed=1,bogus=2")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="key=value"):
+            FaultInjector.from_spec("seed")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            FaultInjector.from_spec("kinds=meteorstrike")
+
+
+class TestWrapSolver:
+    def test_wrapped_solver_delegates_and_forwards_attrs(self):
+        calls = []
+
+        def solver(counts, class_sizes, target, configs=None):
+            calls.append(target)
+            return "table"
+
+        inj = FaultInjector(seed=0, rate=0.0)
+        wrapped = inj.wrap_solver(solver)
+        assert wrapped((1,), (2,), 9) == "table"
+        assert calls == [9]
+
+    def test_bind_machines_keeps_the_wrapper(self):
+        # probe_target binds the solver to the machine budget; the bound
+        # copy must still check for faults or injection silently stops.
+        class Bindable:
+            def __call__(self, counts, class_sizes, target, configs=None):
+                return "table"
+
+            def bind_machines(self, machines):
+                return Bindable()
+
+        inj = FaultInjector(seed=0, rate=1.0, kinds=("oom",), max_failures=1)
+        bound = inj.wrap_solver(Bindable(), instance=INST).bind_machines(3)
+        with pytest.raises(MemoryError):
+            bound((1,), (2,), 9)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        p = RetryPolicy(max_attempts=4, backoff_base_s=0.01, backoff_factor=2.0)
+        assert p.backoff_s(1) == pytest.approx(0.01)
+        assert p.backoff_s(2) == pytest.approx(0.02)
+        assert p.backoff_s(3) == pytest.approx(0.04)
+
+    def test_retries_only_transient(self):
+        p = RetryPolicy(max_attempts=3)
+        assert p.should_retry(TransientDPError("x"), 1)
+        assert p.should_retry(ProbeTimeoutError("x"), 1)
+        assert not p.should_retry(MemoryError("x"), 1)
+        assert not p.should_retry(ValueError("x"), 1)
+
+    def test_budget_exhausts(self):
+        p = RetryPolicy(max_attempts=3)
+        assert p.should_retry(TransientDPError("x"), 2)
+        assert not p.should_retry(TransientDPError("x"), 3)
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(InvalidInstanceError):
+            RetryPolicy(backoff_factor=0.5)

@@ -1,0 +1,76 @@
+"""Property-based guarantees of the resilience layer (hypothesis).
+
+The central invariant: transient faults that clear within the retry
+budget are **invisible** — same makespan, same final target, same
+schedule as the fault-free run — for any instance and any injector
+seed.  Plus deterministic replay: the same seed injects the same
+faults, run after run.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.executor import SequentialExecutor
+from repro.core.instance import Instance
+from repro.core.ptas import ptas_schedule
+from repro.resilience import FaultInjector, ResiliencePolicy, RetryPolicy
+
+instances = st.builds(
+    Instance,
+    times=st.lists(st.integers(1, 40), min_size=3, max_size=10).map(tuple),
+    machines=st.integers(2, 4),
+)
+
+
+def run_with_faults(inst, seed, eps=0.4):
+    injector = FaultInjector(
+        seed=seed, rate=0.5, kinds=("dperror", "crash"),
+        sites=("dp", "probe"), max_failures=2,
+    )
+    # Two armed sites x max_failures=2: a probe can fail 4 times, so
+    # 5 attempts guarantee it clears (see the faults module docstring).
+    policy = ResiliencePolicy(faults=injector, retry=RetryPolicy(max_attempts=5))
+    executor = SequentialExecutor(resilience=policy)
+    result = ptas_schedule(inst, eps=eps, executor=executor)
+    return result, injector
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(inst=instances, seed=st.integers(0, 2**32 - 1))
+def test_transient_faults_never_change_makespans(inst, seed):
+    # Every faulted probe clears within its retry budget (2 sites x
+    # max_failures=2 < max_attempts=5), so recovery must be perfect.
+    clean = ptas_schedule(inst, eps=0.4)
+    faulted, _ = run_with_faults(inst, seed)
+    assert faulted.makespan == clean.makespan
+    assert faulted.final_target == clean.final_target
+    assert faulted.schedule.assignment == clean.schedule.assignment
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(inst=instances, seed=st.integers(0, 2**32 - 1))
+def test_fault_injection_replays_deterministically(inst, seed):
+    _, first = run_with_faults(inst, seed)
+    _, second = run_with_faults(inst, seed)
+    assert first.replay_signature() == second.replay_signature()
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(inst=instances, seed=st.integers(0, 2**32 - 1))
+def test_backoff_is_charged_when_faults_fire(inst, seed):
+    from repro.observability import Tracer
+
+    injector = FaultInjector(
+        seed=seed, rate=0.5, kinds=("dperror",), sites=("dp",), max_failures=2
+    )
+    policy = ResiliencePolicy(faults=injector, retry=RetryPolicy(max_attempts=3))
+    executor = SequentialExecutor(resilience=policy)
+    tracer = Tracer()
+    ptas_schedule(inst, eps=0.4, executor=executor, trace=tracer)
+    retries = tracer.counters.get("resilience.retry", 0)
+    backoff = tracer.counters.get("resilience.backoff_s", 0.0)
+    assert (retries > 0) == (len(injector.events) > 0)
+    assert (backoff > 0) == (retries > 0)

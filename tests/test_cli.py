@@ -199,3 +199,103 @@ class TestFileIO:
     def test_fig1_exhibit(self, capsys):
         assert main(["experiment", "fig1"]) == 0
         assert "core" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """The documented exit-code taxonomy (docs/RELIABILITY.md)."""
+
+    def test_invalid_instance_is_3(self, capsys):
+        code = main(["schedule", "--machines", "0", "--times", "5", "6"])
+        assert code == 3
+        assert "invalid instance" in capsys.readouterr().err
+
+    def test_memory_budget_exceeded_is_5(self, capsys):
+        code = main(["schedule", "--machines", "3", "--times", "5", "7", "3",
+                     "9", "4", "6", "2", "--memory-budget", "16"])
+        assert code == 5
+        assert "memory budget" in capsys.readouterr().err
+
+    def test_backend_failure_is_4(self, capsys):
+        # Deterministic oom on every dp fill, no retries to absorb it.
+        code = main(["schedule", "--machines", "3", "--times", "5", "7", "3",
+                     "9", "4", "6", "2", "--inject-faults",
+                     "seed=0,rate=1.0,kinds=oom,sites=dp,max=1000000"])
+        assert code == 4
+        assert "backend failure" in capsys.readouterr().err
+
+    def test_unknown_backend_stays_usage_error(self, capsys):
+        code = main(["schedule", "--machines", "2", "--times", "5", "6",
+                     "--backend", "no-such-backend"])
+        assert code == 2
+
+    def test_byte_suffix_parsing(self):
+        from repro.cli import parse_bytes
+
+        assert parse_bytes("4096") == 4096
+        assert parse_bytes("64KiB") == 64 * 1024
+        assert parse_bytes("16MB") == 16 * 10**6
+        assert parse_bytes("2gib") == 2 * 2**30
+        with pytest.raises(Exception):
+            parse_bytes("lots")
+
+
+class TestResilienceFlags:
+    def test_faults_with_retries_still_succeeds(self, capsys):
+        code = main(["schedule", "--machines", "3", "--times", "5", "7", "3",
+                     "9", "4", "6", "2", "--inject-faults",
+                     "seed=3,rate=0.4,kinds=dperror|crash,sites=dp|probe,max=1",
+                     "--retries", "5"])
+        assert code == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_fault_injection_is_deterministic(self, capsys):
+        args = ["schedule", "--machines", "3", "--times", "5", "7", "3", "9",
+                "4", "6", "2", "--inject-faults",
+                "seed=11,rate=0.5,kinds=dperror,sites=dp,max=1",
+                "--retries", "4"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bad_fault_spec_is_usage_error(self, capsys):
+        code = main(["schedule", "--machines", "2", "--times", "5", "6",
+                     "--inject-faults", "seed=1,bogus=2"])
+        assert code == 2
+
+
+class TestBatchCommand:
+    def test_healthy_batch_exits_zero(self, capsys):
+        code = main(["batch", "--requests", "2", "--jobs", "8",
+                     "--machines", "3", "--seed", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("makespan") >= 2 and "0 degraded" in out
+
+    def test_degraded_batch_exits_six(self, capsys):
+        code = main(["batch", "--requests", "2", "--jobs", "8",
+                     "--machines", "3", "--backend", "fallback",
+                     "--inject-faults",
+                     "seed=1,rate=1.0,kinds=oom,"
+                     "sites=dp.auto|dp.sweep|dp.vectorized,max=1000000"])
+        assert code == 6
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out and "2 degraded" in out
+
+    def test_no_degrade_turns_failure_into_exit_four(self, capsys):
+        code = main(["batch", "--requests", "2", "--jobs", "8",
+                     "--machines", "3", "--backend", "fallback",
+                     "--no-degrade", "--inject-faults",
+                     "seed=1,rate=1.0,kinds=oom,"
+                     "sites=dp.auto|dp.sweep|dp.vectorized,max=1000000"])
+        assert code == 4
+        assert "backend failure" in capsys.readouterr().err
+
+    def test_batch_memory_budget_degrades(self, capsys):
+        code = main(["batch", "--requests", "2", "--jobs", "8",
+                     "--machines", "3", "--memory-budget", "1"])
+        assert code == 6
+        assert "DEGRADED" in capsys.readouterr().out
+
+    def test_bad_request_count_is_usage_error(self, capsys):
+        assert main(["batch", "--requests", "0"]) == 2
