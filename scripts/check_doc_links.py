@@ -40,6 +40,7 @@ REQUIRED_DOCS = (
     "docs/API.md",
     "docs/PERFORMANCE.md",
     "docs/RELIABILITY.md",
+    "docs/SERVICE.md",
     "docs/SIMULATOR.md",
     "docs/THEORY.md",
 )

@@ -1,12 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands:
+Five commands:
 
 * ``schedule`` — run the PTAS (and the classical baselines) on an
   instance given inline or generated at random;
 * ``batch`` — run a fleet of random instances through the
   :class:`~repro.service.batch.BatchScheduler`, with the resilience
   knobs (fault injection, memory budget, retries, deadlines) exposed;
+* ``serve`` — start the always-on asyncio
+  :class:`~repro.service.daemon.SchedulingService` and drive it with a
+  reproducible open-loop Poisson workload (``docs/SERVICE.md``),
+  printing latency percentiles, the coalescing hit rate, and the live
+  introspection snapshot;
 * ``engines`` — fill one DP probe on every simulated engine and print
   the simulated-time comparison (a miniature Fig. 3 row);
 * ``experiment`` — regenerate a paper exhibit at reduced scale and
@@ -14,8 +19,9 @@ Four commands:
 
 Exit codes (``docs/RELIABILITY.md``): 0 success, 2 usage error
 (bad flags, unknown backend), 3 invalid instance, 4 backend failure,
-5 memory budget exceeded, 6 batch succeeded but served at least one
-degraded (baseline) result.
+5 memory budget exceeded, 6 the run succeeded but served at least one
+degraded (baseline) result, 7 the service shutdown drain timed out
+with requests still in flight.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ EXIT_INVALID_INSTANCE = 3
 EXIT_BACKEND_FAILURE = 4
 EXIT_BUDGET = 5
 EXIT_DEGRADED = 6
+EXIT_SHUTDOWN_TIMEOUT = 7
 
 _SIZE_SUFFIXES = {
     "k": 10**3, "m": 10**6, "g": 10**9,
@@ -217,6 +224,59 @@ def _build_parser() -> argparse.ArgumentParser:
              "serving a bounded LPT/MULTIFIT answer for that request",
     )
     _add_resilience_flags(p_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the always-on scheduling service under an open-loop "
+             "Poisson workload (docs/SERVICE.md)",
+    )
+    p_serve.add_argument(
+        "--requests", type=int, default=32, metavar="N",
+        help="number of requests in the generated workload",
+    )
+    p_serve.add_argument(
+        "--arrival-rate", type=float, default=50.0, metavar="HZ",
+        help="open-loop Poisson arrival rate (requests per second)",
+    )
+    p_serve.add_argument(
+        "--duplicate-fraction", type=float, default=0.3, metavar="F",
+        help="fraction of arrivals that re-submit an earlier instance "
+             "(the coalescing pressure)",
+    )
+    p_serve.add_argument("--jobs", type=int, default=20)
+    p_serve.add_argument("--machines", type=int, default=4)
+    p_serve.add_argument("--low", type=int, default=1)
+    p_serve.add_argument("--high", type=int, default=100)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--eps", type=float, default=0.3)
+    p_serve.add_argument(
+        "--backend", default="auto", metavar="NAME",
+        help="registry backend for every request (as for 'batch')",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4,
+        help="concurrent pipeline executions inside the daemon",
+    )
+    p_serve.add_argument(
+        "--quota", type=int, default=None, metavar="N",
+        help="per-tenant in-flight admission quota (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--time-scale", type=float, default=1.0, metavar="S",
+        help="multiply every arrival offset by S (e.g. 0.1 compresses "
+             "a long trace into a smoke test)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="SECONDS",
+        help="cap the shutdown drain; on expiry in-flight work is "
+             "abandoned and the process exits 7",
+    )
+    p_serve.add_argument(
+        "--stats-json", metavar="PATH",
+        help="write the final introspection snapshot (service stats, "
+             "latency percentiles, cache tallies) to PATH as JSON",
+    )
+    _add_resilience_flags(p_serve)
 
     p_eng = sub.add_parser(
         "engines", help="compare simulated engines on one DP probe"
@@ -445,6 +505,94 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return EXIT_DEGRADED if report.degraded_count else EXIT_OK
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import BackendError, InvalidInstanceError
+    from repro.resilience import FaultInjector, RetryPolicy, TenantQuota
+    from repro.service import LoadProfile, SchedulingService, run_load
+
+    try:
+        profile = LoadProfile(
+            requests=args.requests,
+            arrival_rate_hz=args.arrival_rate,
+            jobs=args.jobs,
+            machines=args.machines,
+            low=args.low,
+            high=args.high,
+            eps=args.eps,
+            seed=args.seed,
+            duplicate_fraction=args.duplicate_fraction,
+        )
+        faults = (
+            FaultInjector.from_spec(args.inject_faults)
+            if args.inject_faults
+            else None
+        )
+        retry = RetryPolicy(max_attempts=args.retries) if args.retries else None
+        quota = TenantQuota(args.quota) if args.quota is not None else None
+        service = SchedulingService(
+            backend=args.backend,
+            workers=args.workers,
+            eps=args.eps,
+            quota=quota,
+            faults=faults,
+            retry=retry,
+            deadline_s=args.probe_deadline,
+            memory_budget_bytes=args.memory_budget,
+        )
+    except (BackendError, InvalidInstanceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    async def _run():
+        await service.start()
+        try:
+            report = await run_load(service, profile, time_scale=args.time_scale)
+        finally:
+            clean = await service.shutdown(timeout_s=args.drain_timeout)
+        return report, clean
+
+    report, clean = asyncio.run(_run())
+
+    latency = report.stats.get("latency", {})
+    print(
+        f"serve: {report.submitted} requests, "
+        f"{report.coalesced} coalesced "
+        f"(hit rate {report.coalescing_hit_rate:.2f}), "
+        f"{report.degraded} degraded, "
+        f"{report.bound_first_violations} bound-first violations, "
+        f"{report.wall_s:.2f}s wall"
+    )
+    for stage in ("bound", "refined"):
+        summary = latency.get(stage)
+        if summary and summary.get("count"):
+            print(
+                f"{stage:>8}: p50 {summary['p50_ms']:.2f} ms, "
+                f"p95 {summary['p95_ms']:.2f} ms, "
+                f"p99 {summary['p99_ms']:.2f} ms "
+                f"({summary['count']} samples)"
+            )
+    if not clean:
+        print(
+            "error: shutdown drain timed out with requests in flight",
+            file=sys.stderr,
+        )
+    if args.stats_json:
+        import json
+
+        try:
+            with open(args.stats_json, "w") as fh:
+                json.dump(report.as_dict(), fh, indent=2)
+        except OSError as exc:
+            print(f"error: cannot write stats file: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        print(f"stats written to {args.stats_json}")
+    if not clean:
+        return EXIT_SHUTDOWN_TIMEOUT
+    return EXIT_DEGRADED if report.degraded else EXIT_OK
+
+
 def _cmd_engines(args: argparse.Namespace) -> int:
     from repro.backends import iter_backends, resolve
     from repro.core.bounds import makespan_bounds
@@ -545,6 +693,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_schedule(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "engines":
         return _cmd_engines(args)
     return _cmd_experiment(args)

@@ -7,12 +7,37 @@ exact branch-and-bound used by the tests to verify the PTAS's
 ``(1 + eps)`` guarantee against the true optimum.
 """
 
+from typing import Tuple
+
 from repro.core.baselines.listsched import list_schedule
 from repro.core.baselines.lpt import lpt_bound, lpt_schedule
 from repro.core.baselines.multifit import multifit_bound, multifit_schedule
 from repro.core.baselines.exact import branch_and_bound_optimal
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+
+
+def best_baseline(instance: Instance) -> Tuple[Schedule, str, float]:
+    """The better of LPT and MULTIFIT for ``instance``.
+
+    Returns ``(schedule, name, proven_bound)`` where ``name`` is
+    ``"lpt"`` or ``"multifit"`` and ``proven_bound`` is that
+    heuristic's approximation ratio versus the optimal makespan.  This
+    is the shared "bounded answer, cheaply" primitive: the batch
+    service degrades to it when every backend fails, and the streaming
+    daemon serves it as the immediate bound-first response while the
+    PTAS refinement is still in flight.  Ties go to MULTIFIT (the
+    tighter proven ratio, 13/11 vs. ``4/3 - 1/(3m)``).
+    """
+    lpt = lpt_schedule(instance)
+    mf = multifit_schedule(instance)
+    if mf.makespan <= lpt.makespan:
+        return mf, "multifit", multifit_bound()
+    return lpt, "lpt", lpt_bound(instance.machines)
+
 
 __all__ = [
+    "best_baseline",
     "list_schedule",
     "lpt_bound",
     "lpt_schedule",

@@ -77,6 +77,9 @@ from repro.observability import context as obs
 #: Normalized probe key: (class-index vector, counts, scaled target).
 NormalizedKey = Tuple[Tuple[int, ...], Tuple[int, ...], int]
 
+#: Normalized request key: (instance, accuracy k, search, backend).
+RequestKey = Tuple[Instance, int, str, Optional[str]]
+
 #: Sentinel distinguishing "not cached" from a cached falsy artifact.
 _MISS = object()
 
@@ -213,6 +216,31 @@ def normalized_probe_key(rounded: RoundedInstance) -> NormalizedKey:
     unit = rounded.unit
     indices = tuple(s // unit for s in rounded.class_sizes)
     return (indices, rounded.counts, rounded.target // unit)
+
+
+def normalized_request_key(
+    instance: Instance,
+    eps: float,
+    search: str,
+    backend: Optional[str] = None,
+) -> RequestKey:
+    """The coalescing identity of one *whole scheduling request*.
+
+    Two requests with this key produce bit-identical PTAS outcomes, so
+    an in-flight pipeline can be shared between them (the always-on
+    service's request coalescer keys its in-flight table on this).
+
+    The key extends the probe-level normalization one level up: ``eps``
+    enters the scheduling path only through the accuracy parameter
+    ``k = ceil(1/eps)`` (rounding, configuration enumeration, and the
+    DP all see ``k``, never ``eps`` itself — the same collapse
+    :meth:`ProbeCache.rounding` exploits), so requests at different
+    ``eps`` with equal ``k`` coalesce.  The search strategy and backend
+    stay in the key: both searches converge to the same final target
+    but keep different best-schedule tie-breaks and iteration counts,
+    and simulated backends charge different modelled time.
+    """
+    return (instance, accuracy_k(eps), str(search), backend)
 
 
 class ProbeCache:

@@ -114,6 +114,26 @@ class ProbeTimeoutError(ReproError):
     """
 
 
+class QuotaExceededError(ReproError):
+    """A tenant's admission quota refused a service request.
+
+    Raised by :class:`repro.resilience.TenantQuota` (consulted by the
+    always-on scheduling service) when a tenant already has its maximum
+    number of requests queued or running.  Deliberately *not* transient:
+    retrying immediately would re-hit the same full quota — back off and
+    resubmit, or raise the tenant's limit.
+    """
+
+
+class ServiceClosedError(ReproError):
+    """A request was submitted to a scheduling service that is shutting down.
+
+    The always-on daemon (:class:`repro.service.SchedulingService`)
+    raises this from ``submit`` once ``shutdown``/``drain`` has begun;
+    requests admitted before the shutdown still complete.
+    """
+
+
 class MemoryBudgetExceeded(ReproError):
     """Admission control rejected a probe before any allocation.
 

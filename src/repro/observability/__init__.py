@@ -53,6 +53,11 @@ from repro.observability.context import (
     record_probe,
 )
 from repro.observability.report import render_profile
+from repro.observability.service_metrics import (
+    LatencyRecorder,
+    ServiceMetrics,
+    percentile,
+)
 from repro.observability.timers import PhaseTimer
 from repro.observability.trace import (
     NullSink,
@@ -77,4 +82,7 @@ __all__ = [
     "add_time",
     "record_probe",
     "render_profile",
+    "LatencyRecorder",
+    "ServiceMetrics",
+    "percentile",
 ]

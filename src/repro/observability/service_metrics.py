@@ -1,0 +1,183 @@
+"""Service-level metrics: latency distributions and live gauges.
+
+The probe-level observability stack (:class:`~repro.observability.Tracer`
+and the ambient counters) answers *where one request's time went*.  A
+long-lived scheduling daemon needs a second altitude: how long do
+requests wait end to end, what fraction coalesce, how deep are the
+queues *right now*.  This module provides the two pieces the daemon's
+introspection surface is built from:
+
+* :class:`LatencyRecorder` — a bounded reservoir of per-request
+  latencies with exact percentiles (p50/p95/p99), one per served stage
+  (``bound`` — the immediate LPT/MULTIFIT answer; ``refined`` — the
+  PTAS result).  The same summaries feed ``BENCH_service.json``.
+* :class:`ServiceMetrics` — thread-safe named counters plus a registry
+  of latency recorders, with a single JSON-ready :meth:`snapshot`.
+
+Both are deliberately independent of the ambient tracer: the daemon
+serves many concurrent requests whose tracers come and go, while these
+metrics live as long as the service does.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+from typing import Dict, List, Optional
+
+#: The percentiles every latency summary reports.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(sorted_values: List[float], pct: float) -> float:
+    """Exact (nearest-rank, linear-interpolated) percentile of a sorted list.
+
+    The standard "linear" method (numpy's default): rank
+    ``(len-1) * pct/100`` interpolated between its neighbours.  Raises
+    ``ValueError`` on an empty list — a latency summary with no samples
+    has no percentiles, and silently returning 0 would fabricate an
+    SLO.
+    """
+    if not sorted_values:
+        raise ValueError("cannot take a percentile of zero samples")
+    if not (0.0 <= pct <= 100.0):
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    rank = (len(sorted_values) - 1) * (pct / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+class LatencyRecorder:
+    """Bounded, sorted reservoir of latency samples with exact percentiles.
+
+    Samples insert in sorted order (``bisect.insort``), so percentile
+    reads are O(1) indexing and :meth:`summary` never sorts.  Past
+    ``capacity`` samples the *earliest-inserted* are forgotten
+    (tracked by insertion order, evicted from the sorted view), which
+    keeps a week-long daemon's memory bounded while the reported
+    distribution follows the recent workload.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._sorted: List[float] = []
+        self._arrival: List[float] = []  # insertion order, for eviction
+        self._count = 0  # lifetime samples, never decremented
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (negative samples are a caller bug)."""
+        if seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {seconds}")
+        value = float(seconds)
+        with self._lock:
+            insort(self._sorted, value)
+            self._arrival.append(value)
+            self._count += 1
+            self._total += value
+            if len(self._arrival) > self.capacity:
+                oldest = self._arrival.pop(0)
+                # Remove one occurrence of the oldest sample from the
+                # sorted view; identical values are interchangeable.
+                idx = self._find(oldest)
+                self._sorted.pop(idx)
+
+    def _find(self, value: float) -> int:
+        lo, hi = 0, len(self._sorted)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._sorted[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    @property
+    def count(self) -> int:
+        """Lifetime number of samples recorded (eviction never lowers it)."""
+        with self._lock:
+            return self._count
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-ready ``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}``.
+
+        Latencies are reported in **milliseconds** (the natural unit at
+        service scale).  An empty recorder summarizes to
+        ``{"count": 0}`` only — no fabricated zeros.
+        """
+        with self._lock:
+            if not self._sorted:
+                return {"count": 0}
+            out: Dict[str, float] = {
+                "count": self._count,
+                "mean_ms": round(1e3 * self._total / self._count, 4),
+                "max_ms": round(1e3 * self._sorted[-1], 4),
+            }
+            for pct in PERCENTILES:
+                out[f"p{pct:g}_ms"] = round(
+                    1e3 * percentile(self._sorted, pct), 4
+                )
+            return out
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency recorders for one service instance.
+
+    Counters are plain monotonic tallies (``submitted``, ``coalesced``,
+    ``completed.refined``, ...); latency recorders are created lazily
+    per stage name.  :meth:`snapshot` renders everything JSON-ready in
+    one locked pass — the payload behind the daemon's introspection
+    endpoint and the load-test harness's report.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self._latencies: Dict[str, LatencyRecorder] = {}
+        self._lock = threading.Lock()
+
+    def count(self, name: str, delta: float = 1) -> None:
+        """Add ``delta`` to counter ``name``."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + delta
+
+    def get(self, name: str) -> float:
+        """Current value of counter ``name`` (0 when never counted)."""
+        with self._lock:
+            return self.counters.get(name, 0)
+
+    def latency(self, stage: str) -> LatencyRecorder:
+        """The (lazily created) latency recorder for ``stage``."""
+        with self._lock:
+            recorder = self._latencies.get(stage)
+            if recorder is None:
+                recorder = self._latencies[stage] = LatencyRecorder()
+            return recorder
+
+    def record_latency(self, stage: str, seconds: float) -> None:
+        """Record one ``stage`` latency sample."""
+        self.latency(stage).record(seconds)
+
+    def ratio(self, numerator: str, denominator: str) -> Optional[float]:
+        """``counters[numerator] / counters[denominator]`` or ``None``.
+
+        The coalescing hit rate is ``ratio("coalesced", "submitted")``.
+        """
+        denom = self.get(denominator)
+        if not denom:
+            return None
+        return self.get(numerator) / denom
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view: counters plus per-stage latency summaries."""
+        with self._lock:
+            counters = dict(self.counters)
+            stages = dict(self._latencies)
+        return {
+            "counters": counters,
+            "latency": {name: rec.summary() for name, rec in sorted(stages.items())},
+        }

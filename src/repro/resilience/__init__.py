@@ -35,7 +35,7 @@ Typical chaos-test wiring::
     result = ptas_schedule(inst, executor=executor)   # same makespan, tested
 """
 
-from repro.resilience.admission import AdmissionController
+from repro.resilience.admission import AdmissionController, TenantQuota
 from repro.resilience.fallback import FallbackChain
 from repro.resilience.faults import FAULT_KINDS, FaultEvent, FaultInjector
 from repro.resilience.policy import ResiliencePolicy
@@ -49,6 +49,7 @@ __all__ = [
     "FaultInjector",
     "ResiliencePolicy",
     "RetryPolicy",
+    "TenantQuota",
     "TRANSIENT_TYPES",
     "is_transient",
 ]

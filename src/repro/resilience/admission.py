@@ -26,12 +26,17 @@ bounded baseline answer instead of erroring the request).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.core.dp_common import estimate_fill_bytes
 from repro.dptable.table import TableGeometry
-from repro.errors import InvalidInstanceError, MemoryBudgetExceeded
+from repro.errors import (
+    InvalidInstanceError,
+    MemoryBudgetExceeded,
+    QuotaExceededError,
+)
 from repro.observability import context as obs
 
 
@@ -89,3 +94,97 @@ class AdmissionController:
         ``- 1`` when reconstructing the count vector.
         """
         return self.admit([s - 1 for s in geometry.shape], value_bound=value_bound)
+
+
+class TenantQuota:
+    """Per-tenant in-flight admission quota for the scheduling service.
+
+    The byte-budget :class:`AdmissionController` protects the process
+    from one oversized *probe*; this gate protects it from one noisy
+    *tenant* — a client that floods the always-on service's queues and
+    starves everyone else.  Each tenant may hold at most ``limit``
+    requests admitted (queued or running) at once; an over-quota
+    ``acquire`` raises :class:`~repro.errors.QuotaExceededError` and
+    counts ``quota.rejected`` — the request is refused before any queue
+    slot, bound computation, or probe work exists, mirroring the
+    admission controller's refuse-before-allocating discipline.
+
+    Parameters
+    ----------
+    default_limit:
+        In-flight ceiling for tenants without an explicit entry;
+        ``None`` means unlimited (the quota still tracks occupancy for
+        introspection).
+    per_tenant:
+        Optional ``{tenant: limit}`` overrides.
+    """
+
+    def __init__(
+        self,
+        default_limit: Optional[int] = None,
+        per_tenant: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        if default_limit is not None and default_limit < 1:
+            raise InvalidInstanceError(
+                f"default_limit must be >= 1 (or None), got {default_limit}"
+            )
+        for tenant, limit in (per_tenant or {}).items():
+            if limit < 1:
+                raise InvalidInstanceError(
+                    f"limit for tenant {tenant!r} must be >= 1, got {limit}"
+                )
+        self.default_limit = default_limit
+        self.per_tenant = dict(per_tenant or {})
+        self._in_flight: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def limit_for(self, tenant: str) -> Optional[int]:
+        """The in-flight ceiling applying to ``tenant`` (None = unlimited)."""
+        return self.per_tenant.get(tenant, self.default_limit)
+
+    def acquire(self, tenant: str) -> None:
+        """Admit one request for ``tenant`` or refuse it.
+
+        Raises :class:`~repro.errors.QuotaExceededError` (and counts
+        ``quota.rejected``) when the tenant is already at its limit;
+        otherwise the tenant's occupancy is incremented (and
+        ``quota.admitted`` counted) — pair every successful ``acquire``
+        with exactly one :meth:`release`.
+        """
+        limit = self.limit_for(tenant)
+        with self._lock:
+            held = self._in_flight.get(tenant, 0)
+            if limit is not None and held >= limit:
+                refused = True
+            else:
+                refused = False
+                self._in_flight[tenant] = held + 1
+        if refused:
+            obs.count("quota.rejected")
+            raise QuotaExceededError(
+                f"tenant {tenant!r} already has {held} request(s) in flight "
+                f"(limit {limit}); back off and resubmit, or raise the "
+                "tenant's quota"
+            )
+        obs.count("quota.admitted")
+
+    def release(self, tenant: str) -> None:
+        """Return one admitted slot for ``tenant`` (request finished)."""
+        with self._lock:
+            held = self._in_flight.get(tenant, 0)
+            if held <= 1:
+                self._in_flight.pop(tenant, None)
+            else:
+                self._in_flight[tenant] = held - 1
+
+    def in_flight(self, tenant: Optional[str] = None) -> int:
+        """Currently admitted requests, for one tenant or in total."""
+        with self._lock:
+            if tenant is not None:
+                return self._in_flight.get(tenant, 0)
+            return sum(self._in_flight.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        """``{tenant: in-flight count}`` for every occupied tenant."""
+        with self._lock:
+            return dict(self._in_flight)

@@ -1,12 +1,24 @@
 """repro.service — production front-ends over the scheduling core.
 
 The paper's algorithm solves one instance; a deployment serves a
-*stream* of them.  :mod:`repro.service.batch` is the first front-end:
-a :class:`~repro.service.batch.BatchScheduler` that fans a batch of
-scheduling requests across a thread pool, shares one
-:class:`~repro.core.probe_cache.ProbeCache` between them, and merges
-every request's trace into a single aggregate report — deterministic
-results regardless of worker count (tested).
+*stream* of them.  Two front-ends share one engine room:
+
+* :class:`~repro.service.batch.BatchScheduler` — the one-shot shape:
+  fan a batch of requests across a thread pool, share one
+  :class:`~repro.core.probe_cache.ProbeCache`, merge every request's
+  trace into a deterministic aggregate report.
+* :class:`~repro.service.daemon.SchedulingService` — the always-on
+  shape: a long-lived asyncio daemon with priority queues, per-tenant
+  admission quotas, request coalescing (identical in-flight requests
+  share one pipeline run), and bound-first streaming results (an
+  immediate LPT/MULTIFIT answer with its proven ratio, then the PTAS
+  refinement on the same handle).  See ``docs/SERVICE.md``.
+
+Both drive the same :class:`~repro.service.pipeline.ProbePipeline`,
+so a request produces bit-identical results whichever front door it
+entered through (tested).  :mod:`repro.service.loadgen` is the
+open-loop Poisson load harness behind ``python -m repro serve`` and
+``benchmarks/test_bench_service.py``.
 """
 
 from repro.service.batch import (
@@ -15,10 +27,34 @@ from repro.service.batch import (
     BatchRequestResult,
     BatchScheduler,
 )
+from repro.service.daemon import (
+    BoundResult,
+    Priority,
+    SchedulingService,
+    ServiceHandle,
+)
+from repro.service.loadgen import (
+    Arrival,
+    LoadProfile,
+    LoadReport,
+    generate_arrivals,
+    run_load,
+)
+from repro.service.pipeline import ProbePipeline
 
 __all__ = [
     "BatchScheduler",
     "BatchRequest",
     "BatchRequestResult",
     "BatchReport",
+    "BoundResult",
+    "Priority",
+    "ProbePipeline",
+    "SchedulingService",
+    "ServiceHandle",
+    "Arrival",
+    "LoadProfile",
+    "LoadReport",
+    "generate_arrivals",
+    "run_load",
 ]

@@ -43,39 +43,14 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.backends import get_spec, resolve
-from repro.core.baselines import (
-    lpt_bound,
-    lpt_schedule,
-    multifit_bound,
-    multifit_schedule,
-)
-from repro.core.executor import default_executor
 from repro.core.instance import Instance
 from repro.core.probe_cache import CacheStats, PlanCache, ProbeCache
-from repro.core.ptas import PtasResult, ptas_schedule
+from repro.core.ptas import PtasResult
 from repro.core.schedule import Schedule
-from repro.errors import BackendError, InvalidInstanceError, ReproError
+from repro.errors import InvalidInstanceError
 from repro.observability import Tracer
-from repro.resilience import (
-    AdmissionController,
-    FaultInjector,
-    ResiliencePolicy,
-    RetryPolicy,
-)
-
-
-def _require_schedule_capable(name: str):
-    """Resolve ``name``'s spec, refusing decision-only backends loudly."""
-    spec = get_spec(name)
-    if spec.decision_only:
-        raise BackendError(
-            f"backend {name!r} is decision-only (it answers OPT(N) <= m "
-            "without a backtrackable table) and cannot produce the "
-            "schedules the batch service exists to build — pick a "
-            "table-producing backend such as 'auto' or 'vectorized'"
-        )
-    return spec
+from repro.resilience import FaultInjector, RetryPolicy
+from repro.service.pipeline import ProbePipeline, build_resilience
 
 
 @dataclass(frozen=True)
@@ -295,48 +270,57 @@ class BatchScheduler:
     ) -> None:
         if workers < 1:
             raise InvalidInstanceError(f"workers must be >= 1, got {workers}")
-        _require_schedule_capable(backend)  # fail fast, before any work
         self.backend = backend
         self.workers = int(workers)
-        self.cache: Optional[ProbeCache] = (
-            ProbeCache() if cache is ... else cache
+        # The request-execution machinery is shared with the always-on
+        # daemon (repro.service.daemon): both front-ends drive the same
+        # ProbePipeline, which owns the resilience policy, the shared
+        # plan cache (plans are pure structure, so sharing is always
+        # sound — even when the probe cache is off or share_dp=False
+        # keeps simulated timing honest), and degradation.
+        resilience, faults = build_resilience(
+            faults=faults,
+            retry=retry,
+            deadline_s=deadline_s,
+            memory_budget_bytes=memory_budget_bytes,
         )
-        # Resilience (docs/RELIABILITY.md): an armed fault injector with
-        # no explicit retry policy still gets bounded retries — that is
-        # the configuration the chaos tests run, and retrying transient
-        # faults is what makes them invisible in the results.
-        if faults is not None and retry is None:
-            retry = RetryPolicy()
-        self.faults = faults
-        self.degrade = bool(degrade)
-        admission = (
-            AdmissionController(memory_budget_bytes)
-            if memory_budget_bytes is not None
-            else None
+        self.pipeline = ProbePipeline(
+            backend=backend,
+            cache=ProbeCache() if cache is ... else cache,
+            resilience=resilience,
+            faults=faults,
+            degrade=bool(degrade),
         )
-        if (
-            faults is not None
-            or retry is not None
-            or deadline_s is not None
-            or admission is not None
-        ):
-            self.resilience: Optional[ResiliencePolicy] = ResiliencePolicy(
-                faults=faults,
-                retry=retry,
-                deadline_s=deadline_s,
-                admission=admission,
-            )
-        else:
-            self.resilience = None
-        # One plan cache per scheduler, shared by every plan-aware
-        # request of every batch: plans are pure structure, so sharing
-        # is always sound — even when the probe cache is off or
-        # share_dp=False keeps simulated timing honest (the time to
-        # *execute* a schedule is still charged per probe; only its
-        # derivation is reused).
-        self.plan_cache = PlanCache()
         self.search = search
         self.eps = eps
+
+    # Historical accessors: the caches, knobs, and policy now live on
+    # the shared pipeline; these properties keep the original surface.
+
+    @property
+    def cache(self) -> Optional[ProbeCache]:
+        """The shared probe cache (``None`` when reuse is disabled)."""
+        return self.pipeline.cache
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The shared plan cache every plan-aware request reuses."""
+        return self.pipeline.plan_cache
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        """The armed fault injector, if any."""
+        return self.pipeline.faults
+
+    @property
+    def resilience(self):
+        """The pipeline's :class:`~repro.resilience.ResiliencePolicy`."""
+        return self.pipeline.resilience
+
+    @property
+    def degrade(self) -> bool:
+        """Whether failed requests are served bounded baseline answers."""
+        return self.pipeline.degrade
 
     # -- request execution --------------------------------------------------
 
@@ -362,95 +346,8 @@ class BatchScheduler:
         )
 
     def _run_one(self, request: BatchRequest) -> tuple[BatchRequestResult, Tracer]:
-        """Execute one request with a fresh solver, executor, and tracer.
-
-        Plan-aware backends receive the scheduler's shared
-        :class:`~repro.core.probe_cache.PlanCache`, so requests whose
-        probes round to the same structure reuse one probe plan.
-        """
-        name = request.backend or self.backend
-        kwargs: Dict[str, object] = {}
-        if _require_schedule_capable(name).plan_aware:
-            kwargs["plan_cache"] = self.plan_cache
-        if self.faults is not None and (
-            name == "fallback" or name.startswith("fallback:")
-        ):
-            # Chains check each member at site "dp.<member>", letting
-            # chaos tests poison one named member of the chain.
-            kwargs["faults"] = self.faults
-        solver = resolve(name, **kwargs)
-        executor = default_executor(solver, resilience=self.resilience)
-        tracer = Tracer()
-        start = time.perf_counter()
-        try:
-            result = ptas_schedule(
-                request.instance,
-                eps=request.eps,
-                dp_solver=solver,
-                search=request.search,
-                cache=self.cache,
-                trace=tracer,
-                executor=executor,
-            )
-        except (ReproError, MemoryError) as exc:
-            if not self.degrade:
-                raise
-            wall = time.perf_counter() - start
-            return (
-                self._degraded_result(request, exc, executor.elapsed_s, wall, tracer),
-                tracer,
-            )
-        wall = time.perf_counter() - start
-        return (
-            BatchRequestResult(
-                name=request.name,
-                request=request,
-                result=result,
-                simulated_s=executor.elapsed_s,
-                wall_s=wall,
-            ),
-            tracer,
-        )
-
-    def _degraded_result(
-        self,
-        request: BatchRequest,
-        exc: BaseException,
-        simulated_s: float,
-        wall_s: float,
-        tracer: Tracer,
-    ) -> BatchRequestResult:
-        """A bounded baseline answer for a request whose backends all failed.
-
-        LPT guarantees ``4/3 - 1/(3m)`` and MULTIFIT ``13/11`` times the
-        optimal makespan; both are cheap enough to never fail on a valid
-        instance, so the batch still returns N results for N requests.
-        The better of the two is served, tagged ``degraded=True`` with
-        the error (and any fallback chain log) that forced it.
-        """
-        inst = request.instance
-        lpt = lpt_schedule(inst)
-        mf = multifit_schedule(inst)
-        if mf.makespan <= lpt.makespan:
-            schedule, by, bound = mf, "multifit", multifit_bound()
-        else:
-            schedule, by, bound = lpt, "lpt", lpt_bound(inst.machines)
-        chain = tuple(getattr(exc, "fault_chain", ()))
-        chain = chain + (f"{type(exc).__name__}: {exc}",)
-        tracer.count("resilience.degraded")
-        return BatchRequestResult(
-            name=request.name,
-            request=request,
-            result=None,
-            simulated_s=simulated_s,
-            wall_s=wall_s,
-            degraded=True,
-            error=f"{type(exc).__name__}: {exc}",
-            fault_chain=chain,
-            degraded_schedule=schedule,
-            degraded_by=by,
-            degraded_bound=bound,
-        )
+        """Execute one request on the shared :class:`ProbePipeline`."""
+        return self.pipeline.run(request)
 
     def run(
         self, items: Sequence[Union[BatchRequest, Instance]]
@@ -460,11 +357,16 @@ class BatchScheduler:
         Requests execute across the pool in submission order; results
         and the merged tracer are assembled in request order, so two
         runs of the same batch produce identical reports (up to wall
-        timings) at any worker count.
+        timings) at any worker count.  A zero-request batch is a valid
+        batch: it returns an empty report (no thread pool is spun up,
+        and ``as_dict()`` is fully formed) rather than asking callers
+        to special-case it.
         """
         requests = [self._as_request(item, i) for i, item in enumerate(items)]
         start = time.perf_counter()
-        if self.workers == 1:
+        if not requests:
+            outcomes: list[tuple[BatchRequestResult, Tracer]] = []
+        elif self.workers == 1:
             outcomes = [self._run_one(r) for r in requests]
         else:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:

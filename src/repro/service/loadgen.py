@@ -1,0 +1,214 @@
+"""Open-loop load generation for the always-on scheduling service.
+
+The serving question is not "how fast is one request" but "what
+latency do requests see *under load*" — and answering it honestly
+requires an **open-loop** arrival process: requests arrive on a
+Poisson clock regardless of whether earlier ones have finished (a
+closed loop, where the next request waits for the previous response,
+systematically hides queueing delay — the coordinated-omission trap).
+
+:func:`generate_arrivals` draws a deterministic, seeded workload —
+exponential inter-arrival gaps at ``arrival_rate_hz``, a mix of fresh
+and repeated instances (the repeats are the coalescing pressure), a
+tenant/priority mix — and :func:`run_load` plays it against a running
+:class:`~repro.service.daemon.SchedulingService`, recording for every
+request the bound-stage and refined-stage latencies and verifying the
+bound-before-refined streaming contract.  The summary it returns is
+what ``python -m repro serve`` prints and what
+``benchmarks/test_bench_service.py`` writes to
+``benchmarks/results/BENCH_service.json``.
+
+Determinism: the workload (instances, gaps, priorities, tenants,
+duplicate structure) is a pure function of the profile's ``seed``.
+The measured latencies of course are not — they are the measurement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.instance import Instance, uniform_instance
+from repro.errors import InvalidInstanceError
+from repro.service.daemon import Priority, SchedulingService, ServiceHandle
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """One reproducible open-loop workload.
+
+    ``duplicate_fraction`` of the arrivals (after the first) re-submit
+    a previously-generated instance with identical parameters — these
+    are the requests that *can* coalesce if they land while their twin
+    is still in flight.  ``priority_mix`` gives the sampling weights
+    for HIGH/NORMAL/LOW.
+    """
+
+    requests: int = 32
+    arrival_rate_hz: float = 50.0
+    jobs: int = 20
+    machines: int = 4
+    low: int = 1
+    high: int = 100
+    eps: float = 0.3
+    seed: int = 0
+    duplicate_fraction: float = 0.3
+    tenants: Tuple[str, ...] = ("tenant-a", "tenant-b")
+    priority_mix: Tuple[float, float, float] = (0.2, 0.6, 0.2)
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise InvalidInstanceError(
+                f"requests must be >= 1, got {self.requests}"
+            )
+        if self.arrival_rate_hz <= 0:
+            raise InvalidInstanceError(
+                f"arrival_rate_hz must be > 0, got {self.arrival_rate_hz}"
+            )
+        if not (0.0 <= self.duplicate_fraction <= 1.0):
+            raise InvalidInstanceError(
+                "duplicate_fraction must be in [0, 1], "
+                f"got {self.duplicate_fraction}"
+            )
+        if len(self.priority_mix) != 3 or min(self.priority_mix) < 0 or not sum(
+            self.priority_mix
+        ):
+            raise InvalidInstanceError(
+                f"priority_mix must be 3 non-negative weights, got {self.priority_mix}"
+            )
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request of the workload."""
+
+    at_s: float
+    instance: Instance
+    tenant: str
+    priority: Priority
+    #: index of the earlier arrival this one duplicates (None = fresh).
+    duplicate_of: Optional[int] = None
+
+
+def generate_arrivals(profile: LoadProfile) -> List[Arrival]:
+    """The deterministic arrival list for ``profile`` (seeded Poisson)."""
+    rng = make_rng(profile.seed)
+    weights = [w / sum(profile.priority_mix) for w in profile.priority_mix]
+    priorities = (Priority.HIGH, Priority.NORMAL, Priority.LOW)
+    arrivals: List[Arrival] = []
+    clock = 0.0
+    for i in range(profile.requests):
+        clock += float(rng.exponential(1.0 / profile.arrival_rate_hz))
+        duplicate_of: Optional[int] = None
+        if arrivals and rng.random() < profile.duplicate_fraction:
+            duplicate_of = int(rng.integers(0, len(arrivals)))
+            instance = arrivals[duplicate_of].instance
+        else:
+            instance = uniform_instance(
+                profile.jobs,
+                profile.machines,
+                low=profile.low,
+                high=profile.high,
+                seed=int(rng.integers(0, 2**31)),
+            )
+        arrivals.append(
+            Arrival(
+                at_s=clock,
+                instance=instance,
+                tenant=profile.tenants[i % len(profile.tenants)],
+                priority=priorities[int(rng.choice(3, p=weights))],
+                duplicate_of=duplicate_of,
+            )
+        )
+    return arrivals
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured (JSON-ready via :meth:`as_dict`)."""
+
+    submitted: int = 0
+    coalesced: int = 0
+    degraded: int = 0
+    bound_first_violations: int = 0
+    wall_s: float = 0.0
+    #: makespans per request name, for determinism assertions.
+    makespans: Dict[str, int] = field(default_factory=dict)
+    #: bound-stage makespan per request name (>= the refined one).
+    bound_makespans: Dict[str, int] = field(default_factory=dict)
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def coalescing_hit_rate(self) -> float:
+        return self.coalesced / self.submitted if self.submitted else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "coalescing_hit_rate": round(self.coalescing_hit_rate, 4),
+            "degraded": self.degraded,
+            "bound_first_violations": self.bound_first_violations,
+            "wall_s": round(self.wall_s, 4),
+            "stats": self.stats,
+        }
+
+
+async def _consume(handle: ServiceHandle, report: LoadReport) -> None:
+    """Drain one handle's stream, checking the bound-first contract."""
+    bound_seen = False
+    async for stage, payload in handle.stream():
+        if stage == "bound":
+            bound_seen = True
+            report.bound_makespans[handle.name] = payload.makespan
+        else:
+            if not bound_seen:
+                report.bound_first_violations += 1
+            report.makespans[handle.name] = payload.makespan
+            if payload.degraded:
+                report.degraded += 1
+
+
+async def run_load(
+    service: SchedulingService,
+    profile: LoadProfile,
+    arrivals: Optional[Sequence[Arrival]] = None,
+    time_scale: float = 1.0,
+) -> LoadReport:
+    """Play ``profile`` against a started ``service``; returns the report.
+
+    Open-loop: each arrival is submitted at its scheduled offset
+    (scaled by ``time_scale`` — pass e.g. ``0.1`` to compress a long
+    trace for a smoke test) whether or not earlier requests finished.
+    Every handle's stream is drained by its own consumer task; the
+    run ends when all deliveries (bound *and* refined) completed.
+    """
+    arrivals = list(arrivals) if arrivals is not None else generate_arrivals(profile)
+    report = LoadReport()
+    consumers: List[asyncio.Task] = []
+    start = time.perf_counter()
+    for arrival in arrivals:
+        delay = arrival.at_s * time_scale - (time.perf_counter() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        handle = await service.submit(
+            arrival.instance,
+            eps=profile.eps,
+            tenant=arrival.tenant,
+            priority=arrival.priority,
+        )
+        report.submitted += 1
+        if not handle.bound.done():
+            # The admission contract: the bound answer exists before
+            # submit() even returns, so it trivially precedes the PTAS.
+            report.bound_first_violations += 1
+        if handle.coalesced:
+            report.coalesced += 1
+        consumers.append(asyncio.ensure_future(_consume(handle, report)))
+    await asyncio.gather(*consumers)
+    report.wall_s = time.perf_counter() - start
+    report.stats = service.stats()
+    return report

@@ -1,0 +1,206 @@
+"""The probe pipeline: one scheduling request, end to end.
+
+Both service front-ends — the one-shot :class:`~repro.service.batch.
+BatchScheduler` and the always-on :class:`~repro.service.daemon.
+SchedulingService` — execute requests exactly the same way: resolve a
+fresh solver from the registry, wire it to the shared probe/plan
+caches and the resilience policy, run the PTAS under a per-request
+tracer, and degrade to a bounded LPT/MULTIFIT baseline when every
+backend fails.  :class:`ProbePipeline` is that shared engine-room,
+extracted so the two front-ends cannot drift: a request coalesced by
+the daemon and the same request in a batch produce bit-identical
+results because they literally run the same code.
+
+The pipeline is synchronous and thread-safe — the batch scheduler
+calls it from a thread pool, the daemon from ``run_in_executor``
+workers.  All cross-request state (probe cache, plan cache, fault
+injector bookkeeping) is owned by the pipeline and already safe for
+concurrent callers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.backends import get_spec, resolve
+from repro.core.baselines import best_baseline
+from repro.core.executor import default_executor
+from repro.core.probe_cache import PlanCache, ProbeCache
+from repro.core.ptas import ptas_schedule
+from repro.errors import BackendError, ReproError
+from repro.observability import Tracer
+from repro.resilience import (
+    AdmissionController,
+    FaultInjector,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+
+if TYPE_CHECKING:
+    from repro.service.batch import BatchRequest, BatchRequestResult
+
+
+def require_schedule_capable(name: str):
+    """Resolve ``name``'s spec, refusing decision-only backends loudly."""
+    spec = get_spec(name)
+    if spec.decision_only:
+        raise BackendError(
+            f"backend {name!r} is decision-only (it answers OPT(N) <= m "
+            "without a backtrackable table) and cannot produce the "
+            "schedules the batch service exists to build — pick a "
+            "table-producing backend such as 'auto' or 'vectorized'"
+        )
+    return spec
+
+
+def build_resilience(
+    faults: Optional[FaultInjector] = None,
+    retry: Optional[RetryPolicy] = None,
+    deadline_s: Optional[float] = None,
+    memory_budget_bytes: Optional[int] = None,
+) -> Tuple[Optional[ResiliencePolicy], Optional[FaultInjector]]:
+    """The resilience policy both service front-ends construct.
+
+    An armed fault injector with no explicit retry policy still gets
+    bounded retries — that is the configuration the chaos tests run,
+    and retrying transient faults is what makes them invisible in the
+    results (``docs/RELIABILITY.md``).  Returns ``(policy, faults)``;
+    the policy is ``None`` when every knob is off.
+    """
+    if faults is not None and retry is None:
+        retry = RetryPolicy()
+    admission = (
+        AdmissionController(memory_budget_bytes)
+        if memory_budget_bytes is not None
+        else None
+    )
+    if (
+        faults is None
+        and retry is None
+        and deadline_s is None
+        and admission is None
+    ):
+        return None, faults
+    return (
+        ResiliencePolicy(
+            faults=faults, retry=retry, deadline_s=deadline_s, admission=admission
+        ),
+        faults,
+    )
+
+
+@dataclass
+class ProbePipeline:
+    """Execute scheduling requests against shared caches and one backend.
+
+    Parameters mirror the service front-ends (see
+    :class:`~repro.service.batch.BatchScheduler` for the full
+    semantics): ``backend`` is the default registry name (requests may
+    override it), ``cache``/``plan_cache`` are the cross-request reuse
+    layers, ``resilience``/``faults`` the reliability knobs, and
+    ``degrade`` selects bounded-baseline answers over raised failures.
+    """
+
+    backend: str = "auto"
+    cache: Optional[ProbeCache] = None
+    plan_cache: PlanCache = field(default_factory=PlanCache)
+    resilience: Optional[ResiliencePolicy] = None
+    faults: Optional[FaultInjector] = None
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        require_schedule_capable(self.backend)  # fail fast, before any work
+
+    def run(self, request: "BatchRequest") -> Tuple["BatchRequestResult", Tracer]:
+        """Execute one request with a fresh solver, executor, and tracer.
+
+        Plan-aware backends receive the pipeline's shared
+        :class:`~repro.core.probe_cache.PlanCache`, so requests whose
+        probes round to the same structure reuse one probe plan.
+        Returns the result (possibly degraded) and the request's own
+        tracer; the front-end merges tracers in its preferred order.
+        """
+        from repro.service.batch import BatchRequestResult
+
+        name = request.backend or self.backend
+        kwargs: Dict[str, object] = {}
+        if require_schedule_capable(name).plan_aware:
+            kwargs["plan_cache"] = self.plan_cache
+        if self.faults is not None and (
+            name == "fallback" or name.startswith("fallback:")
+        ):
+            # Chains check each member at site "dp.<member>", letting
+            # chaos tests poison one named member of the chain.
+            kwargs["faults"] = self.faults
+        solver = resolve(name, **kwargs)
+        executor = default_executor(solver, resilience=self.resilience)
+        tracer = Tracer()
+        start = time.perf_counter()
+        try:
+            result = ptas_schedule(
+                request.instance,
+                eps=request.eps,
+                dp_solver=solver,
+                search=request.search,
+                cache=self.cache,
+                trace=tracer,
+                executor=executor,
+            )
+        except (ReproError, MemoryError) as exc:
+            if not self.degrade:
+                raise
+            wall = time.perf_counter() - start
+            return (
+                self.degraded_result(request, exc, executor.elapsed_s, wall, tracer),
+                tracer,
+            )
+        wall = time.perf_counter() - start
+        return (
+            BatchRequestResult(
+                name=request.name,
+                request=request,
+                result=result,
+                simulated_s=executor.elapsed_s,
+                wall_s=wall,
+            ),
+            tracer,
+        )
+
+    def degraded_result(
+        self,
+        request: "BatchRequest",
+        exc: BaseException,
+        simulated_s: float,
+        wall_s: float,
+        tracer: Tracer,
+    ) -> "BatchRequestResult":
+        """A bounded baseline answer for a request whose backends all failed.
+
+        :func:`~repro.core.baselines.best_baseline` guarantees
+        ``4/3 - 1/(3m)`` (LPT) or ``13/11`` (MULTIFIT) times the
+        optimal makespan; both are cheap enough to never fail on a
+        valid instance, so N requests still produce N results.  The
+        better of the two is served, tagged ``degraded=True`` with the
+        error (and any fallback chain log) that forced it.
+        """
+        from repro.service.batch import BatchRequestResult
+
+        schedule, by, bound = best_baseline(request.instance)
+        chain = tuple(getattr(exc, "fault_chain", ()))
+        chain = chain + (f"{type(exc).__name__}: {exc}",)
+        tracer.count("resilience.degraded")
+        return BatchRequestResult(
+            name=request.name,
+            request=request,
+            result=None,
+            simulated_s=simulated_s,
+            wall_s=wall_s,
+            degraded=True,
+            error=f"{type(exc).__name__}: {exc}",
+            fault_chain=chain,
+            degraded_schedule=schedule,
+            degraded_by=by,
+            degraded_bound=bound,
+        )

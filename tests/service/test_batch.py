@@ -167,9 +167,20 @@ class TestRequests:
         assert report.results[1].name == "request-1"
         assert report.results[1].simulated_s > 0  # serial engine charged
 
-    def test_empty_batch(self):
+    def test_empty_batch_returns_empty_report(self):
         report = BatchScheduler().run([])
+        assert isinstance(report, BatchReport)
         assert report.results == [] and report.total_probes == 0
+        assert report.degraded_count == 0
+        assert report.total_iterations == 0
+        assert report.makespans() == {}
+        # The empty report is still fully formed: serializable, with
+        # the batch-level fields present and no special-casing needed
+        # downstream.
+        payload = report.as_dict()
+        assert payload["requests"] == []
+        assert payload["backend"] == "auto"
+        assert report.wall_s >= 0
 
 
 class TestValidation:

@@ -1,0 +1,269 @@
+"""Request coalescing: N identical in-flight requests, one pipeline run.
+
+The coalescing key (:func:`repro.core.probe_cache.
+normalized_request_key`) admits a request to an in-flight twin's run
+when instance, accuracy ``k = ceil(1/eps)``, search strategy, and
+backend all match.  These tests pin down the contract from the issue:
+exactly one pipeline execution (verified by the ``pipeline.runs``
+counter), N identical deliveries, survival under injected faults (all
+waiters get the same degraded answer), and waiter cancellation that
+never disturbs the shared run.
+"""
+
+import asyncio
+import threading
+
+from repro.core.instance import uniform_instance
+from repro.resilience import FaultInjector
+from repro.service import Priority, SchedulingService
+
+
+def make_instance(seed=42):
+    return uniform_instance(20, 4, low=5, high=60, seed=seed)
+
+
+class Gate:
+    """Hold pipeline runs on a threading gate until the test releases it.
+
+    Guarantees the coalescing window: every duplicate submitted while
+    the gate is shut provably lands while its twin is in flight.
+    """
+
+    def __init__(self, service: SchedulingService) -> None:
+        self.event = threading.Event()
+        self.runs = 0
+        self._run = service.pipeline.run
+        service.pipeline.run = self
+
+    def __call__(self, request):
+        assert self.event.wait(timeout=10), "test gate never opened"
+        self.runs += 1
+        return self._run(request)
+
+
+async def submit_identical(svc, n, **kwargs):
+    inst = make_instance()
+    return [
+        await svc.submit(inst, name=f"caller-{i}", **kwargs) for i in range(n)
+    ]
+
+
+class TestOnePipelineRun:
+    def test_n_identical_requests_one_run_n_results(self):
+        N = 5
+
+        async def scenario():
+            svc = SchedulingService(workers=3)
+            gate = Gate(svc)
+            async with svc:
+                handles = await submit_identical(svc, N)
+                gate.event.set()
+                results = await asyncio.gather(*(h.result() for h in handles))
+            return svc, gate, handles, results
+
+        svc, gate, handles, results = asyncio.run(scenario())
+        # Exactly one pipeline execution — the tracer counter is the
+        # acceptance criterion, the gate's own tally corroborates it.
+        assert svc.metrics.get("pipeline.runs") == 1
+        assert gate.runs == 1
+        assert svc.metrics.get("coalesced") == N - 1
+        assert [h.coalesced for h in handles] == [False] + [True] * (N - 1)
+        # N identical results: same makespan, same assignment, each
+        # delivered under the caller's own name.
+        assert len({r.makespan for r in results}) == 1
+        base = results[0].result
+        for i, r in enumerate(results):
+            assert r.name == f"caller-{i}"
+            assert r.result.final_target == base.final_target
+            assert r.result.schedule.assignment == base.schedule.assignment
+
+    def test_bound_stage_shared_across_waiters(self):
+        async def scenario():
+            svc = SchedulingService(workers=2)
+            gate = Gate(svc)
+            async with svc:
+                handles = await submit_identical(svc, 3)
+                bounds = [h.bound.result() for h in handles]  # already done
+                gate.event.set()
+                await asyncio.gather(*(h.result() for h in handles))
+            return svc, bounds
+
+        svc, bounds = asyncio.run(scenario())
+        # One baseline computation served every waiter's bound future.
+        assert svc.metrics.get("bound.served") == 1
+        assert all(b is bounds[0] for b in bounds)
+
+    def test_same_accuracy_k_coalesces_across_eps(self):
+        async def scenario():
+            svc = SchedulingService(workers=2)
+            gate = Gate(svc)
+            inst = make_instance()
+            async with svc:
+                # ceil(1/0.3) == ceil(1/0.26) == 4: same accuracy class.
+                a = await svc.submit(inst, eps=0.3, name="a")
+                b = await svc.submit(inst, eps=0.26, name="b")
+                # ceil(1/0.5) == 2: different class, no coalescing.
+                c = await svc.submit(inst, eps=0.5, name="c")
+                gate.event.set()
+                ra, rb, rc = await asyncio.gather(
+                    a.result(), b.result(), c.result()
+                )
+            return svc, b, c, ra, rb, rc
+
+        svc, b, c, ra, rb, rc = asyncio.run(scenario())
+        assert b.coalesced and not c.coalesced
+        assert svc.metrics.get("pipeline.runs") == 2
+        # The shared schedule is re-stamped with each waiter's own eps,
+        # so the proven guarantee reflects what each caller asked for.
+        assert ra.makespan == rb.makespan
+        assert ra.request.eps == 0.3 and rb.request.eps == 0.26
+        assert rb.result.eps == 0.26
+        assert rb.result.guarantee_bound() < ra.result.guarantee_bound()
+
+    def test_different_backend_does_not_coalesce(self):
+        async def scenario():
+            svc = SchedulingService(workers=2)
+            gate = Gate(svc)
+            inst = make_instance()
+            async with svc:
+                a = await svc.submit(inst, backend="vectorized")
+                b = await svc.submit(inst, backend="serial")
+                gate.event.set()
+                await asyncio.gather(a.result(), b.result())
+            return svc, b
+
+        svc, b = asyncio.run(scenario())
+        assert not b.coalesced
+        assert svc.metrics.get("pipeline.runs") == 2
+
+    def test_completed_request_does_not_coalesce_resubmission(self):
+        async def scenario():
+            async with SchedulingService(workers=1) as svc:
+                first = await svc.submit(make_instance())
+                await first.result()  # in-flight table now empty
+                second = await svc.submit(make_instance())
+                await second.result()
+            return svc, second
+
+        svc, second = asyncio.run(scenario())
+        # Coalescing is an in-flight mechanism; after completion the
+        # resubmission runs its own pipeline (the probe *cache* is what
+        # makes that second run cheap).
+        assert not second.coalesced
+        assert svc.metrics.get("pipeline.runs") == 2
+
+
+class TestUnderFaults:
+    def test_waiters_share_one_degraded_result(self):
+        N = 4
+
+        async def scenario():
+            # Poison every backend the "fallback" chain tries: the one
+            # shared pipeline run degrades, and every waiter must get
+            # the same bounded LPT/MULTIFIT answer.
+            faults = FaultInjector(
+                seed=1, rate=1.0, kinds=("oom",),
+                sites=("dp.auto", "dp.sweep", "dp.vectorized"),
+                max_failures=10**9,
+            )
+            svc = SchedulingService(workers=2, backend="fallback", faults=faults)
+            gate = Gate(svc)
+            async with svc:
+                handles = await submit_identical(svc, N)
+                gate.event.set()
+                results = await asyncio.gather(*(h.result() for h in handles))
+            return svc, results
+
+        svc, results = asyncio.run(scenario())
+        assert svc.metrics.get("pipeline.runs") == 1
+        assert svc.metrics.get("completed.degraded") == 1  # one shared run
+        assert len(results) == N
+        for r in results:
+            assert r.degraded
+            assert r.degraded_by in ("lpt", "multifit")
+            assert r.makespan == results[0].makespan
+            assert r.fault_chain  # the failure story travels to every waiter
+
+    def test_transient_fault_retried_once_for_all_waiters(self):
+        async def scenario():
+            # One transient dperror: the retry policy (auto-armed with
+            # the injector) absorbs it inside the single shared run.
+            faults = FaultInjector(
+                seed=3, rate=1.0, kinds=("dperror",), max_failures=1
+            )
+            svc = SchedulingService(workers=2, faults=faults)
+            gate = Gate(svc)
+            async with svc:
+                handles = await submit_identical(svc, 3)
+                gate.event.set()
+                results = await asyncio.gather(*(h.result() for h in handles))
+            return svc, results
+
+        svc, results = asyncio.run(scenario())
+        assert svc.metrics.get("pipeline.runs") == 1
+        assert all(not r.degraded for r in results)
+        assert len({r.makespan for r in results}) == 1
+
+
+class TestCancellation:
+    def test_cancelling_one_waiter_leaves_others_served(self):
+        N = 4
+
+        async def scenario():
+            svc = SchedulingService(workers=2)
+            gate = Gate(svc)
+            async with svc:
+                handles = await submit_identical(svc, N)
+                handles[2].cancel()  # one caller walks away
+                gate.event.set()
+                survivors = [h for i, h in enumerate(handles) if i != 2]
+                results = await asyncio.gather(
+                    *(h.result() for h in survivors)
+                )
+            return svc, gate, handles, results
+
+        svc, gate, handles, results = asyncio.run(scenario())
+        # The shared run still executed exactly once and served the
+        # other three callers identical results.
+        assert gate.runs == 1
+        assert handles[2].refined.cancelled()
+        assert len(results) == N - 1
+        assert len({r.makespan for r in results}) == 1
+        assert svc.metrics.get("delivery.skipped.cancelled") == 1
+
+    def test_cancelling_primary_does_not_kill_coalesced_waiters(self):
+        async def scenario():
+            svc = SchedulingService(workers=2)
+            gate = Gate(svc)
+            async with svc:
+                handles = await submit_identical(svc, 3)
+                handles[0].cancel()  # the *primary* — run must survive
+                gate.event.set()
+                results = await asyncio.gather(
+                    *(h.result() for h in handles[1:])
+                )
+            return handles, results
+
+        handles, results = asyncio.run(scenario())
+        assert handles[0].refined.cancelled()
+        assert not handles[0].coalesced and all(h.coalesced for h in handles[1:])
+        assert len({r.makespan for r in results}) == 1
+
+    def test_priorities_do_not_split_coalescing(self):
+        async def scenario():
+            svc = SchedulingService(workers=2)
+            gate = Gate(svc)
+            inst = make_instance()
+            async with svc:
+                a = await svc.submit(inst, priority=Priority.LOW)
+                b = await svc.submit(inst, priority=Priority.HIGH)
+                gate.event.set()
+                await asyncio.gather(a.result(), b.result())
+            return svc, b
+
+        svc, b = asyncio.run(scenario())
+        # Priority orders dispatch; identity is the coalescing key.  A
+        # HIGH twin attaches to the LOW run rather than queue-jumping
+        # into a duplicate execution.
+        assert b.coalesced
+        assert svc.metrics.get("pipeline.runs") == 1

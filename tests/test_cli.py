@@ -299,3 +299,85 @@ class TestBatchCommand:
 
     def test_bad_request_count_is_usage_error(self, capsys):
         assert main(["batch", "--requests", "0"]) == 2
+
+
+class TestServeCommand:
+    #: a small, fast workload: 8 requests arriving (nominally) at 200/s,
+    #: compressed 10x so the whole run is a few milliseconds of sleeping.
+    ARGS = ["serve", "--requests", "8", "--jobs", "10", "--machines", "3",
+            "--arrival-rate", "200", "--time-scale", "0.1", "--seed", "5"]
+
+    def test_healthy_run_exits_zero(self, capsys):
+        code = main(self.ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve: 8 requests" in out
+        assert "0 bound-first violations" in out
+        # Latency percentiles for both stages.
+        assert "bound: p50" in out and "refined: p50" in out
+
+    def test_duplicates_coalesce(self, capsys):
+        # Every arrival after the first duplicates an earlier instance
+        # and the flood lands faster than the pipeline drains, so at
+        # least one must coalesce.
+        code = main(["serve", "--requests", "6", "--jobs", "12",
+                     "--machines", "3", "--arrival-rate", "5000",
+                     "--time-scale", "0.01", "--duplicate-fraction", "1.0",
+                     "--workers", "1", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        coalesced = int(out.split(" coalesced")[0].rsplit(" ", 1)[-1])
+        assert coalesced >= 1
+
+    def test_stats_json_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "serve.json"
+        code = main(self.ARGS + ["--stats-json", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["submitted"] == 8
+        assert payload["bound_first_violations"] == 0
+        latency = payload["stats"]["latency"]
+        assert latency["bound"]["count"] == 8
+        assert latency["refined"]["count"] == 8
+
+    def test_degraded_service_exits_six(self, capsys):
+        code = main(self.ARGS + ["--backend", "fallback", "--inject-faults",
+                    "seed=1,rate=1.0,kinds=oom,"
+                    "sites=dp.auto|dp.sweep|dp.vectorized,max=1000000"])
+        assert code == 6
+        assert "degraded" in capsys.readouterr().out
+
+    def test_bad_profile_is_usage_error(self, capsys):
+        assert main(["serve", "--requests", "0"]) == 2
+        assert main(["serve", "--duplicate-fraction", "1.5"]) == 2
+
+    def test_unknown_backend_is_usage_error(self, capsys):
+        assert main(self.ARGS + ["--backend", "tpu-v5"]) == 2
+
+    def test_quota_flag_accepted(self, capsys):
+        code = main(self.ARGS + ["--quota", "32"])
+        assert code == 0
+
+    def test_exit_code_constant_documented_value(self):
+        # Exit 7 is wired in the parser/docs; pin the constant so the
+        # docs/RELIABILITY.md table cannot silently drift.
+        from repro.cli import EXIT_SHUTDOWN_TIMEOUT
+
+        assert EXIT_SHUTDOWN_TIMEOUT == 7
+
+    def test_dirty_shutdown_exits_seven(self, monkeypatch, capsys):
+        # The CLI happy path always drains clean (run_load awaits every
+        # handle before shutdown), so force the drain to report dirty
+        # and assert the exit-code mapping end to end.
+        from repro.service.daemon import SchedulingService
+
+        real = SchedulingService.shutdown
+
+        async def dirty(self, *args, **kwargs):
+            await real(self, *args, **kwargs)
+            return False
+
+        monkeypatch.setattr(SchedulingService, "shutdown", dirty)
+        assert main(self.ARGS) == 7
