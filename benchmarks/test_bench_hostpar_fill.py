@@ -1,0 +1,151 @@
+"""Host-parallel fill benchmark: the fill fabric vs the serial kernel.
+
+One Table-I-scale probe plan, filled three ways — the serial
+:func:`~repro.engines.base.fill_by_groups` group walk, and the
+:class:`~repro.parallel.fabric.BlockExecutor` at 2 and 4 workers —
+emitting ``benchmarks/results/BENCH_hostpar_fill.json``:
+
+* **bit-identity** — every arm must produce the identical table
+  (asserted unconditionally: the fabric is only correct if it is
+  invisible in results), and a PTAS run on the ``hostpar-2`` backend
+  must report the same makespan as ``auto``.
+* **fill speedup** — median wall time per arm.  The >= 2x floor at 4
+  workers is asserted only when the runner actually exposes >= 4 CPUs
+  (a single-core runner measures dispatch overhead, not parallelism;
+  the JSON still records the measured ratios either way).
+* **hygiene** — zero SharedMemory segments left in ``/dev/shm`` after
+  the executors close.
+
+Run: ``pytest benchmarks/test_bench_hostpar_fill.py --benchmark-only``
+(``REPRO_BENCH_FULL=1`` for the paper-scale workload).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import resolve
+from repro.core.instance import uniform_instance
+from repro.core.ptas import ptas_schedule
+from repro.dptable.plan import build_probe_plan
+from repro.engines.base import fill_by_groups
+from repro.parallel.fabric import BlockExecutor
+
+RESULTS_NAME = "BENCH_hostpar_fill.json"
+
+#: Worker counts benchmarked against the serial arm.
+WORKER_ARMS = (2, 4)
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _shm_segments() -> set:
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:  # platform without a visible shm mount
+        return set()
+
+
+def _workload(full: bool):
+    if full:
+        return (30, 24, 18), (3, 5, 7), 55, 3
+    return (20, 16, 12), (3, 5, 7), 40, 2
+
+
+@pytest.mark.benchmark(group="hostpar-fill")
+def test_fabric_fill_speedup(benchmark, results_dir, full):
+    counts, sizes, target, repeats = _workload(full)
+    plan = build_probe_plan(counts, sizes, target)
+    cores = _available_cores()
+    shm_before = _shm_segments()
+
+    def measure():
+        times = {"serial": []}
+        for _ in range(repeats):
+            start = time.perf_counter()
+            serial_table = fill_by_groups(
+                plan.geometry, plan.configs, plan.level_groups()
+            )
+            times["serial"].append(time.perf_counter() - start)
+        serial_flat = np.asarray(serial_table).ravel()
+        tables = {}
+        for workers in WORKER_ARMS:
+            label = f"fabric-{workers}"
+            times[label] = []
+            with BlockExecutor(workers=workers) as fabric:
+                fabric.fill(plan)  # warm: ship the plan, start the pool
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    tables[label] = fabric.fill(plan)
+                    times[label].append(time.perf_counter() - start)
+        return serial_flat, tables, times
+
+    serial_flat, tables, times = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Bit-identity is unconditional: the fabric must be invisible.
+    for label, flat in tables.items():
+        assert np.array_equal(flat, serial_flat), f"{label} diverged from serial"
+
+    medians = {label: statistics.median(t) for label, t in times.items()}
+    speedups = {
+        label: medians["serial"] / medians[label]
+        for label in medians
+        if label != "serial"
+    }
+
+    # End-to-end identity: hostpar answers exactly what auto answers.
+    inst = uniform_instance(24, 3, low=5, high=95, seed=11)
+    auto_makespan = ptas_schedule(inst, eps=0.2, dp_solver=resolve("auto")).makespan
+    hostpar_makespan = ptas_schedule(
+        inst, eps=0.2, dp_solver=resolve("hostpar-2")
+    ).makespan
+    from repro.parallel.fabric import shutdown_fabrics
+
+    shutdown_fabrics()
+    assert hostpar_makespan == auto_makespan
+
+    leaked = sorted(_shm_segments() - shm_before)
+    assert leaked == [], f"leaked SharedMemory segments: {leaked}"
+
+    payload = {
+        "benchmark": "hostpar_fill",
+        "mode": "full" if full else "reduced",
+        "workload": {
+            "counts": list(counts),
+            "class_sizes": list(sizes),
+            "target": target,
+            "cells": int(plan.geometry.size),
+            "configs": int(plan.configs.shape[0]),
+            "repeats": repeats,
+        },
+        "cores": cores,
+        "median_ms": {k: v * 1e3 for k, v in medians.items()},
+        "speedup_vs_serial": speedups,
+        "makespans": {"auto": auto_makespan, "hostpar-2": hostpar_makespan},
+        "leaked_segments": leaked,
+    }
+    path = results_dir / RESULTS_NAME
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    benchmark.extra_info.update(
+        {"cores": cores, **{f"speedup_{k}": round(v, 3) for k, v in speedups.items()}}
+    )
+
+    # The parallel-speedup floor only means something on parallel
+    # hardware; a 1-core runner can only measure dispatch overhead.
+    if cores >= 4:
+        assert speedups["fabric-4"] >= 2.0, (
+            f"expected >= 2x fill speedup at 4 workers on {cores} cores, "
+            f"got {speedups['fabric-4']:.2f}x"
+        )

@@ -27,6 +27,10 @@ hardware):
 * ``"wavefront"`` — :class:`~repro.parallel.wavefront.WavefrontSolver`,
   real host-parallel execution on shared-memory worker processes; any
   ``wavefront-<workers>`` resolves.
+* ``"hostpar"`` — :class:`~repro.parallel.fabric.HostParallelSolver`,
+  exact fills on the persistent shared-memory fill fabric (worker pool
+  and shipped plans survive across probes); any ``hostpar-<p>``
+  resolves.
 * ``"fallback"`` — :class:`~repro.resilience.FallbackChain` over
   ``auto → sweep → vectorized``: steps down to the next member when one
   fails hard (OOM, backend bug); any ``fallback:<a>,<b>,...`` resolves
@@ -76,6 +80,7 @@ from repro.engines.gpu_partitioned import GpuPartitionedEngine
 from repro.engines.hybrid import HybridEngine
 from repro.engines.openmp_engine import OpenMPEngine
 from repro.engines.sequential import SequentialEngine
+from repro.parallel.fabric import HostParallelSolver
 from repro.parallel.wavefront import WavefrontSolver
 
 __all__ = [
@@ -158,9 +163,13 @@ def _register_defaults() -> None:
             factory=AutoKernel,
             simulated=False,
             concurrency="none",
-            description="cost-model kernel selection per probe (decision/sweep/vectorized)",
+            description=(
+                "cost-model kernel selection per probe "
+                "(decision/sweep/vectorized/hostpar)"
+            ),
             aliases=("kernel-auto",),
             plan_aware=True,
+            fabric_aware=True,
         )
     )
     register(
@@ -196,6 +205,7 @@ def _register_defaults() -> None:
                 description=f"OpenMP baseline on {threads} simulated threads",
                 aliases=(f"openmp-{threads}",),
                 plan_aware=True,
+                fabric_aware=True,
             )
         )
     register(
@@ -217,6 +227,7 @@ def _register_defaults() -> None:
                 concurrency="device-streams",
                 description=f"data-partitioned GPU engine, {dim} partitioned dims",
                 plan_aware=True,
+                fabric_aware=True,
             )
         )
     register(
@@ -227,6 +238,7 @@ def _register_defaults() -> None:
             concurrency="host-threads",
             description="per-probe CPU/GPU dispatch by predicted cost",
             plan_aware=True,
+            fabric_aware=True,
         )
     )
     register(
@@ -237,6 +249,20 @@ def _register_defaults() -> None:
             concurrency="host-processes",
             description="real host-parallel wavefront DP on shared memory",
             plan_aware=True,
+            fabric_aware=True,
+        )
+    )
+    register(
+        BackendSpec(
+            name="hostpar",
+            factory=HostParallelSolver,
+            simulated=False,
+            concurrency="host-processes",
+            description=(
+                "exact DP fills on the persistent shared-memory fill fabric"
+            ),
+            plan_aware=True,
+            fabric_aware=True,
         )
     )
 
@@ -286,6 +312,7 @@ def _register_defaults() -> None:
             concurrency="host-threads",
             description=f"OpenMP baseline on {int(m.group(1))} simulated threads",
             plan_aware=True,
+            fabric_aware=True,
         ),
     )
     register_family(
@@ -299,6 +326,7 @@ def _register_defaults() -> None:
             concurrency="device-streams",
             description=f"data-partitioned GPU engine, {int(m.group(1))} partitioned dims",
             plan_aware=True,
+            fabric_aware=True,
         ),
     )
     register_family(
@@ -312,6 +340,7 @@ def _register_defaults() -> None:
             concurrency="host-threads",
             description="per-probe CPU/GPU dispatch by predicted cost",
             plan_aware=True,
+            fabric_aware=True,
         ),
     )
     register_family(
@@ -327,6 +356,23 @@ def _register_defaults() -> None:
                 f"real host-parallel wavefront DP on {int(m.group(1))} processes"
             ),
             plan_aware=True,
+            fabric_aware=True,
+        ),
+    )
+    register_family(
+        r"hostpar-(\d+)",
+        lambda m: BackendSpec(
+            name=f"hostpar-{int(m.group(1))}",
+            factory=lambda workers=int(m.group(1)), **kw: HostParallelSolver(
+                workers=workers, **kw
+            ),
+            simulated=False,
+            concurrency="host-processes",
+            description=(
+                f"exact DP fills on the {int(m.group(1))}-worker fill fabric"
+            ),
+            plan_aware=True,
+            fabric_aware=True,
         ),
     )
 

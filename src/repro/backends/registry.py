@@ -70,6 +70,12 @@ class BackendSpec:
     #: :class:`~repro.errors.BackendError`; a direct extraction attempt
     #: fails loudly inside the result object itself.
     decision_only: bool = False
+    #: True when the factory accepts a ``fill_fabric=`` keyword — the
+    #: backend can route its real table fills through the shared-memory
+    #: fill fabric (:class:`~repro.parallel.fabric.BlockExecutor`).
+    #: The service pipeline and the CLI use this to inject the
+    #: ``--fill-workers`` pool; results stay bit-identical either way.
+    fabric_aware: bool = False
 
     def __post_init__(self) -> None:
         if self.concurrency not in CONCURRENCY_MODELS:

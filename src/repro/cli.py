@@ -93,6 +93,13 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
         help="per-probe wall-clock deadline; probes over it raise "
              "ProbeTimeoutError (retried as transient)",
     )
+    parser.add_argument(
+        "--fill-workers", type=int, default=None, metavar="P",
+        help="run large DP fills process-parallel on a P-worker "
+             "shared-memory fill fabric (fabric-aware backends only); "
+             "admission estimates automatically cover the fabric's "
+             "segments and per-worker scratch",
+    )
 
 
 def _resilience_from_args(args: argparse.Namespace):
@@ -113,7 +120,10 @@ def _resilience_from_args(args: argparse.Namespace):
     if faults is not None and retry is None:
         retry = RetryPolicy()
     admission = (
-        AdmissionController(args.memory_budget)
+        AdmissionController(
+            args.memory_budget,
+            fill_workers=getattr(args, "fill_workers", None),
+        )
         if args.memory_budget is not None
         else None
     )
@@ -335,6 +345,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         ReproError,
     )
 
+    fill_fabric = None
     try:
         spec = get_spec(args.backend)
         if spec.decision_only:
@@ -344,7 +355,21 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                 "'schedule' cannot extract a schedule from it — use a "
                 "table-producing backend such as 'auto' or 'vectorized'"
             )
-        solver = resolve(args.backend)
+        resolve_kwargs = {}
+        if args.fill_workers is not None and args.fill_workers < 1:
+            raise BackendError(
+                f"--fill-workers must be >= 1, got {args.fill_workers}"
+            )
+        if (
+            args.fill_workers is not None
+            and args.fill_workers > 1
+            and spec.fabric_aware
+        ):
+            from repro.parallel.fabric import BlockExecutor
+
+            fill_fabric = BlockExecutor(workers=args.fill_workers)
+            resolve_kwargs["fill_fabric"] = fill_fabric
+        solver = resolve(args.backend, **resolve_kwargs)
     except BackendError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
@@ -367,7 +392,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
     if args.parallel_probes and not spec.simulated:
         executor = ParallelHostExecutor(
-            workers=args.parallel_probes, resilience=resilience
+            workers=args.parallel_probes, resilience=resilience,
+            fill_workers=args.fill_workers,
         )
     else:
         executor = default_executor(solver, resilience=resilience)
@@ -385,6 +411,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_BACKEND_FAILURE
+    finally:
+        # The fabric's worker pool and shared segments must not outlive
+        # the command — leaked segments would trip the resource tracker
+        # at interpreter exit.
+        if fill_fabric is not None:
+            fill_fabric.close()
     print(f"instance: {inst}")
     print(
         f"PTAS(eps={args.eps}, {args.search}): makespan {result.makespan} "
@@ -465,13 +497,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             deadline_s=args.probe_deadline,
             memory_budget_bytes=args.memory_budget,
             degrade=not args.no_degrade,
+            fill_workers=args.fill_workers,
         )
     except (BackendError, InvalidInstanceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
     try:
-        report = scheduler.run(instances)
+        with scheduler:
+            report = scheduler.run(instances)
     except MemoryBudgetExceeded as exc:
         print(f"error: memory budget exceeded: {exc}", file=sys.stderr)
         return EXIT_BUDGET
@@ -540,6 +574,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             retry=retry,
             deadline_s=args.probe_deadline,
             memory_budget_bytes=args.memory_budget,
+            fill_workers=args.fill_workers,
         )
     except (BackendError, InvalidInstanceError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -20,6 +20,17 @@ Three production kernels cover three regimes:
   contiguous slice arithmetic; the default whenever no budget is
   bound, and unbeatable on small tables where fixed overheads rule.
 
+A fourth route opens when the solver holds a fill fabric
+(:class:`~repro.parallel.fabric.BlockExecutor`):
+
+* **hostpar** — the anti-diagonal wavefront executed process-parallel
+  over a shared narrow-dtype table.  Its ``sigma * |C|`` gathers split
+  near-linearly across workers, so it wins exactly where the
+  single-core kernels are at their worst: *large exact fills*.  With a
+  machine budget bound the decision kernel keeps the route closed —
+  its O(1) load-bound rejects and clamp-bounded rounds do less total
+  work than any parallel full fill.
+
 :func:`choose_kernel` predicts the regime from quantities that are
 free before any fill: the table size ``sigma``, ``|C|``, the machine
 budget, and the load-based lower bound
@@ -54,12 +65,17 @@ from repro.observability import context as obs
 #: scheduling cleverness — fixed overheads rule, vectorized wins.
 SMALL_TABLE_CELLS = 4096
 
+#: Minimum gather-work (``sigma * (|C| + 1)`` elements) before the fill
+#: fabric's per-wave dispatch overhead amortises: below it, the
+#: single-core relaxation finishes before a pool round-trip completes.
+HOSTPAR_MIN_WORK = 2_000_000
+
 
 @dataclass(frozen=True)
 class KernelChoice:
     """One probe's kernel decision, with the evidence that made it."""
 
-    #: ``"decision"`` / ``"sweep"`` / ``"vectorized"``.
+    #: ``"decision"`` / ``"sweep"`` / ``"vectorized"`` / ``"hostpar"``.
     kernel: str
     #: narrow table dtype the chosen fill will use.
     dtype: np.dtype
@@ -97,6 +113,7 @@ def choose_kernel(
     num_configs: int,
     machines: Optional[int] = None,
     memory_budget_bytes: Optional[int] = None,
+    fill_workers: Optional[int] = None,
 ) -> KernelChoice:
     """Pick the kernel for one probe — pure arithmetic, no table work.
 
@@ -104,6 +121,12 @@ def choose_kernel(
     (table + scratch); when the relaxation's two full-size buffers
     would blow it, the sweep — which allocates per-level temporaries
     only — is preferred.
+
+    ``fill_workers`` (> 1) advertises an available fill fabric: exact
+    fills whose gather-work ``sigma * (|C| + 1)`` reaches
+    :data:`HOSTPAR_MIN_WORK` route to the process-parallel wavefront.
+    Budget-bound probes never do — the decision clamp's early rejects
+    beat any parallel full fill.
     """
     counts = tuple(int(c) for c in counts)
     sigma = 1
@@ -139,6 +162,17 @@ def choose_kernel(
             est_rounds=est,
             reason=f"budget known (clamp at {int(machines) + 1})",
         )
+    gather_work = sigma * (int(num_configs) + 1)
+    if fill_workers is not None and fill_workers > 1 and gather_work >= HOSTPAR_MIN_WORK:
+        return KernelChoice(
+            kernel="hostpar",
+            dtype=pick_table_dtype(n_long),
+            est_rounds=est,
+            reason=(
+                f"large exact fill (work={gather_work}) across "
+                f"{int(fill_workers)} fill workers"
+            ),
+        )
     return KernelChoice(
         kernel="vectorized",
         dtype=pick_table_dtype(n_long),
@@ -166,6 +200,10 @@ class AutoKernel:
     memory_budget_bytes:
         Optional cap on the transient fill footprint (see
         :func:`choose_kernel`).
+    fill_fabric:
+        Optional :class:`~repro.parallel.fabric.BlockExecutor`; opens
+        the ``hostpar`` route for large exact fills.  The service
+        pipeline injects it when ``--fill-workers`` is set.
     """
 
     def __init__(
@@ -173,10 +211,12 @@ class AutoKernel:
         plan_cache=None,
         machines: Optional[int] = None,
         memory_budget_bytes: Optional[int] = None,
+        fill_fabric=None,
     ) -> None:
         self.plan_cache = plan_cache
         self.machines = None if machines is None else int(machines)
         self.memory_budget_bytes = memory_budget_bytes
+        self.fill_fabric = fill_fabric
 
     def bind_machines(self, machines: int) -> "AutoKernel":
         """A copy of this kernel that knows the machine budget."""
@@ -184,6 +224,7 @@ class AutoKernel:
             plan_cache=self.plan_cache,
             machines=int(machines),
             memory_budget_bytes=self.memory_budget_bytes,
+            fill_fabric=self.fill_fabric,
         )
 
     @property
@@ -234,9 +275,17 @@ class AutoKernel:
             num_configs=int(configs.shape[0]),
             machines=self.machines,
             memory_budget_bytes=self.memory_budget_bytes,
+            fill_workers=(
+                self.fill_fabric.workers if self.fill_fabric is not None else None
+            ),
         )
         obs.count(f"kernel.auto.{choice.kernel}")
         plan = self._plan(counts, class_sizes, target, configs)
+        if choice.kernel == "hostpar":
+            flat = self.fill_fabric.fill(plan)
+            return DPResult(
+                table=flat.reshape(plan.geometry.shape), configs=configs
+            )
         if choice.kernel == "sweep":
             return dp_levelsweep(
                 counts, class_sizes, target, configs=configs, plan=plan

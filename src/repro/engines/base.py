@@ -97,6 +97,30 @@ def fill_by_groups(
     return widen_table(table)
 
 
+def fill_plan(plan, fill_fabric=None, blocked_dim=None) -> np.ndarray:
+    """One plan's flat int64 table, sequentially or on the fill fabric.
+
+    With ``fill_fabric`` (a :class:`~repro.parallel.fabric.BlockExecutor`)
+    the waves run process-parallel over a shared narrow-dtype arena;
+    otherwise :func:`fill_by_groups` executes the same groups inline.
+    Both paths are bit-identical (property-tested); the sequential path
+    additionally certifies the schedule's dependency safety, which is
+    why the fabric may trust it.
+
+    ``blocked_dim=None`` selects the anti-diagonal level schedule;
+    an integer selects the blocked ``(block-level, in-block-level)``
+    groups for that block count.
+    """
+    if fill_fabric is not None:
+        return fill_fabric.fill(plan, blocked_dim=blocked_dim)
+    groups = (
+        plan.level_groups()
+        if blocked_dim is None
+        else plan.blocked(blocked_dim).fill_groups
+    )
+    return fill_by_groups(plan.geometry, plan.configs, groups)
+
+
 def resolve_plan(
     plan_cache,
     counts: Sequence[int],

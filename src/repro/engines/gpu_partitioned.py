@@ -41,7 +41,7 @@ from repro.extensions.residency import BlockResidency
 from repro.engines.base import (
     EngineRun,
     degenerate_run,
-    fill_by_groups,
+    fill_plan,
     note_engine_run,
     resolve_plan,
 )
@@ -64,6 +64,7 @@ class GpuPartitionedEngine:
         check_memory: bool = True,
         block_residency: bool = False,
         plan_cache=None,
+        fill_fabric=None,
     ) -> None:
         self.dim = dim
         self.num_streams = num_streams
@@ -76,6 +77,9 @@ class GpuPartitionedEngine:
         # implementation; the future-work bench turns it on.
         self.block_residency = block_residency
         self.plan_cache = plan_cache
+        # Optional repro.parallel.fabric.BlockExecutor: route the real
+        # table fill through host processes (simulated costs unchanged).
+        self.fill_fabric = fill_fabric
         self.total_simulated_s = 0.0
         self.runs: list[EngineRun] = []
 
@@ -107,9 +111,10 @@ class GpuPartitionedEngine:
         partition = blocked.partition
         layout = blocked.layout  # the Alg. 4 reorg, materialised on the plan
 
-        # Real DP values in the engine's own order: fill_by_groups
-        # verifies no dependency is violated by the blocked schedule.
-        table = fill_by_groups(geometry, plan.configs, blocked.fill_groups)
+        # Real DP values in the engine's own order: the sequential path
+        # verifies no dependency is violated by the blocked schedule;
+        # the fabric path executes the same waves process-parallel.
+        table = fill_plan(plan, self.fill_fabric, blocked_dim=self.dim)
         dp_result = DPResult(
             table=table.reshape(geometry.shape), configs=plan.configs
         )

@@ -48,16 +48,29 @@ class HybridEngine:
         gpu_spec: DeviceSpec = KEPLER_K40,
         costs: CostConstants = DEFAULT_COSTS,
         plan_cache=None,
+        fill_fabric=None,
     ) -> None:
+        # The fabric (repro.parallel.fabric.BlockExecutor) threads down
+        # to both sub-engines: whichever wins the prediction routes its
+        # real table fill through the same shared worker pool.
         self.cpu_engine = OpenMPEngine(
-            threads=threads, spec=cpu_spec, costs=costs, plan_cache=plan_cache
+            threads=threads,
+            spec=cpu_spec,
+            costs=costs,
+            plan_cache=plan_cache,
+            fill_fabric=fill_fabric,
         )
         self.gpu_engine = GpuPartitionedEngine(
-            dim=dim, spec=gpu_spec, costs=costs, plan_cache=plan_cache
+            dim=dim,
+            spec=gpu_spec,
+            costs=costs,
+            plan_cache=plan_cache,
+            fill_fabric=fill_fabric,
         )
         self.costs = costs
         self.dim = dim
         self.plan_cache = plan_cache
+        self.fill_fabric = fill_fabric
         self.choices: list[str] = []
         self.runs: list[EngineRun] = []
 

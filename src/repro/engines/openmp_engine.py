@@ -30,7 +30,7 @@ from repro.dptable.plan import ProbePlan
 from repro.engines.base import (
     EngineRun,
     degenerate_run,
-    fill_by_groups,
+    fill_plan,
     note_engine_run,
     resolve_plan,
 )
@@ -47,12 +47,16 @@ class OpenMPEngine:
         costs: CostConstants = DEFAULT_COSTS,
         schedule: str = "static",
         plan_cache=None,
+        fill_fabric=None,
     ) -> None:
         self.threads = threads
         self.spec = spec
         self.costs = costs
         self.schedule = schedule
         self.plan_cache = plan_cache
+        # Optional repro.parallel.fabric.BlockExecutor: route the real
+        # table fill through host processes (simulated costs unchanged).
+        self.fill_fabric = fill_fabric
         self.total_simulated_s = 0.0
         self.runs: list[EngineRun] = []
 
@@ -80,7 +84,7 @@ class OpenMPEngine:
         geometry = plan.geometry
 
         levels = plan.level_groups()
-        table = fill_by_groups(geometry, plan.configs, levels)
+        table = fill_plan(plan, self.fill_fabric)
         dp_result = DPResult(
             table=table.reshape(geometry.shape), configs=plan.configs
         )

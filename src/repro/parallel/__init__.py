@@ -4,17 +4,34 @@ The simulators model the paper's hardware; this package actually runs
 the DP in parallel on the reproduction host, following the HPC-Python
 guides: shared-memory numpy buffers (no pickling of the table),
 process-based workers (sidestepping the GIL), and level-wise barriers
-that mirror the paper's wavefront structure.  It demonstrates the same
-speedup mechanism the OpenMP baseline uses and gives downstream users a
-fast multi-core solver.
+that mirror the paper's wavefront structure.
+
+The load-bearing layer is :mod:`repro.parallel.fabric` — the shared-
+memory fill fabric: a persistent process pool
+(:class:`~repro.parallel.fabric.BlockExecutor`) over context-managed
+narrow-dtype table arenas, with plans shipped once per worker.  Any
+plan-aware engine can route its table fills through it; the
+``wavefront-<w>`` and ``hostpar-<p>`` backends are its direct clients.
 """
 
-from repro.parallel.wavefront import WavefrontSolver, parallel_wavefront_dp
 from repro.parallel.chunking import split_evenly, split_by_cost
+from repro.parallel.fabric import (
+    BlockExecutor,
+    HostParallelSolver,
+    SharedTableArena,
+    shared_fabric,
+    shutdown_fabrics,
+)
+from repro.parallel.wavefront import WavefrontSolver, parallel_wavefront_dp
 
 __all__ = [
     "parallel_wavefront_dp",
     "WavefrontSolver",
+    "BlockExecutor",
+    "HostParallelSolver",
+    "SharedTableArena",
+    "shared_fabric",
+    "shutdown_fabrics",
     "split_evenly",
     "split_by_cost",
 ]

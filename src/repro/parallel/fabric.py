@@ -1,0 +1,626 @@
+"""The shared-memory fill fabric: process-parallel plan execution.
+
+This module generalises the SharedMemory machinery that used to live
+privately in :mod:`repro.parallel.wavefront` into a layer **any**
+plan-aware engine can use:
+
+* :class:`SharedTableArena` — one context-managed shared segment
+  holding a narrow-dtype DP table (dtype from
+  :func:`repro.core.dp_common.pick_table_dtype`), closed *and*
+  unlinked on block exit no matter what — a raised
+  :class:`~repro.errors.DPError` must not leak segments.
+
+* :class:`BlockExecutor` — a persistent process pool that dispatches a
+  plan's anti-diagonal waves (the level schedule of Algorithm 2, or
+  the blocked ``(block-level, in-block-level)`` groups of
+  Algorithms 4+5) over the arena.  Each plan's wave order and
+  configuration set are written to a shared segment **once** and
+  attached lazily **once per worker**, keyed on a digest of the exact
+  plan signature (:func:`repro.dptable.plan.configs_signature`), so
+  repeated probes over the same plan reuse the mapping zero-copy.
+
+* :class:`HostParallelSolver` — the ``hostpar-<p>`` registry backend:
+  a thin :class:`~repro.core.ptas.DPSolver` client of the fabric.
+
+Per the HPC-Python guidance the worker bodies are fully vectorized
+(one gather + min-reduce per configuration per chunk); only tiny task
+tuples cross the process boundary.  Cells of one wave are disjoint and
+all their dependencies were produced by earlier waves, so workers
+write without synchronisation — the paper's wavefront safety argument.
+
+Results are bit-identical to :func:`repro.engines.base.fill_by_groups`
+over the same groups (property-tested across the registry): the same
+narrow dtype, the same per-configuration min-reduce, widened at the
+boundary by :func:`repro.core.dp_common.widen_table`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import threading
+from collections import OrderedDict
+from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.dp_common import (
+    DPResult,
+    empty_dp_result,
+    pick_table_dtype,
+    unreachable_for,
+    widen_table,
+)
+from repro.dptable.plan import ProbePlan, configs_signature
+from repro.dptable.table import TableGeometry
+from repro.errors import DPError
+from repro.observability import context as obs
+from repro.parallel.chunking import split_by_cost
+
+#: Waves smaller than this many cells run inline in the parent —
+#: dispatch overhead would dominate (the host-side analogue of the
+#: paper's observation that narrow levels cannot feed wide hardware).
+DEFAULT_MIN_PARALLEL_CELLS: int = 256
+
+#: Plan shipments a :class:`BlockExecutor` keeps mapped (LRU).
+DEFAULT_MAX_PLANS: int = 8
+
+#: Per-worker caches are bounded too: plan segments and table mappings
+#: a worker keeps attached before closing the oldest.
+_WORKER_MAX_PLANS: int = 8
+_WORKER_MAX_TABLES: int = 4
+
+
+def _strides_for(shape: Sequence[int]) -> np.ndarray:
+    """Row-major element strides for ``shape`` (int64 vector)."""
+    shape = tuple(int(s) for s in shape)
+    return np.asarray(TableGeometry(shape).strides, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# The shared fill kernel (identical math to engines.base.fill_by_groups)
+# ---------------------------------------------------------------------------
+
+
+def _fill_range(
+    table: np.ndarray,
+    cells: np.ndarray,
+    configs: np.ndarray,
+    shape: tuple[int, ...],
+    strides: np.ndarray,
+    unreach: int,
+) -> int:
+    """Fill one contiguous slice of a wave's cells; returns cells touched.
+
+    Runs identically in the parent (inline path) and in pool workers:
+    one predecessor gather + min-reduce per configuration, writes
+    ``best + 1`` for reachable cells.  The origin (flat index 0) is
+    pre-final and skipped.
+    """
+    cells = cells[cells != 0]
+    if cells.size == 0:
+        return 0
+    coords = np.stack(np.unravel_index(cells, shape), axis=1)
+    best = np.full(cells.size, unreach, dtype=table.dtype)
+    for cfg in configs:
+        prev = coords - cfg
+        ok = (prev >= 0).all(axis=1)
+        if not ok.any():
+            continue
+        vals = table[prev[ok] @ strides]
+        sel = np.flatnonzero(ok)
+        best[sel] = np.minimum(best[sel], vals)
+    reachable = best < unreach
+    table[cells[reachable]] = best[reachable] + 1
+    return int(cells.size)
+
+
+# ---------------------------------------------------------------------------
+# Arena
+# ---------------------------------------------------------------------------
+
+
+class SharedTableArena:
+    """A narrow-dtype DP table in one shared-memory segment.
+
+    Context-managed: ``close()`` drops this process's mapping and
+    unlinks the OS object, and runs on block exit *including error
+    paths* — no interpreter-exit hooks involved.  The table is
+    initialised to the dtype's :func:`unreachable_for` sentinel with
+    the origin at 0, ready for a wave fill.
+    """
+
+    def __init__(self, size: int, dtype: np.dtype) -> None:
+        self.size = int(size)
+        self.dtype = np.dtype(dtype)
+        if self.size < 1:
+            raise DPError(f"arena size must be >= 1, got {size}")
+        self._shm: Optional[SharedMemory] = SharedMemory(
+            create=True, size=self.size * self.dtype.itemsize
+        )
+        self.name = self._shm.name
+        self.table = np.ndarray((self.size,), dtype=self.dtype, buffer=self._shm.buf)
+        self.table[:] = unreachable_for(self.dtype)
+        self.table[0] = 0
+
+    def widened(self) -> np.ndarray:
+        """An owned int64 copy of the table (safe to use after close)."""
+        wide = widen_table(self.table)
+        if wide is self.table:  # already int64 — still segment-backed
+            wide = self.table.copy()
+        return wide
+
+    def close(self) -> None:
+        """Release the mapping and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        self.table = None  # drop the buffer view before closing
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # already unlinked elsewhere
+            pass
+
+    def __enter__(self) -> "SharedTableArena":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Plan shipments (parent side)
+# ---------------------------------------------------------------------------
+
+
+class _Shipment:
+    """One plan's wave order + configs in a shared segment.
+
+    Layout (all int64): ``configs.ravel()`` then the concatenated wave
+    cell order (length = table size — waves tile the table).  Wave
+    ``boundaries`` stay parent-side; workers only ever see ``(lo, hi)``
+    slices.  The key digests the exact plan content, so a worker's
+    cached attachment stays valid for as long as the key matches.
+    """
+
+    def __init__(
+        self,
+        key: tuple,
+        shape: tuple[int, ...],
+        configs: np.ndarray,
+        order: np.ndarray,
+        boundaries: np.ndarray,
+    ) -> None:
+        self.key = key
+        self.shape = tuple(int(s) for s in shape)
+        self.num_configs = int(configs.shape[0])
+        self.boundaries = boundaries
+        configs = np.ascontiguousarray(configs, dtype=np.int64)
+        order = np.ascontiguousarray(order, dtype=np.int64)
+        total = configs.size + order.size
+        self._shm: Optional[SharedMemory] = SharedMemory(
+            create=True, size=max(1, total * 8)
+        )
+        self.name = self._shm.name
+        flat = np.ndarray((total,), dtype=np.int64, buffer=self._shm.buf)
+        flat[: configs.size] = configs.ravel()
+        flat[configs.size :] = order
+        #: parent-side views for the inline path / cost indexing.
+        self.configs = flat[: configs.size].reshape(configs.shape)
+        self.order = flat[configs.size :]
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        self.configs = None
+        self.order = None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _plan_key(plan: ProbePlan, kind: str, dim: int) -> tuple:
+    """Content digest identifying one plan's shipment.
+
+    The wave order is a pure function of ``(kind, dim, shape)`` and the
+    fill values of the configuration set, so hashing the exact
+    :func:`configs_signature` (shape + configs bytes) plus the schedule
+    kind fully determines the segment's bytes.  Gcd-normalized probes
+    (:func:`~repro.dptable.plan.plan_signature` collisions) resolve to
+    the same cached :class:`ProbePlan` and therefore the same digest —
+    the zero-copy reuse the plan cache already set up.
+    """
+    sig = configs_signature(plan.geometry, plan.configs)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(repr((kind, int(dim), sig[1], sig[2])).encode())
+    digest.update(sig[3])
+    return (kind, int(dim), digest.hexdigest())
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+# Populated lazily inside pool workers; the parent never touches these
+# (its inline path reads the shipment views directly), so forked
+# children start with empty caches.
+_W_PLANS: "OrderedDict[tuple, dict]" = OrderedDict()
+_W_TABLES: "OrderedDict[str, dict]" = OrderedDict()
+
+
+def _attach_plan(key: tuple, seg_name: str, shape: tuple[int, ...], num_configs: int) -> dict:
+    """This worker's mapping of one plan shipment (attached on first use)."""
+    entry = _W_PLANS.get(key)
+    if entry is not None:
+        _W_PLANS.move_to_end(key)
+        return entry
+    shm = SharedMemory(name=seg_name)
+    shape = tuple(int(s) for s in shape)
+    ndim = len(shape)
+    size = 1
+    for s in shape:
+        size *= s
+    total = num_configs * ndim + size
+    flat = np.ndarray((total,), dtype=np.int64, buffer=shm.buf)
+    entry = {
+        "shm": shm,
+        "configs": flat[: num_configs * ndim].reshape(num_configs, ndim),
+        "order": flat[num_configs * ndim :],
+        "shape": shape,
+        "strides": _strides_for(shape),
+    }
+    _W_PLANS[key] = entry
+    while len(_W_PLANS) > _WORKER_MAX_PLANS:
+        _, old = _W_PLANS.popitem(last=False)
+        old["shm"].close()
+    return entry
+
+
+def _attach_table(name: str, dtype_str: str, size: int) -> np.ndarray:
+    """This worker's mapping of the current fill's table arena."""
+    entry = _W_TABLES.get(name)
+    if entry is not None:
+        _W_TABLES.move_to_end(name)
+        return entry["table"]
+    shm = SharedMemory(name=name)
+    table = np.ndarray((size,), dtype=np.dtype(dtype_str), buffer=shm.buf)
+    _W_TABLES[name] = {"shm": shm, "table": table}
+    while len(_W_TABLES) > _WORKER_MAX_TABLES:
+        _, old = _W_TABLES.popitem(last=False)
+        del old["table"]
+        old["shm"].close()
+    return table
+
+
+def _fabric_work(task: tuple) -> int:
+    """Fill ``order[lo:hi]`` of one wave (runs in a pool worker)."""
+    key, seg_name, shape, num_configs, table_name, dtype_str, size, lo, hi = task
+    plan = _attach_plan(key, seg_name, tuple(shape), num_configs)
+    table = _attach_table(table_name, dtype_str, size)
+    return _fill_range(
+        table,
+        plan["order"][lo:hi],
+        plan["configs"],
+        plan["shape"],
+        plan["strides"],
+        unreachable_for(table.dtype),
+    )
+
+
+def _reset_worker_caches() -> None:
+    """Close and forget this process's attachments (tests / reuse)."""
+    for store in (_W_PLANS, _W_TABLES):
+        for entry in store.values():
+            for view_key in ("configs", "order", "table"):
+                entry.pop(view_key, None)
+            entry["shm"].close()
+        store.clear()
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+class BlockExecutor:
+    """A persistent process pool filling plan waves over shared tables.
+
+    The pool starts lazily on the first wave large enough to dispatch
+    and survives across fills — the whole point: per-probe pool spawns
+    were the dominant overhead of the old wavefront backend.  Plan
+    shipments are cached (bounded LRU) and shipped to each worker at
+    most once per plan.  ``close()`` releases the pool and every
+    shipment but leaves the executor reusable: the next fill lazily
+    restarts it.  Thread-safe — concurrent probe threads
+    (:class:`~repro.core.executor.ParallelHostExecutor`) may share one
+    fabric.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        min_parallel_cells: int = DEFAULT_MIN_PARALLEL_CELLS,
+        max_plans: int = DEFAULT_MAX_PLANS,
+    ) -> None:
+        if workers < 1:
+            raise DPError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.min_parallel_cells = int(min_parallel_cells)
+        self.max_plans = int(max_plans)
+        self._pool = None
+        self._shipments: "OrderedDict[tuple, _Shipment]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker pool is currently running."""
+        return self._pool is not None
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None:
+                ctx = get_context()
+                self._pool = ctx.Pool(processes=self.workers)
+                obs.count("fabric.pool.started")
+            return self._pool
+
+    def close(self, force: bool = False) -> None:
+        """Shut the pool down and unlink every shipment (idempotent).
+
+        ``force=True`` terminates workers instead of letting queued
+        tasks finish — the dirty-shutdown path of the service daemon.
+        The executor stays usable: a later fill restarts the pool.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+            shipments = list(self._shipments.values())
+            self._shipments.clear()
+        if pool is not None:
+            if force:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+        for shipment in shipments:
+            shipment.close()
+
+    def __enter__(self) -> "BlockExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- shipments -----------------------------------------------------------
+
+    def _shipment_for(self, plan: ProbePlan, blocked_dim: Optional[int]) -> _Shipment:
+        if blocked_dim is None:
+            key = _plan_key(plan, "levels", -1)
+        else:
+            key = _plan_key(plan, "blocked", blocked_dim)
+        with self._lock:
+            shipment = self._shipments.get(key)
+            if shipment is not None:
+                self._shipments.move_to_end(key)
+                obs.count("fabric.plan.reused")
+                return shipment
+        # Build outside the lock: schedule derivation can be expensive.
+        if blocked_dim is None:
+            schedule = plan.level_schedule
+            order = schedule.order
+            boundaries = np.asarray(schedule.boundaries, dtype=np.int64)
+        else:
+            groups = plan.blocked(blocked_dim).fill_groups
+            order = (
+                np.concatenate(groups)
+                if groups
+                else np.zeros(0, dtype=np.int64)
+            )
+            sizes = np.array([g.size for g in groups], dtype=np.int64)
+            boundaries = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(sizes, dtype=np.int64)]
+            )
+        shipment = _Shipment(key, plan.geometry.shape, plan.configs, order, boundaries)
+        with self._lock:
+            existing = self._shipments.get(key)
+            if existing is not None:  # raced with another probe thread
+                shipment.close()
+                self._shipments.move_to_end(key)
+                obs.count("fabric.plan.reused")
+                return existing
+            self._shipments[key] = shipment
+            obs.count("fabric.plan.shipped")
+            evicted = []
+            while len(self._shipments) > self.max_plans:
+                _, old = self._shipments.popitem(last=False)
+                evicted.append(old)
+        for old in evicted:
+            old.close()
+        return shipment
+
+    # -- filling -------------------------------------------------------------
+
+    def fill(
+        self,
+        plan: ProbePlan,
+        blocked_dim: Optional[int] = None,
+        min_parallel_cells: Optional[int] = None,
+    ) -> np.ndarray:
+        """Execute one plan's waves; returns the flat int64 table.
+
+        ``blocked_dim=None`` walks the anti-diagonal level schedule
+        (Algorithm 2); an integer walks the blocked
+        ``(block-level, in-block-level)`` groups for that block count
+        (Algorithms 4+5).  Waves below ``min_parallel_cells`` (or all
+        waves, for a 1-worker fabric) run inline in the parent; larger
+        waves are cut into cost-balanced ranges
+        (:func:`~repro.parallel.chunking.split_by_cost`, weighted by
+        ``plan.candidates``) and dispatched to the pool.  The wave loop
+        is the barrier.  Bit-identical to
+        :func:`~repro.engines.base.fill_by_groups` over the same
+        groups.
+        """
+        geometry = plan.geometry
+        if geometry.ndim == 0:
+            return np.zeros(1, dtype=np.int64)
+        threshold = (
+            self.min_parallel_cells
+            if min_parallel_cells is None
+            else int(min_parallel_cells)
+        )
+        size = geometry.size
+        shape = geometry.shape
+        dtype = pick_table_dtype(geometry.max_level)
+        unreach = unreachable_for(dtype)
+        strides = np.asarray(geometry.strides, dtype=np.int64)
+
+        shipment = self._shipment_for(plan, blocked_dim)
+        boundaries = shipment.boundaries
+        if int(boundaries[-1]) != size:
+            raise DPError(
+                f"schedule covered {int(boundaries[-1])} of {size} cells; "
+                "waves must tile the table"
+            )
+        cost = plan.candidates
+        obs.count("fabric.fill.calls")
+        obs.count("fabric.fill.cells", size)
+
+        with SharedTableArena(size, dtype) as arena:
+            table = arena.table
+            for wave in range(boundaries.size - 1):
+                lo, hi = int(boundaries[wave]), int(boundaries[wave + 1])
+                if hi <= lo:
+                    continue
+                if self.workers == 1 or hi - lo < threshold:
+                    _fill_range(
+                        table,
+                        shipment.order[lo:hi],
+                        shipment.configs,
+                        shape,
+                        strides,
+                        unreach,
+                    )
+                    obs.count("fabric.waves.inline")
+                    continue
+                pool = self._ensure_pool()
+                wave_costs = cost[shipment.order[lo:hi]].astype(np.float64)
+                tasks = [
+                    (
+                        shipment.key,
+                        shipment.name,
+                        shape,
+                        shipment.num_configs,
+                        arena.name,
+                        dtype.str,
+                        size,
+                        lo + a,
+                        lo + b,
+                    )
+                    for a, b in split_by_cost(wave_costs, self.workers)
+                ]
+                pool.map(_fabric_work, tasks)
+                obs.count("fabric.waves.parallel")
+            return arena.widened()
+
+
+# ---------------------------------------------------------------------------
+# Shared fabrics + the hostpar backend
+# ---------------------------------------------------------------------------
+
+_SHARED_FABRICS: dict[int, BlockExecutor] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_fabric(workers: int = 4) -> BlockExecutor:
+    """The process-wide fabric for ``workers`` (created on first use).
+
+    Registry factories build a fresh solver per request; sharing the
+    executor here is what makes the pool — and the shipped plans —
+    persist across probes.  :func:`shutdown_fabrics` releases them all
+    (each stays reusable afterwards).
+    """
+    workers = int(workers)
+    if workers < 1:
+        raise DPError(f"workers must be >= 1, got {workers}")
+    with _SHARED_LOCK:
+        fabric = _SHARED_FABRICS.get(workers)
+        if fabric is None:
+            fabric = BlockExecutor(workers=workers)
+            _SHARED_FABRICS[workers] = fabric
+        return fabric
+
+
+def shutdown_fabrics(force: bool = False) -> int:
+    """Close every shared fabric; returns how many had a live pool."""
+    with _SHARED_LOCK:
+        fabrics = list(_SHARED_FABRICS.values())
+    closed = sum(1 for f in fabrics if f.alive)
+    for fabric in fabrics:
+        fabric.close(force=force)
+    return closed
+
+
+# Shared fabrics are process-wide by design, so no scope closes them;
+# unlink their shipment segments before the resource tracker can flag
+# them at interpreter exit.  Explicitly-owned executors (the service
+# pipeline, the CLI) are closed by their owners long before this.
+atexit.register(shutdown_fabrics, force=True)
+
+
+class HostParallelSolver:
+    """``hostpar-<p>``: exact DP fills on the shared fill fabric.
+
+    Satisfies the :class:`~repro.core.ptas.DPSolver` protocol.  Unlike
+    the historical wavefront backend this keeps its worker pool (and
+    shipped plans) alive across probes via :func:`shared_fabric` —
+    pass ``fill_fabric`` to pin a specific executor instead (the
+    service pipeline does, so its lifecycle hooks own the pool).
+    Pure wall-clock execution: no simulated time, no ``runs`` log.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        min_parallel_cells: int = DEFAULT_MIN_PARALLEL_CELLS,
+        plan_cache=None,
+        fill_fabric: Optional[BlockExecutor] = None,
+    ) -> None:
+        if workers < 1:
+            raise DPError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.min_parallel_cells = int(min_parallel_cells)
+        self.plan_cache = plan_cache
+        self.fabric = fill_fabric if fill_fabric is not None else shared_fabric(workers)
+
+    @property
+    def name(self) -> str:
+        """Backend label, e.g. ``hostpar-4``."""
+        return f"hostpar-{self.workers}"
+
+    def __call__(
+        self,
+        counts: Sequence[int],
+        class_sizes: Sequence[int],
+        target: int,
+        configs: Optional[np.ndarray] = None,
+    ) -> DPResult:
+        """DPSolver protocol: solve one probe on the fabric."""
+        counts = tuple(int(c) for c in counts)
+        if len(counts) != len(class_sizes):
+            raise DPError("counts and class_sizes must have equal length")
+        if len(counts) == 0:
+            return empty_dp_result()
+        from repro.engines.base import resolve_plan
+
+        plan = resolve_plan(self.plan_cache, counts, class_sizes, target, configs, None)
+        if configs is None:
+            configs = plan.configs
+        flat = self.fabric.fill(plan, min_parallel_cells=self.min_parallel_cells)
+        return DPResult(table=flat.reshape(plan.geometry.shape), configs=configs)

@@ -1,102 +1,49 @@
-"""Host-parallel wavefront DP on shared memory.
+"""Host-parallel wavefront DP — a thin client of the fill fabric.
 
 Parallelises the anti-diagonal wavefront of Algorithm 2 across real OS
-processes: the DP-table lives in a ``multiprocessing.shared_memory``
-segment mapped zero-copy into every worker, each level's cells are cut
-into cost-balanced contiguous ranges (:mod:`repro.parallel.chunking`),
-and the level loop is the barrier.  Cells of one level are disjoint, so
-workers write without synchronisation; dependencies are satisfied
-because all earlier levels completed before the level was dispatched —
-the same safety argument as the paper's wavefront.
+processes.  The worker-pool + SharedMemory plumbing that used to live
+here moved to :mod:`repro.parallel.fabric`; this module keeps the
+historical entry points:
 
-This is genuinely parallel execution on the reproduction host (not the
-simulator).  Per the HPC-Python guides: vectorized worker bodies, no
-per-cell Python loops, no table pickling (only ``(lo, hi)`` ranges
-cross the process boundary).
+* :func:`parallel_wavefront_dp` — one probe on the shared fabric for
+  the requested worker count;
+* :class:`WavefrontSolver` — the ``wavefront-<w>`` registry backend.
 
-The level order, boundaries, and per-cell cost estimates come from the
-probe's :class:`~repro.dptable.plan.ProbePlan` — the *same* schedule
-the simulated engines interpret, so real and modelled execution
-provably walk identical wavefronts.  Shared-memory segments are
-context-managed (:func:`_shared_segment`): they are closed and
-unlinked the moment the probe exits, including on error paths such as
-a raised :class:`~repro.errors.DPError` — no interpreter-exit hooks
-involved.
+Two things changed with the move, both invisible in results (bit-
+identity is property-tested):
+
+* segments are **narrow-dtype** — the fill runs in the dtype
+  :func:`repro.core.dp_common.pick_table_dtype` picks for the level
+  bound and is widened to the canonical int64 table only at the
+  boundary, instead of the historical always-int64 segments;
+* the worker pool is **persistent** — pools are no longer spawned and
+  torn down per probe, and a probe's plan (wave order + configs) is
+  shipped to each worker at most once, zero-copy, keyed on the exact
+  plan signature.
+
+The level order, boundaries, and per-cell cost estimates still come
+from the probe's :class:`~repro.dptable.plan.ProbePlan` — the *same*
+schedule the simulated engines interpret, so real and modelled
+execution provably walk identical wavefronts.  Table segments remain
+context-managed per fill: closed and unlinked the moment the probe
+exits, including on error paths such as a raised
+:class:`~repro.errors.DPError`.
 """
 
 from __future__ import annotations
 
-from contextlib import ExitStack, contextmanager
-from multiprocessing import get_context
-from multiprocessing.shared_memory import SharedMemory
-from typing import Iterator, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.dp_common import DPResult, UNREACHABLE, empty_dp_result
+from repro.core.dp_common import DPResult, empty_dp_result
 from repro.dptable.plan import ProbePlan
-from repro.dptable.table import TableGeometry
 from repro.errors import DPError
-from repro.parallel.chunking import split_by_cost
-
-# Worker-process globals, populated by _init_worker.
-_W: dict = {}
-
-
-def _init_worker(table_name: str, order_name: str, size: int, shape, configs) -> None:
-    """Map the shared segments into this worker (runs in the child)."""
-    table_shm = SharedMemory(name=table_name)
-    order_shm = SharedMemory(name=order_name)
-    _W["table_shm"] = table_shm
-    _W["order_shm"] = order_shm
-    _W["table"] = np.ndarray((size,), dtype=np.int64, buffer=table_shm.buf)
-    _W["order"] = np.ndarray((size,), dtype=np.int64, buffer=order_shm.buf)
-    _W["shape"] = tuple(shape)
-    _W["strides"] = np.asarray(TableGeometry(tuple(shape)).strides, dtype=np.int64)
-    _W["configs"] = np.asarray(configs, dtype=np.int64)
-
-
-def _work_range(bounds: tuple[int, int]) -> int:
-    """Fill cells ``order[lo:hi]`` of the current level (runs in the child)."""
-    lo, hi = bounds
-    table = _W["table"]
-    cells_flat = _W["order"][lo:hi]
-    cells_flat = cells_flat[cells_flat != 0]  # the origin is pre-final
-    if cells_flat.size == 0:
-        return 0
-    coords = np.stack(np.unravel_index(cells_flat, _W["shape"]), axis=1)
-    best = np.full(cells_flat.size, UNREACHABLE, dtype=np.int64)
-    for cfg in _W["configs"]:
-        prev = coords - cfg
-        ok = (prev >= 0).all(axis=1)
-        if not ok.any():
-            continue
-        vals = table[prev[ok] @ _W["strides"]]
-        sel = np.flatnonzero(ok)
-        best[sel] = np.minimum(best[sel], vals)
-    reachable = best < UNREACHABLE
-    table[cells_flat[reachable]] = best[reachable] + 1
-    return int(cells_flat.size)
-
-
-@contextmanager
-def _shared_segment(nbytes: int) -> Iterator[SharedMemory]:
-    """One shared-memory segment, released on block exit no matter what.
-
-    ``close()`` drops this process's mapping; ``unlink()`` removes the
-    OS object so nothing outlives the probe — also on exception paths
-    (a raised :class:`DPError` must not leak segments, which is what
-    the old ``atexit``-based cleanup could not guarantee mid-session).
-    """
-    segment = SharedMemory(create=True, size=nbytes)
-    try:
-        yield segment
-    finally:
-        segment.close()
-        try:
-            segment.unlink()
-        except FileNotFoundError:  # already unlinked elsewhere
-            pass
+from repro.parallel.fabric import (
+    DEFAULT_MIN_PARALLEL_CELLS,
+    BlockExecutor,
+    shared_fabric,
+)
 
 
 def parallel_wavefront_dp(
@@ -105,22 +52,19 @@ def parallel_wavefront_dp(
     target: int,
     configs: Optional[np.ndarray] = None,
     workers: int = 4,
-    min_parallel_level: int = 256,
+    min_parallel_level: int = DEFAULT_MIN_PARALLEL_CELLS,
     plan: Optional[ProbePlan] = None,
     plan_cache=None,
+    fill_fabric: Optional[BlockExecutor] = None,
 ) -> DPResult:
     """Solve the DP on ``workers`` processes; result identical to serial.
 
-    Levels smaller than ``min_parallel_level`` cells are executed inline
-    (dispatch overhead would dominate) — the host-side analogue of the
-    paper's observation that narrow levels cannot feed wide hardware.
-
-    ``plan`` / ``plan_cache`` follow the engine convention (see
-    :func:`repro.engines.base.resolve_plan`): pass a prebuilt
-    :class:`~repro.dptable.plan.ProbePlan` to skip schedule
-    derivation, or a :class:`~repro.core.probe_cache.PlanCache` to
-    share schedules across probes; by default the process-wide plan
-    cache serves the lookup.
+    Levels smaller than ``min_parallel_level`` cells are executed
+    inline (dispatch overhead would dominate).  ``plan`` /
+    ``plan_cache`` follow the engine convention (see
+    :func:`repro.engines.base.resolve_plan`).  ``fill_fabric`` pins a
+    specific :class:`~repro.parallel.fabric.BlockExecutor`; by default
+    the process-wide shared fabric for ``workers`` serves the fill.
     """
     counts = tuple(int(c) for c in counts)
     if len(counts) != len(class_sizes):
@@ -134,57 +78,9 @@ def parallel_wavefront_dp(
     plan = resolve_plan(plan_cache, counts, class_sizes, target, configs, plan)
     if configs is None:
         configs = plan.configs
-
-    geometry = plan.geometry
-    size = geometry.size
-
-    schedule = plan.level_schedule
-    order = schedule.order
-    boundaries = schedule.boundaries
-    # Per-cell cost estimate for balanced chunks: the downset size
-    # (plan.candidates) dominates the real per-cell work.
-    cost = plan.candidates.astype(np.float64)
-
-    with ExitStack() as stack:
-        table_shm = stack.enter_context(_shared_segment(size * 8))
-        order_shm = stack.enter_context(_shared_segment(size * 8))
-        stack.callback(_W.clear)
-
-        table = np.ndarray((size,), dtype=np.int64, buffer=table_shm.buf)
-        table[:] = UNREACHABLE
-        table[0] = 0
-        shared_order = np.ndarray((size,), dtype=np.int64, buffer=order_shm.buf)
-        shared_order[:] = order
-
-        _init_worker(table_shm.name, order_shm.name, size, geometry.shape, configs)
-        pool = None
-        if workers > 1:
-            ctx = get_context()
-            pool = ctx.Pool(
-                processes=workers,
-                initializer=_init_worker,
-                initargs=(table_shm.name, order_shm.name, size, geometry.shape, configs),
-            )
-        try:
-            for lvl in range(1, geometry.max_level + 1):
-                lo, hi = int(boundaries[lvl]), int(boundaries[lvl + 1])
-                if hi <= lo:
-                    continue
-                if pool is None or hi - lo < min_parallel_level:
-                    _work_range((lo, hi))
-                    continue
-                level_costs = cost[order[lo:hi]]
-                ranges = [
-                    (lo + a, lo + b) for a, b in split_by_cost(level_costs, workers)
-                ]
-                pool.map(_work_range, ranges)
-        finally:
-            if pool is not None:
-                pool.close()
-                pool.join()
-        result = table.reshape(geometry.shape).copy()
-
-    return DPResult(table=result, configs=configs)
+    fabric = fill_fabric if fill_fabric is not None else shared_fabric(workers)
+    flat = fabric.fill(plan, min_parallel_cells=min_parallel_level)
+    return DPResult(table=flat.reshape(plan.geometry.shape), configs=configs)
 
 
 class WavefrontSolver:
@@ -202,14 +98,16 @@ class WavefrontSolver:
     def __init__(
         self,
         workers: int = 4,
-        min_parallel_level: int = 256,
+        min_parallel_level: int = DEFAULT_MIN_PARALLEL_CELLS,
         plan_cache=None,
+        fill_fabric: Optional[BlockExecutor] = None,
     ) -> None:
         if workers < 1:
             raise DPError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.min_parallel_level = min_parallel_level
         self.plan_cache = plan_cache
+        self.fill_fabric = fill_fabric
 
     @property
     def name(self) -> str:
@@ -232,4 +130,5 @@ class WavefrontSolver:
             workers=self.workers,
             min_parallel_level=self.min_parallel_level,
             plan_cache=self.plan_cache,
+            fill_fabric=self.fill_fabric,
         )

@@ -245,6 +245,14 @@ class BatchScheduler:
         served a bounded LPT/MULTIFIT baseline answer tagged
         ``degraded=True`` instead of aborting the batch — N requests
         always produce N results.  ``False`` re-raises the failure.
+    fill_workers:
+        When > 1, the pipeline owns a persistent fill fabric
+        (:class:`~repro.parallel.fabric.BlockExecutor`) of that many
+        processes, injected into every fabric-aware backend so large
+        fills run host-parallel.  Call :meth:`close` (or use the
+        scheduler as a context manager) to shut the pool down; the
+        admission estimate automatically covers the fabric's shared
+        segments.
 
     Example::
 
@@ -267,6 +275,7 @@ class BatchScheduler:
         deadline_s: Optional[float] = None,
         memory_budget_bytes: Optional[int] = None,
         degrade: bool = True,
+        fill_workers: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise InvalidInstanceError(f"workers must be >= 1, got {workers}")
@@ -283,6 +292,7 @@ class BatchScheduler:
             retry=retry,
             deadline_s=deadline_s,
             memory_budget_bytes=memory_budget_bytes,
+            fill_workers=fill_workers,
         )
         self.pipeline = ProbePipeline(
             backend=backend,
@@ -290,9 +300,26 @@ class BatchScheduler:
             resilience=resilience,
             faults=faults,
             degrade=bool(degrade),
+            fill_workers=fill_workers,
         )
         self.search = search
         self.eps = eps
+
+    def close(self, force: bool = False) -> None:
+        """Shut the pipeline's fill-fabric pool down (idempotent).
+
+        A scheduler without ``fill_workers`` has nothing to release.
+        ``force=True`` terminates fabric workers instead of letting
+        in-flight wave tasks finish.  The scheduler stays usable — a
+        later batch lazily restarts the pool.
+        """
+        self.pipeline.close(force=force)
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # Historical accessors: the caches, knobs, and policy now live on
     # the shared pipeline; these properties keep the original surface.

@@ -211,6 +211,12 @@ class SchedulingService:
     faults / retry / deadline_s / memory_budget_bytes / degrade:
         The resilience knobs, forwarded to the shared pipeline (see
         ``docs/RELIABILITY.md``).
+    fill_workers:
+        When > 1, the pipeline owns a persistent fill fabric
+        (:class:`~repro.parallel.fabric.BlockExecutor`) injected into
+        fabric-aware backends.  :meth:`shutdown` releases the pool on
+        both the clean-drain and dirty-timeout paths, so no fabric
+        worker ever outlives the service.
     max_queue:
         Optional bound on the dispatch queue; at capacity, ``submit``
         back-pressures (awaits space) rather than rejecting.
@@ -229,6 +235,7 @@ class SchedulingService:
         deadline_s: Optional[float] = None,
         memory_budget_bytes: Optional[int] = None,
         degrade: bool = True,
+        fill_workers: Optional[int] = None,
         max_queue: Optional[int] = None,
     ) -> None:
         if workers < 1:
@@ -238,6 +245,7 @@ class SchedulingService:
             retry=retry,
             deadline_s=deadline_s,
             memory_budget_bytes=memory_budget_bytes,
+            fill_workers=fill_workers,
         )
         self.pipeline = ProbePipeline(
             backend=backend,
@@ -245,6 +253,7 @@ class SchedulingService:
             resilience=resilience,
             faults=faults,
             degrade=bool(degrade),
+            fill_workers=fill_workers,
         )
         self.backend = backend
         self.workers = int(workers)
@@ -305,6 +314,7 @@ class SchedulingService:
         """
         self._closing = True
         if not self._started:
+            self.pipeline.close()
             return True
         if not drain:
             self._flush_queue()
@@ -321,6 +331,10 @@ class SchedulingService:
         self._started = False
         if not clean:
             self._abandon_inflight()
+        # Both exits release the fill-fabric pool: a drained service
+        # closes it gracefully, a dirty shutdown terminates its
+        # workers — either way nothing outlives the daemon.
+        self.pipeline.close(force=not clean)
         self.metrics.count("shutdown.clean" if clean else "shutdown.timeout")
         return clean
 

@@ -60,6 +60,7 @@ def build_resilience(
     retry: Optional[RetryPolicy] = None,
     deadline_s: Optional[float] = None,
     memory_budget_bytes: Optional[int] = None,
+    fill_workers: Optional[int] = None,
 ) -> Tuple[Optional[ResiliencePolicy], Optional[FaultInjector]]:
     """The resilience policy both service front-ends construct.
 
@@ -68,11 +69,17 @@ def build_resilience(
     and retrying transient faults is what makes them invisible in the
     results (``docs/RELIABILITY.md``).  Returns ``(policy, faults)``;
     the policy is ``None`` when every knob is off.
+
+    ``fill_workers`` tells the admission controller that fills may run
+    host-parallel, so memory estimates cover the fabric's shared
+    segments and per-worker scratch and
+    :class:`~repro.errors.MemoryBudgetExceeded` fires before any
+    segment is created.
     """
     if faults is not None and retry is None:
         retry = RetryPolicy()
     admission = (
-        AdmissionController(memory_budget_bytes)
+        AdmissionController(memory_budget_bytes, fill_workers=fill_workers)
         if memory_budget_bytes is not None
         else None
     )
@@ -101,6 +108,14 @@ class ProbePipeline:
     override it), ``cache``/``plan_cache`` are the cross-request reuse
     layers, ``resilience``/``faults`` the reliability knobs, and
     ``degrade`` selects bounded-baseline answers over raised failures.
+
+    ``fill_workers`` (> 1) gives the pipeline its own fill fabric — a
+    persistent :class:`~repro.parallel.fabric.BlockExecutor` injected
+    into every fabric-aware backend it resolves, so large fills run
+    process-parallel and plans ship to each worker once.  The pipeline
+    owns the pool's lifecycle: the front-ends call :meth:`close` on
+    drain (and with ``force=True`` on dirty shutdown) so no worker
+    outlives the service.
     """
 
     backend: str = "auto"
@@ -109,9 +124,29 @@ class ProbePipeline:
     resilience: Optional[ResiliencePolicy] = None
     faults: Optional[FaultInjector] = None
     degrade: bool = True
+    fill_workers: Optional[int] = None
+    fill_fabric: Optional[object] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         require_schedule_capable(self.backend)  # fail fast, before any work
+        if self.fill_workers is not None:
+            if int(self.fill_workers) < 1:
+                raise BackendError(
+                    f"fill_workers must be >= 1, got {self.fill_workers}"
+                )
+            if int(self.fill_workers) > 1:
+                from repro.parallel.fabric import BlockExecutor
+
+                self.fill_fabric = BlockExecutor(workers=int(self.fill_workers))
+
+    def close(self, force: bool = False) -> None:
+        """Release the pipeline's fill fabric (idempotent, safe without one).
+
+        ``force=True`` terminates fabric workers instead of letting
+        queued wave tasks finish — the dirty-shutdown path.
+        """
+        if self.fill_fabric is not None:
+            self.fill_fabric.close(force=force)
 
     def run(self, request: "BatchRequest") -> Tuple["BatchRequestResult", Tracer]:
         """Execute one request with a fresh solver, executor, and tracer.
@@ -125,9 +160,12 @@ class ProbePipeline:
         from repro.service.batch import BatchRequestResult
 
         name = request.backend or self.backend
+        spec = require_schedule_capable(name)
         kwargs: Dict[str, object] = {}
-        if require_schedule_capable(name).plan_aware:
+        if spec.plan_aware:
             kwargs["plan_cache"] = self.plan_cache
+        if spec.fabric_aware and self.fill_fabric is not None:
+            kwargs["fill_fabric"] = self.fill_fabric
         if self.faults is not None and (
             name == "fallback" or name.startswith("fallback:")
         ):

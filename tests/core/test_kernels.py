@@ -221,6 +221,38 @@ class TestCostModel:
         assert choice.kernel == "sweep"
         assert "memory budget" in choice.reason
 
+    def test_fill_workers_route_large_exact_fills_to_hostpar(self):
+        big = dict(counts=(40, 40, 40), class_sizes=(10, 12, 14), num_configs=30)
+        choice = choose_kernel(target=2000, fill_workers=4, **big)
+        assert choice.kernel == "hostpar"
+        assert "fill workers" in choice.reason
+        # Budget-bound probes never parallelise — the decision clamp's
+        # O(1) load-bound rejects beat any pool.
+        bound = choose_kernel(target=2000, machines=5, fill_workers=4, **big)
+        assert bound.kernel == "decision"
+        # No fabric advertised → the serial exact fill.
+        assert choose_kernel(target=2000, **big).kernel == "vectorized"
+        # Below the work floor the single-core relaxation wins.
+        small = choose_kernel(target=30, fill_workers=4, **self.BIG)
+        assert small.kernel == "vectorized"
+
+    def test_auto_fabric_route_is_reference_identical(self, monkeypatch, medium_probe):
+        import repro.core.kernels.auto as auto_mod
+        from repro.parallel.fabric import BlockExecutor
+
+        # Shrink the routing floors so the medium probe takes the
+        # hostpar path; the result must still be bit-identical.
+        monkeypatch.setattr(auto_mod, "HOSTPAR_MIN_WORK", 1)
+        monkeypatch.setattr(auto_mod, "SMALL_TABLE_CELLS", 0)
+        args = (medium_probe.counts, medium_probe.class_sizes, medium_probe.target)
+        assert choose_kernel(
+            *args, num_configs=1, fill_workers=2
+        ).kernel == "hostpar"
+        with BlockExecutor(workers=2) as fabric:
+            solver = AutoKernel(fill_fabric=fabric)
+            result = solver(*args)
+        assert np.array_equal(result.table, dp_reference(*args).table)
+
     def test_estimate_rounds_is_capped_by_the_clamp(self):
         unbounded = estimate_rounds((20, 20), (10, 10), 10)
         assert unbounded == 40  # load 400 / target 10

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import ReproError
 from repro.parallel.chunking import split_by_cost, split_evenly
@@ -85,3 +87,89 @@ class TestSplitByCost:
         ranges = split_by_cost(costs, 8)
         sums = [costs[lo:hi].sum() for lo, hi in ranges]
         assert max(sums) <= 2.2 * (costs.sum() / 8)
+
+
+class TestSplitProperties:
+    """Property tests: every split is a contiguous, exact tiling."""
+
+    @given(n=st.integers(0, 500), k=st.integers(1, 64))
+    def test_split_evenly_tiles_the_range(self, n, k):
+        ranges = split_evenly(n, k)
+        assert len(ranges) == min(n, k)
+        prev = 0
+        for lo, hi in ranges:
+            assert lo == prev and hi > lo  # contiguous, never empty
+            prev = hi
+        assert prev == n
+        if ranges:
+            sizes = [hi - lo for lo, hi in ranges]
+            assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        costs=st.lists(st.floats(0.0, 1e6), max_size=200),
+        k=st.integers(1, 32),
+    )
+    def test_split_by_cost_tiles_the_range(self, costs, k):
+        costs = np.asarray(costs, dtype=np.float64)
+        ranges = split_by_cost(costs, k)
+        assert len(ranges) == min(costs.size, k)
+        prev = 0
+        for lo, hi in ranges:
+            assert lo == prev and hi > lo
+            prev = hi
+        assert prev == costs.size
+
+    @given(
+        costs=st.lists(st.floats(0.01, 1e3), min_size=2, max_size=200),
+        k=st.integers(1, 32),
+    )
+    def test_split_by_cost_cuts_near_the_even_cost_marks(self, costs, k):
+        # Each cut lands where the cumulative cost crosses a multiple
+        # of total/k, so no chunk exceeds its fair share by more than
+        # one item's cost on each side (degenerates to fair + 2*max).
+        costs = np.asarray(costs, dtype=np.float64)
+        fair = costs.sum() / min(costs.size, k)
+        for lo, hi in split_by_cost(costs, k):
+            assert costs[lo:hi].sum() <= fair + 2 * costs.max()
+
+    @given(k=st.integers(1, 16))
+    def test_degenerate_zero_items(self, k):
+        # The 0-d probe plan: one wave of one pre-final cell, so the
+        # fabric has zero fillable cells to split.
+        assert split_evenly(0, k) == []
+        assert split_by_cost(np.zeros(0), k) == []
+
+    @given(cost=st.floats(0.0, 1e6))
+    def test_degenerate_single_item(self, cost):
+        # A single-block blocked plan collapses every wave to one
+        # range; the split must hand the whole wave to one worker.
+        assert split_evenly(1, 8) == [(0, 1)]
+        assert split_by_cost(np.array([cost]), 8) == [(0, 1)]
+
+
+class TestPlanScheduleSplits:
+    """The splits the fabric actually takes: plan wave boundaries."""
+
+    def test_zero_dim_plan_has_nothing_to_split(self):
+        from repro.dptable.plan import build_probe_plan
+
+        plan = build_probe_plan((), (), 5)
+        schedule = plan.level_schedule
+        # One wave holding only the pre-final origin cell, which the
+        # fill kernel skips — the parallel path never engages.
+        assert plan.geometry.size == 1
+        assert list(schedule.order) == [0]
+
+    def test_single_block_plan_waves_tile_the_table(self):
+        from repro.dptable.plan import build_probe_plan
+
+        plan = build_probe_plan((3, 2), (3, 5), 11)
+        groups = plan.blocked(1).fill_groups
+        order = np.concatenate(groups)
+        assert order.size == plan.geometry.size
+        assert sorted(order.tolist()) == list(range(plan.geometry.size))
+        for group in groups:
+            for lo, hi in split_by_cost(
+                plan.candidates[group].astype(np.float64), 4
+            ):
+                assert hi > lo

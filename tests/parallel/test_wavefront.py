@@ -8,7 +8,6 @@ import pytest
 from repro.core.dp_vectorized import dp_vectorized
 from repro.dptable.plan import build_probe_plan
 from repro.errors import DPError
-from repro.parallel import wavefront
 from repro.parallel.wavefront import WavefrontSolver, parallel_wavefront_dp
 
 
@@ -70,8 +69,11 @@ class TestParallelWavefront:
         # The context-managed segments must be unlinked even when the
         # fill itself blows up mid-probe (the atexit-based cleanup this
         # replaced could not guarantee that before interpreter exit).
+        from repro.parallel import fabric as fabric_mod
+        from repro.parallel.fabric import BlockExecutor
+
         created = []
-        real_shm = wavefront.SharedMemory
+        real_shm = fabric_mod.SharedMemory
 
         def tracking_shm(*args, **kwargs):
             segment = real_shm(*args, **kwargs)
@@ -79,18 +81,21 @@ class TestParallelWavefront:
                 created.append(segment.name)
             return segment
 
-        def exploding_work_range(bounds):
+        def exploding_fill(*args, **kwargs):
             raise DPError("injected mid-probe failure")
 
-        monkeypatch.setattr(wavefront, "SharedMemory", tracking_shm)
-        monkeypatch.setattr(wavefront, "_work_range", exploding_work_range)
+        monkeypatch.setattr(fabric_mod, "SharedMemory", tracking_shm)
+        monkeypatch.setattr(fabric_mod, "_fill_range", exploding_fill)
+        fab = BlockExecutor(workers=1)
         with pytest.raises(DPError, match="injected"):
-            parallel_wavefront_dp([3, 3], [4, 5], 12, workers=1)
-        assert len(created) == 2  # table + order segments
+            parallel_wavefront_dp(
+                [3, 3], [4, 5], 12, workers=1, fill_fabric=fab
+            )
+        assert len(created) == 2  # plan shipment + table arena
+        fab.close()
         for name in created:
             with pytest.raises(FileNotFoundError):
                 SharedMemory(name=name)
-        assert wavefront._W == {}  # worker globals released too
 
     def test_accepts_prebuilt_plan(self):
         counts, sizes, target = (3, 2, 2), (3, 5, 7), 14

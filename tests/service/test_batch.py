@@ -183,6 +183,40 @@ class TestRequests:
         assert report.wall_s >= 0
 
 
+class TestFillFabricLifecycle:
+    def test_fabric_pool_released_on_context_exit(self, fleet):
+        scheduler = BatchScheduler(workers=2, fill_workers=2)
+        fabric = scheduler.pipeline.fill_fabric
+        assert fabric is not None and fabric.workers == 2
+        with scheduler:
+            # Start the pool explicitly — the fleet's waves are small
+            # enough to run inline, and the lifecycle contract must
+            # hold regardless of whether any wave dispatched.
+            pool_procs = list(fabric._ensure_pool()._pool)
+            report = scheduler.run(fleet[:2])
+        assert not fabric.alive
+        for proc in pool_procs:
+            assert not proc.is_alive()  # no orphaned workers
+        assert report.degraded_count == 0
+
+    def test_results_identical_with_and_without_fabric(self, fleet):
+        plain = BatchScheduler(workers=1).run(fleet[:3])
+        with BatchScheduler(workers=1, fill_workers=2) as scheduler:
+            fabricated = scheduler.run(fleet[:3])
+        assert fabricated.makespans() == plain.makespans()
+
+    def test_close_without_fill_workers_is_a_no_op(self, fleet):
+        scheduler = BatchScheduler(workers=1)
+        assert scheduler.pipeline.fill_fabric is None
+        scheduler.close()
+        scheduler.close(force=True)
+        assert scheduler.run(fleet[:1]).degraded_count == 0
+
+    def test_rejects_bad_fill_worker_count(self):
+        with pytest.raises(BackendError):
+            BatchScheduler(fill_workers=0)
+
+
 class TestValidation:
     def test_rejects_bad_worker_count(self):
         with pytest.raises(InvalidInstanceError):

@@ -265,6 +265,54 @@ class TestLifecycle:
         assert stats["counters"]["shutdown.timeout"] == 1
         assert stats["active_requests"] == 0
 
+    def test_clean_shutdown_releases_fill_fabric(self, fleet):
+        async def scenario():
+            svc = SchedulingService(workers=1, fill_workers=2)
+            fabric = svc.pipeline.fill_fabric
+            assert fabric is not None
+            await svc.start()
+            pool_procs = list(fabric._ensure_pool()._pool)
+            handle = await svc.submit(fleet[0])
+            clean = await svc.shutdown(drain=True)
+            handle.refined.result()  # drained work still completed
+            return clean, fabric.alive, pool_procs, svc.stats()
+
+        clean, alive, pool_procs, stats = asyncio.run(scenario())
+        assert clean is True
+        assert alive is False
+        for proc in pool_procs:
+            assert not proc.is_alive()  # no orphaned workers
+        assert stats["counters"]["shutdown.clean"] == 1
+
+    def test_dirty_shutdown_force_closes_fill_fabric(self, fleet):
+        async def scenario():
+            svc = SchedulingService(workers=1, fill_workers=2)
+            fabric = svc.pipeline.fill_fabric
+            gated = GatedPipeline(svc)
+            async with svc:
+                fabric._ensure_pool()
+                await svc.submit(fleet[0])
+                clean = await svc.shutdown(timeout_s=0.05)
+                gated.gate.set()
+                return clean, fabric.alive, svc.stats()
+
+        clean, alive, stats = asyncio.run(scenario())
+        assert clean is False
+        assert alive is False  # terminated, not left to drain
+        assert stats["counters"]["shutdown.timeout"] == 1
+
+    def test_shutdown_before_start_releases_fill_fabric(self):
+        async def scenario():
+            svc = SchedulingService(workers=1, fill_workers=2)
+            fabric = svc.pipeline.fill_fabric
+            fabric._ensure_pool()
+            clean = await svc.shutdown()
+            return clean, fabric.alive
+
+        clean, alive = asyncio.run(scenario())
+        assert clean is True
+        assert alive is False
+
     def test_no_drain_abandons_queued_entries(self, fleet):
         async def scenario():
             svc = SchedulingService(workers=1)

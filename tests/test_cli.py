@@ -42,6 +42,20 @@ class TestSchedule:
         main(["schedule", "--machines", "3", "--random", "15", "--seed", "9"])
         assert capsys.readouterr().out == first
 
+    def test_fill_workers_does_not_change_output(self, capsys):
+        base = ["schedule", "--machines", "3", "--random", "15", "--seed", "9",
+                "--backend", "wavefront-2"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--fill-workers", "2"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_fill_workers_rejects_zero(self, capsys):
+        code = main(["schedule", "--machines", "2", "--times", "5", "6", "7",
+                     "--fill-workers", "0"])
+        assert code == 2
+        assert "--fill-workers" in capsys.readouterr().err
+
 
 class TestProfiling:
     ARGS = ["schedule", "--machines", "4", "--random", "25", "--seed", "6"]
