@@ -38,6 +38,7 @@ REQUIRED_DOCS = (
     "DESIGN.md",
     "EXPERIMENTS.md",
     "docs/API.md",
+    "docs/MODELS.md",
     "docs/PERFORMANCE.md",
     "docs/RELIABILITY.md",
     "docs/SERVICE.md",

@@ -181,6 +181,10 @@ def _register_defaults() -> None:
             description="decision-only frontier sweep (no table, no schedules)",
             aliases=("decision-frontier",),
             decision_only=True,
+            # The windowed sweep answers feasibility from the root cell
+            # only; the few-types composition needs every cell of each
+            # per-type table, so this backend cannot serve that model.
+            models=("identical", "time-restricted"),
         )
     )
     register(

@@ -76,6 +76,19 @@ class BackendSpec:
     #: The service pipeline and the CLI use this to inject the
     #: ``--fill-workers`` pool; results stay bit-identical either way.
     fabric_aware: bool = False
+    #: machine-model names (see :mod:`repro.models`) this backend can
+    #: serve.  Default: every registered model — a backend restricts
+    #: this only when its solver cannot honour a model's fill contract
+    #: (e.g. the checked frontier backend's windowed sweep assumes the
+    #: full unfiltered configuration lattice, which the few-types
+    #: composition fills violate).  The service pipeline and the CLI
+    #: refuse a (model, backend) pair up front when the model is not
+    #: listed here.
+    models: Tuple[str, ...] = (
+        "identical",
+        "unrelated-few-types",
+        "time-restricted",
+    )
 
     def __post_init__(self) -> None:
         if self.concurrency not in CONCURRENCY_MODELS:
@@ -83,6 +96,10 @@ class BackendSpec:
                 f"concurrency must be one of {CONCURRENCY_MODELS}, "
                 f"got {self.concurrency!r}"
             )
+
+    def supports_model(self, model: str) -> bool:
+        """Whether this backend can serve probes for ``model``."""
+        return model in self.models
 
     def create(self, **kwargs: object) -> DPSolver:
         """Build a fresh solver instance (engines) or the solver function."""

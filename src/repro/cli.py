@@ -102,6 +102,47 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_model_flags(parser: argparse.ArgumentParser) -> None:
+    """The machine-model selectors (see docs/MODELS.md)."""
+    from repro.core.instance import KNOWN_MODELS
+
+    parser.add_argument(
+        "--model", choices=list(KNOWN_MODELS), default="identical",
+        help="machine model to schedule under: 'identical' (default), "
+             "'unrelated-few-types' (a few machine types with integer "
+             "speeds), or 'time-restricted' (a per-machine job-count "
+             "cap)",
+    )
+    parser.add_argument(
+        "--type-speeds", type=int, nargs="+", default=None, metavar="S",
+        help="unrelated-few-types: integer speed per machine type "
+             "(default: one unit-speed type)",
+    )
+    parser.add_argument(
+        "--machines-per-type", type=int, nargs="+", default=None, metavar="M",
+        help="unrelated-few-types: machine count per type, aligned with "
+             "--type-speeds and summing to --machines",
+    )
+    parser.add_argument(
+        "--max-jobs-per-machine", type=int, default=None, metavar="B",
+        help="time-restricted: at most B jobs per machine "
+             "(default: the job count, i.e. non-binding)",
+    )
+
+
+def _modelled(inst: Instance, args: argparse.Namespace) -> Instance:
+    """Apply the ``--model`` flags to a constructed instance."""
+    from repro.models import with_model
+
+    return with_model(
+        inst,
+        args.model,
+        type_speeds=args.type_speeds,
+        machines_per_type=args.machines_per_type,
+        max_jobs_per_machine=args.max_jobs_per_machine,
+    )
+
+
 def _resilience_from_args(args: argparse.Namespace):
     """Build (policy, injector) from the shared flags; (None, None) if unset."""
     from repro.resilience import (
@@ -206,6 +247,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable the cross-probe solver cache (identical results, "
              "fewer enumerations/DP fills; stats printed with --profile)",
     )
+    _add_model_flags(p_sched)
     _add_resilience_flags(p_sched)
 
     p_batch = sub.add_parser(
@@ -233,6 +275,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="abort the batch on the first hard failure instead of "
              "serving a bounded LPT/MULTIFIT answer for that request",
     )
+    _add_model_flags(p_batch)
     _add_resilience_flags(p_batch)
 
     p_serve = sub.add_parser(
@@ -286,6 +329,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the final introspection snapshot (service stats, "
              "latency percentiles, cache tallies) to PATH as JSON",
     )
+    _add_model_flags(p_serve)
     _add_resilience_flags(p_serve)
 
     p_eng = sub.add_parser(
@@ -333,6 +377,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return EXIT_USAGE
+        inst = _modelled(inst, args)
     except InvalidInstanceError as exc:
         print(f"error: invalid instance: {exc}", file=sys.stderr)
         return EXIT_INVALID_INSTANCE
@@ -424,6 +469,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         f"{result.iterations} iterations, {len(result.probes)} DP probes)"
     )
     print(f"loads: {result.schedule.loads().tolist()}")
+    if inst.model != "identical":
+        print(f"completions: {result.schedule.completion_times().tolist()}")
     if spec.simulated:
         print(
             f"backend {spec.name}: simulated {executor.elapsed_s * 1e3:.3f} ms "
@@ -451,8 +498,19 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         save_schedule(result.schedule, args.save_schedule)
         print(f"schedule written to {args.save_schedule}")
     if args.baselines:
-        print(f"LPT:      makespan {lpt_schedule(inst).makespan}")
-        print(f"MULTIFIT: makespan {multifit_schedule(inst).makespan}")
+        if inst.model == "identical":
+            print(f"LPT:      makespan {lpt_schedule(inst).makespan}")
+            print(f"MULTIFIT: makespan {multifit_schedule(inst).makespan}")
+        else:
+            # LPT/MULTIFIT placement (and their ratios) assume identical
+            # machines; serve the model's own baseline instead.
+            from repro.core.baselines import best_baseline
+
+            sched, by, bound = best_baseline(inst)
+            print(
+                f"{by}: makespan {sched.makespan} "
+                f"(a-posteriori <= {bound:.3f} * OPT)"
+            )
     return EXIT_OK
 
 
@@ -471,9 +529,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return EXIT_USAGE
     try:
         instances = [
-            uniform_instance(
-                args.jobs, args.machines,
-                low=args.low, high=args.high, seed=args.seed + i,
+            _modelled(
+                uniform_instance(
+                    args.jobs, args.machines,
+                    low=args.low, high=args.high, seed=args.seed + i,
+                ),
+                args,
             )
             for i in range(args.requests)
         ]
@@ -557,6 +618,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             eps=args.eps,
             seed=args.seed,
             duplicate_fraction=args.duplicate_fraction,
+            model=args.model,
+            type_speeds=(
+                tuple(args.type_speeds) if args.type_speeds else None
+            ),
+            machines_per_type=(
+                tuple(args.machines_per_type)
+                if args.machines_per_type
+                else None
+            ),
+            max_jobs_per_machine=args.max_jobs_per_machine,
         )
         faults = (
             FaultInjector.from_spec(args.inject_faults)

@@ -28,6 +28,20 @@ def extract_machine_configurations(result: DPResult) -> list[tuple[int, ...]]:
     if table.ndim == 0:
         return []
     full = tuple(s - 1 for s in table.shape)
+    return extract_configurations_at(result, full)
+
+
+def extract_configurations_at(result: DPResult, cell) -> list[tuple[int, ...]]:
+    """Peel an arbitrary reachable cell into ``OPT(cell)`` configurations.
+
+    The multi-type models split the full job vector across machine
+    types; each type's share is a sub-corner cell of its own table,
+    backtracked here exactly like the identical model's full corner.
+    """
+    table = result.table
+    if table.ndim == 0:
+        return []
+    full = tuple(int(x) for x in cell)
     if int(table[full]) >= UNREACHABLE:
         raise InfeasibleError(
             f"no packing of job vector {full} exists for this target"

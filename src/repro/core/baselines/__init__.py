@@ -28,7 +28,16 @@ def best_baseline(instance: Instance) -> Tuple[Schedule, str, float]:
     daemon serves it as the immediate bound-first response while the
     PTAS refinement is still in flight.  Ties go to MULTIFIT (the
     tighter proven ratio, 13/11 vs. ``4/3 - 1/(3m)``).
+
+    Those ratios are identical-machines theorems and do NOT transfer
+    to the other models; non-identical instances dispatch to their
+    model's own baseline, whose bound is a-posteriori (makespan over
+    the model's makespan lower bound) and therefore always true.
     """
+    if instance.model != "identical":
+        from repro.models import model_for
+
+        return model_for(instance).baseline(instance)
     lpt = lpt_schedule(instance)
     mf = multifit_schedule(instance)
     if mf.makespan <= lpt.makespan:

@@ -51,7 +51,16 @@ class MakespanBounds:
 
 
 def makespan_bounds(instance: Instance) -> MakespanBounds:
-    """Compute ``[LB, UB]`` for ``instance`` per Algorithm 1."""
+    """Compute ``[LB, UB]`` for ``instance`` per Algorithm 1.
+
+    The formula above is the identical-machines bound; other models
+    own their interval (speed-aware averages, job-count caps) and are
+    dispatched to :meth:`repro.models.base.MachineModel.bounds`.
+    """
+    if instance.model != "identical":
+        from repro.models import model_for
+
+        return model_for(instance).bounds(instance)
     lb = max(instance.area_bound, instance.max_time)
     ub = instance.area_bound + instance.max_time
     return MakespanBounds(lower=lb, upper=ub)

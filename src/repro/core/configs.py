@@ -31,6 +31,7 @@ def enumerate_configurations(
     counts: Sequence[int],
     target: int,
     include_zero: bool = False,
+    max_jobs: int | None = None,
 ) -> np.ndarray:
     """All vectors ``s`` with ``0 <= s_i <= counts[i]`` and ``s . sizes <= target``.
 
@@ -48,6 +49,10 @@ def enumerate_configurations(
         When True, the all-zero configuration is included as row 0
         (useful for tests that count lattice points); the DP never wants
         it.
+    max_jobs:
+        Optional cardinality cap ``sum_i s_i <= max_jobs`` — the
+        B-parameter of the ``time-restricted`` model.  ``None`` (the
+        default) leaves the enumeration exactly as before.
 
     Returns
     -------
@@ -67,16 +72,29 @@ def enumerate_configurations(
         raise DPError(f"counts must be non-negative, got {caps}")
     if target < 0:
         raise DPError(f"target must be >= 0, got {target}")
+    if max_jobs is not None and int(max_jobs) < 0:
+        raise DPError(f"max_jobs must be >= 0, got {max_jobs}")
     d = len(sizes)
     if d == 0:
         return np.zeros((0, 0), dtype=np.int64)
 
     with obs.phase("configs.enumerate"):
-        return _enumerate(sizes, caps, int(target), d, include_zero)
+        cap = None if max_jobs is None else int(max_jobs)
+        if cap is not None and cap >= sum(caps):
+            # Every configuration holds at most sum(counts) jobs, so a
+            # cap at or above that filters nothing — drop the slot
+            # bookkeeping from the DFS (the non-binding lift's case).
+            cap = None
+        return _enumerate(sizes, caps, int(target), d, include_zero, cap)
 
 
 def _enumerate(
-    sizes: list[int], caps: list[int], target: int, d: int, include_zero: bool
+    sizes: list[int],
+    caps: list[int],
+    target: int,
+    d: int,
+    include_zero: bool,
+    max_jobs: int | None = None,
 ) -> np.ndarray:
     """The DFS enumeration body (validated arguments)."""
     # Visit classes in descending size so the budget shrinks fastest and
@@ -87,19 +105,21 @@ def _enumerate(
     out: list[list[int]] = []
     current = [0] * d
 
-    def dfs(pos: int, budget: int) -> None:
+    def dfs(pos: int, budget: int, slots: int | None) -> None:
         if pos == d:
             out.append(current.copy())
             return
         cls = order[pos]
         size = sizes[cls]
         max_here = min(caps[cls], budget // size)
+        if slots is not None:
+            max_here = min(max_here, slots)
         for s in range(max_here + 1):
             current[pos] = s
-            dfs(pos + 1, budget - s * size)
+            dfs(pos + 1, budget - s * size, None if slots is None else slots - s)
         current[pos] = 0
 
-    dfs(0, int(target))
+    dfs(0, int(target), max_jobs)
     arr = np.asarray(out, dtype=np.int64)
     if arr.size == 0:
         arr = arr.reshape(0, d)

@@ -146,6 +146,7 @@ def dp_frontier_checked(
     class_sizes: Sequence[int],
     target: int,
     configs: Optional[np.ndarray] = None,
+    model_token: Optional[tuple] = None,
 ):
     """Probe-compatible frontier solver: windowed answer, dense table.
 
@@ -159,6 +160,10 @@ def dp_frontier_checked(
     """
     from repro.core.dp_vectorized import dp_vectorized
 
+    if model_token is not None and configs is None:
+        raise DPError(
+            "model-filtered probes must supply their configuration set"
+        )
     if configs is None:
         configs = enumerate_configurations(class_sizes, counts, target)
     dense = dp_vectorized(counts, class_sizes, target, configs)

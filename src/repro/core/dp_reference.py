@@ -30,6 +30,7 @@ def dp_reference(
     class_sizes: Sequence[int],
     target: int,
     configs: np.ndarray | None = None,
+    model_token: tuple | None = None,
 ) -> DPResult:
     """Fill the DP-table by explicit wavefront iteration (Algorithm 2).
 
@@ -54,6 +55,10 @@ def dp_reference(
         raise DPError("counts and class_sizes must have equal length")
     if len(counts) == 0:
         return empty_dp_result()
+    if model_token is not None and configs is None:
+        raise DPError(
+            "model-filtered probes must supply their configuration set"
+        )
     if configs is None:
         configs = enumerate_configurations(class_sizes, counts, target)
 

@@ -99,6 +99,7 @@ def dp_vectorized(
     max_rounds: int | None = None,
     order: np.ndarray | None = None,
     shifts: tuple[tuple[tuple, tuple], ...] | None = None,
+    model_token: tuple | None = None,
 ) -> DPResult:
     """Fill the DP-table by repeated vectorized relaxation.
 
@@ -125,6 +126,10 @@ def dp_vectorized(
         raise DPError("counts and class_sizes must have equal length")
     if len(counts) == 0:
         return empty_dp_result()
+    if model_token is not None and configs is None:
+        raise DPError(
+            "model-filtered probes must supply their configuration set"
+        )
     if configs is None:
         configs = enumerate_configurations(class_sizes, counts, target)
 

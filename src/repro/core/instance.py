@@ -19,10 +19,28 @@ from repro.errors import InvalidInstanceError
 from repro.util.rng import SeedLike, make_rng
 from repro.util.validation import check_positive_int, check_positive_times
 
+#: Machine-model names the library ships.  Kept here (not in
+#: :mod:`repro.models`) so :class:`Instance` can validate without a
+#: circular import; a registry-consistency test asserts the two sets
+#: agree.
+KNOWN_MODELS: tuple[str, ...] = ("identical", "unrelated-few-types", "time-restricted")
+
 
 @dataclass(frozen=True)
 class Instance:
-    """An immutable ``P || Cmax`` instance.
+    """An immutable scheduling instance for one of the machine models.
+
+    The default is the paper's ``P || Cmax``: ``n`` jobs on ``m``
+    identical machines.  Two further models ride on the same job
+    vector (see :mod:`repro.models` and docs/MODELS.md):
+
+    - ``unrelated-few-types`` — machines come in a few uniform-speed
+      types (Bonifaci–Wiese); ``type_speeds`` and ``machines_per_type``
+      describe the fleet, and a machine of speed ``s`` finishes load
+      ``L`` at time ``ceil(L / s)``.
+    - ``time-restricted`` — identical machines, but no machine may run
+      more than ``max_jobs_per_machine`` jobs (Jaykrishnan–Levin's
+      B-parameter).
 
     Attributes
     ----------
@@ -30,18 +48,99 @@ class Instance:
         Tuple of positive integer processing times, one per job.  Job
         identity is positional: job ``j`` has time ``times[j]``.
     machines:
-        Number of identical machines ``m >= 1``.
+        Number of machines ``m >= 1``.
     name:
         Optional label used by the experiment harness when reporting.
+    model:
+        Machine-model name from :data:`KNOWN_MODELS`; default
+        ``"identical"``.
+    type_speeds:
+        For ``unrelated-few-types`` only: positive integer speed of
+        each machine type.  Must be empty otherwise.
+    machines_per_type:
+        For ``unrelated-few-types`` only: machine count per type,
+        summing to ``machines``.  Machines are laid out type 0 first.
+    max_jobs_per_machine:
+        For ``time-restricted`` only: the B-parameter ``>= 1`` with
+        ``n_jobs <= machines * B``.  Must be 0 otherwise.
     """
 
     times: tuple[int, ...]
     machines: int
     name: str = ""
+    model: str = "identical"
+    type_speeds: tuple[int, ...] = ()
+    machines_per_type: tuple[int, ...] = ()
+    max_jobs_per_machine: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "times", check_positive_times(self.times))
         object.__setattr__(self, "machines", check_positive_int(self.machines, "machines"))
+        if self.model not in KNOWN_MODELS:
+            raise InvalidInstanceError(
+                f"unknown model {self.model!r}; known models: {', '.join(KNOWN_MODELS)}"
+            )
+        object.__setattr__(self, "type_speeds", tuple(int(s) for s in self.type_speeds))
+        object.__setattr__(
+            self, "machines_per_type", tuple(int(c) for c in self.machines_per_type)
+        )
+        object.__setattr__(self, "max_jobs_per_machine", int(self.max_jobs_per_machine))
+        if self.model == "unrelated-few-types":
+            self._validate_few_types()
+        elif self.max_jobs_per_machine or self.type_speeds or self.machines_per_type:
+            if self.model == "time-restricted":
+                if self.type_speeds or self.machines_per_type:
+                    raise InvalidInstanceError(
+                        "type_speeds/machines_per_type are only valid for "
+                        "model='unrelated-few-types'"
+                    )
+                self._validate_time_restricted()
+            else:
+                raise InvalidInstanceError(
+                    "model='identical' takes no type_speeds/machines_per_type/"
+                    "max_jobs_per_machine"
+                )
+        elif self.model == "time-restricted":
+            raise InvalidInstanceError(
+                "model='time-restricted' requires max_jobs_per_machine >= 1"
+            )
+
+    def _validate_few_types(self) -> None:
+        if not self.type_speeds:
+            raise InvalidInstanceError(
+                "model='unrelated-few-types' requires non-empty type_speeds"
+            )
+        if len(self.type_speeds) != len(self.machines_per_type):
+            raise InvalidInstanceError(
+                f"type_speeds has {len(self.type_speeds)} entries but "
+                f"machines_per_type has {len(self.machines_per_type)}"
+            )
+        for s in self.type_speeds:
+            if s < 1:
+                raise InvalidInstanceError(f"type speeds must be >= 1, got {s}")
+        for c in self.machines_per_type:
+            if c < 1:
+                raise InvalidInstanceError(f"machines_per_type entries must be >= 1, got {c}")
+        if sum(self.machines_per_type) != self.machines:
+            raise InvalidInstanceError(
+                f"machines_per_type sums to {sum(self.machines_per_type)} "
+                f"but machines={self.machines}"
+            )
+        if self.max_jobs_per_machine:
+            raise InvalidInstanceError(
+                "max_jobs_per_machine is only valid for model='time-restricted'"
+            )
+
+    def _validate_time_restricted(self) -> None:
+        if self.max_jobs_per_machine < 1:
+            raise InvalidInstanceError(
+                "model='time-restricted' requires max_jobs_per_machine >= 1"
+            )
+        if len(self.times) > self.machines * self.max_jobs_per_machine:
+            raise InvalidInstanceError(
+                f"{len(self.times)} jobs cannot fit on {self.machines} machines "
+                f"with at most {self.max_jobs_per_machine} jobs each"
+            )
 
     # -- derived quantities -------------------------------------------------
 
@@ -80,9 +179,10 @@ class Instance:
 
     def __repr__(self) -> str:  # compact: instances can have thousands of jobs
         label = f" {self.name!r}" if self.name else ""
+        tag = f" model={self.model!r}" if self.model != "identical" else ""
         return (
             f"Instance(n={self.n_jobs}, m={self.machines},"
-            f" total={self.total_time}, max={self.max_time}{label})"
+            f" total={self.total_time}, max={self.max_time}{tag}{label})"
         )
 
 

@@ -218,11 +218,16 @@ class AutoKernel:
         self.memory_budget_bytes = memory_budget_bytes
         self.fill_fabric = fill_fabric
 
-    def bind_machines(self, machines: int) -> "AutoKernel":
-        """A copy of this kernel that knows the machine budget."""
+    def bind_machines(self, machines: Optional[int]) -> "AutoKernel":
+        """A copy of this kernel that knows the machine budget.
+
+        ``None`` *unbinds*: fills whose tables must stay exact (the
+        multi-fill models compose tables across machine types) pass it
+        to force the exact routes even on a previously-bound kernel.
+        """
         return AutoKernel(
             plan_cache=self.plan_cache,
-            machines=int(machines),
+            machines=machines,
             memory_budget_bytes=self.memory_budget_bytes,
             fill_fabric=self.fill_fabric,
         )
@@ -240,7 +245,7 @@ class AutoKernel:
             return None
         return ("decision", self.machines)
 
-    def _plan(self, counts, class_sizes, target, configs):
+    def _plan(self, counts, class_sizes, target, configs, model_token=None):
         cache = self.plan_cache
         if cache is None:
             from repro.core.probe_cache import default_plan_cache
@@ -252,6 +257,7 @@ class AutoKernel:
             int(target),
             configs,
             eager=False,
+            model_token=model_token,
         )
 
     def __call__(
@@ -260,12 +266,17 @@ class AutoKernel:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        model_token: Optional[tuple] = None,
     ) -> DPResult:
         counts = tuple(int(c) for c in counts)
         if len(counts) != len(class_sizes):
             raise DPError("counts and class_sizes must have equal length")
         if len(counts) == 0:
             return empty_dp_result()
+        if model_token is not None and configs is None:
+            raise DPError(
+                "model-filtered probes must supply their configuration set"
+            )
         if configs is None:
             configs = enumerate_configurations(class_sizes, counts, target)
         choice = choose_kernel(
@@ -280,7 +291,9 @@ class AutoKernel:
             ),
         )
         obs.count(f"kernel.auto.{choice.kernel}")
-        plan = self._plan(counts, class_sizes, target, configs)
+        plan = self._plan(
+            counts, class_sizes, target, configs, model_token=model_token
+        )
         if choice.kernel == "hostpar":
             flat = self.fill_fabric.fill(plan)
             return DPResult(

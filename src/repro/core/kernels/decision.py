@@ -215,9 +215,14 @@ class DecisionKernel:
         self.machines = None if machines is None else int(machines)
         self.plan_cache = plan_cache
 
-    def bind_machines(self, machines: int) -> "DecisionKernel":
-        """A copy of this kernel clamped at ``machines + 1``."""
-        return DecisionKernel(machines=int(machines), plan_cache=self.plan_cache)
+    def bind_machines(self, machines: Optional[int]) -> "DecisionKernel":
+        """A copy of this kernel clamped at ``machines + 1``.
+
+        ``None`` *unbinds*: fills whose tables must stay exact (the
+        multi-fill models compose tables across machine types) pass it
+        to force the exact fallback even on a previously-bound kernel.
+        """
+        return DecisionKernel(machines=machines, plan_cache=self.plan_cache)
 
     @property
     def dp_cache_token(self) -> Optional[tuple]:
@@ -226,7 +231,7 @@ class DecisionKernel:
             return None
         return ("decision", self.machines)
 
-    def _plan_layers(self, counts, class_sizes, target, configs):
+    def _plan_layers(self, counts, class_sizes, target, configs, model_token=None):
         """Cached ``(relaxation_order, shift_slices)`` — or ``(None, None)``."""
         if self.plan_cache is None:
             return None, None
@@ -236,6 +241,7 @@ class DecisionKernel:
             int(target),
             configs,
             eager=False,
+            model_token=model_token,
         )
         return plan.relaxation_order, plan.shift_slices
 
@@ -245,13 +251,16 @@ class DecisionKernel:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        model_token: Optional[tuple] = None,
     ) -> DPResult:
         counts = tuple(int(c) for c in counts)
         if len(counts) == 0:
             return empty_dp_result()
         if configs is None:
             configs = enumerate_configurations(class_sizes, counts, target)
-        order, shifts = self._plan_layers(counts, class_sizes, target, configs)
+        order, shifts = self._plan_layers(
+            counts, class_sizes, target, configs, model_token=model_token
+        )
         if self.machines is None:
             return dp_vectorized(
                 counts, class_sizes, target, configs=configs, order=order,
@@ -338,6 +347,7 @@ class FrontierDecisionKernel:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        model_token: Optional[tuple] = None,
     ) -> FeasibilityResult:
         counts = tuple(int(c) for c in counts)
         if configs is None:

@@ -55,6 +55,7 @@ def dp_levelsweep(
     configs: Optional[np.ndarray] = None,
     plan: Optional[ProbePlan] = None,
     plan_cache=None,
+    model_token: Optional[tuple] = None,
 ) -> DPResult:
     """Fill the DP-table in one pass over the plan's level schedule.
 
@@ -81,6 +82,7 @@ def dp_levelsweep(
             int(target),
             configs,
             eager=False,
+            model_token=model_token,
         )
     configs = plan.configs
     geometry = plan.geometry
@@ -148,6 +150,7 @@ class SweepKernel:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        model_token: Optional[tuple] = None,
     ) -> DPResult:
         return dp_levelsweep(
             counts,
@@ -155,6 +158,7 @@ class SweepKernel:
             target,
             configs=configs,
             plan_cache=self.plan_cache,
+            model_token=model_token,
         )
 
     def __repr__(self) -> str:

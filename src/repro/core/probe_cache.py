@@ -55,7 +55,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -65,6 +65,9 @@ from repro.core.configs import enumerate_configurations
 from repro.core.dp_common import DPResult
 from repro.core.instance import Instance
 from repro.core.rounding import RoundedInstance, accuracy_k, round_instance
+
+if TYPE_CHECKING:
+    from repro.models.base import FillSpec
 from repro.dptable.plan import (
     ProbePlan,
     build_probe_plan,
@@ -77,8 +80,8 @@ from repro.observability import context as obs
 #: Normalized probe key: (class-index vector, counts, scaled target).
 NormalizedKey = Tuple[Tuple[int, ...], Tuple[int, ...], int]
 
-#: Normalized request key: (instance, accuracy k, search, backend).
-RequestKey = Tuple[Instance, int, str, Optional[str]]
+#: Normalized request key: (model, instance, accuracy k, search, backend).
+RequestKey = Tuple[str, Instance, int, str, Optional[str]]
 
 #: Sentinel distinguishing "not cached" from a cached falsy artifact.
 _MISS = object()
@@ -171,15 +174,30 @@ class NullProbeCache:
         """Uncached :func:`~repro.core.rounding.round_instance`."""
         return round_instance(instance, target, eps)
 
-    def configurations(self, rounded: RoundedInstance) -> np.ndarray:
-        """Uncached configuration enumeration."""
-        return enumerate_configurations(
-            rounded.class_sizes, rounded.counts, rounded.target
-        )
+    def configurations(
+        self, rounded: RoundedInstance, fill: Optional["FillSpec"] = None
+    ) -> np.ndarray:
+        """Uncached configuration enumeration (``fill`` overrides budget/cap)."""
+        if _is_default_fill(rounded, fill):
+            return enumerate_configurations(
+                rounded.class_sizes, rounded.counts, rounded.target
+            )
+        return fill.enumerate()
 
-    def dp(self, rounded: RoundedInstance, solver) -> DPResult:
+    def dp(
+        self, rounded: RoundedInstance, solver, fill: Optional["FillSpec"] = None
+    ) -> DPResult:
         """Run ``solver`` directly (it enumerates configurations itself)."""
-        return solver(rounded.counts, rounded.class_sizes, rounded.target)
+        if _is_default_fill(rounded, fill):
+            return solver(rounded.counts, rounded.class_sizes, rounded.target)
+        configs = fill.enumerate()
+        return solver(
+            fill.counts,
+            fill.class_sizes,
+            fill.budget,
+            configs=configs,
+            **_fill_kwargs(fill),
+        )
 
     def geometry(self, counts: Tuple[int, ...]) -> TableGeometry:
         """Uncached :meth:`TableGeometry.from_counts`."""
@@ -218,6 +236,44 @@ def normalized_probe_key(rounded: RoundedInstance) -> NormalizedKey:
     return (indices, rounded.counts, rounded.target // unit)
 
 
+def _is_default_fill(rounded: RoundedInstance, fill: Optional["FillSpec"]) -> bool:
+    """Whether ``fill`` is the classic identical-model fill of ``rounded``.
+
+    The default fill (budget ``T``, no job cap, no plan token, the
+    rounded instance's own classes) is exactly what the pre-model
+    library solved, so it keeps the pre-model cache keys and solver
+    call shapes — including across models: a 1-type unit-speed lift
+    produces this same default fill and therefore shares tables with
+    the identical model bit-for-bit.
+    """
+    return fill is None or (
+        fill.budget == rounded.target
+        and fill.max_jobs is None
+        and fill.token is None
+        and fill.counts == rounded.counts
+        and fill.class_sizes == rounded.class_sizes
+    )
+
+
+def _fill_key(rounded: RoundedInstance, fill: "FillSpec"):
+    """Scale-invariant identity of a non-default fill.
+
+    Mirrors :func:`normalized_probe_key`: sizes are exact multiples of
+    the unit and a configuration is feasible iff the *scaled* budget
+    admits it, so ``budget // unit`` is lossless.  The job cap joins
+    the key because it filters the configuration set.  Being a 4-tuple
+    it can never collide with the default fills' 3-tuple keys.
+    """
+    unit = rounded.unit
+    indices = tuple(s // unit for s in fill.class_sizes)
+    return (indices, fill.counts, fill.budget // unit, fill.max_jobs)
+
+
+def _fill_kwargs(fill: "FillSpec") -> Dict[str, object]:
+    """Extra solver kwargs a fill demands (the plan token, when set)."""
+    return {} if fill.token is None else {"model_token": fill.token}
+
+
 def normalized_request_key(
     instance: Instance,
     eps: float,
@@ -239,8 +295,14 @@ def normalized_request_key(
     stay in the key: both searches converge to the same final target
     but keep different best-schedule tie-breaks and iteration counts,
     and simulated backends charge different modelled time.
+
+    The machine model leads the key explicitly: requests for different
+    models over coincidentally-equal job arrays must never share a
+    pipeline run (the frozen instance hash already covers the model
+    fields, but the leading element makes the discriminator structural
+    rather than incidental).
     """
-    return (instance, accuracy_k(eps), str(search), backend)
+    return (instance.model, instance, accuracy_k(eps), str(search), backend)
 
 
 class ProbeCache:
@@ -305,25 +367,37 @@ class ProbeCache:
         self._note("rounding", hit)
         return value
 
-    def configurations(self, rounded: RoundedInstance) -> np.ndarray:
+    def configurations(
+        self, rounded: RoundedInstance, fill: Optional["FillSpec"] = None
+    ) -> np.ndarray:
         """Memoized configuration set ``C`` for a rounded probe.
 
         Returned arrays are shared and marked read-only; copy before
-        mutating (no library code mutates them).
+        mutating (no library code mutates them).  A non-default
+        ``fill`` (other budget or job cap — the new machine models) is
+        keyed by its own normalized identity.
         """
-        key = normalized_probe_key(rounded)
+        if _is_default_fill(rounded, fill):
+            key = normalized_probe_key(rounded)
+        else:
+            key = _fill_key(rounded, fill)
         value = self._lookup(self._configs, key)
         hit = value is not _MISS
         if not hit:
-            configs = enumerate_configurations(
-                rounded.class_sizes, rounded.counts, rounded.target
-            )
+            if _is_default_fill(rounded, fill):
+                configs = enumerate_configurations(
+                    rounded.class_sizes, rounded.counts, rounded.target
+                )
+            else:
+                configs = fill.enumerate()
             configs.setflags(write=False)
             value = self._store("configs", self._configs, key, configs)
         self._note("configs", hit)
         return value
 
-    def dp(self, rounded: RoundedInstance, solver) -> DPResult:
+    def dp(
+        self, rounded: RoundedInstance, solver, fill: Optional["FillSpec"] = None
+    ) -> DPResult:
         """DP-table for a rounded probe, via ``solver`` on a miss.
 
         ``solver`` follows the :class:`~repro.core.ptas.DPSolver`
@@ -335,21 +409,45 @@ class ProbeCache:
         kernels, whose clamped tables depend on the machine budget —
         advertise a ``dp_cache_token`` that extends the key, so a
         clamped table is never served to a different budget (or to an
-        exact solver).
+        exact solver).  ``fill`` (a model's
+        :class:`~repro.models.base.FillSpec`) selects the budget, job
+        cap, and plan token; the default fill keeps the pre-model keys
+        and call shape exactly.
         """
+        default = _is_default_fill(rounded, fill)
         if not self.share_dp:
-            configs = self.configurations(rounded)
+            configs = self.configurations(rounded, fill=fill)
+            if default:
+                return solver(
+                    rounded.counts, rounded.class_sizes, rounded.target, configs=configs
+                )
             return solver(
-                rounded.counts, rounded.class_sizes, rounded.target, configs=configs
+                fill.counts,
+                fill.class_sizes,
+                fill.budget,
+                configs=configs,
+                **_fill_kwargs(fill),
             )
-        key = (normalized_probe_key(rounded), getattr(solver, "dp_cache_token", None))
+        base_key = (
+            normalized_probe_key(rounded) if default else _fill_key(rounded, fill)
+        )
+        key = (base_key, getattr(solver, "dp_cache_token", None))
         value = self._lookup(self._dp, key)
         hit = value is not _MISS
         if not hit:
-            configs = self.configurations(rounded)
-            result = solver(
-                rounded.counts, rounded.class_sizes, rounded.target, configs=configs
-            )
+            configs = self.configurations(rounded, fill=fill)
+            if default:
+                result = solver(
+                    rounded.counts, rounded.class_sizes, rounded.target, configs=configs
+                )
+            else:
+                result = solver(
+                    fill.counts,
+                    fill.class_sizes,
+                    fill.budget,
+                    configs=configs,
+                    **_fill_kwargs(fill),
+                )
             value = self._store("dp", self._dp, key, result)
         self._note("dp", hit)
         return value
@@ -428,6 +526,17 @@ class ProbeCache:
         )
 
 
+def _require_configs_for_token(model_token: Optional[tuple], configs) -> None:
+    """Filtered-model plans cannot be enumerated by the plan layer itself."""
+    if model_token is not None and configs is None:
+        from repro.errors import DPError
+
+        raise DPError(
+            f"plan lookup with model_token={model_token!r} requires an explicit "
+            "configuration set (the filtered enumeration lives with the model)"
+        )
+
+
 class NullPlanCache:
     """Pass-through stand-in for :class:`PlanCache`: builds every plan fresh.
 
@@ -445,8 +554,10 @@ class NullPlanCache:
         target: int,
         configs: Optional[np.ndarray] = None,
         eager: bool = True,
+        model_token: Optional[tuple] = None,
     ) -> ProbePlan:
         """Uncached :func:`~repro.dptable.plan.build_probe_plan`."""
+        _require_configs_for_token(model_token, configs)
         return build_probe_plan(counts, class_sizes, target, configs, eager=eager)
 
     def clear(self) -> None:
@@ -509,6 +620,7 @@ class PlanCache:
         target: int,
         configs: Optional[np.ndarray] = None,
         eager: bool = True,
+        model_token: Optional[tuple] = None,
     ) -> ProbePlan:
         """The memoized plan for one probe (built on the first miss).
 
@@ -519,8 +631,16 @@ class PlanCache:
         :attr:`~repro.dptable.plan.ProbePlan.relaxation_order`, and an
         engine that later hits the same plan builds (and then shares)
         the heavy layers on first touch.
+
+        ``model_token`` extends the *normalized* signature (see
+        :func:`~repro.dptable.plan.plan_signature`) so a plan over a
+        model-filtered configuration set never registers a normalized
+        alias that a token-less lookup for the same shape would hit.
+        Callers with a token must supply ``configs`` — the cache cannot
+        enumerate a filtered set itself.
         """
-        norm_key = plan_signature(counts, class_sizes, target)
+        _require_configs_for_token(model_token, configs)
+        norm_key = plan_signature(counts, class_sizes, target, model_token=model_token)
         if configs is not None:
             lookup = configs_signature(
                 TableGeometry.from_counts(tuple(int(c) for c in counts)), configs

@@ -35,8 +35,7 @@ from typing import TYPE_CHECKING, Optional, Protocol, Sequence, Union
 
 import numpy as np
 
-from repro.core.backtrack import extract_machine_configurations
-from repro.core.dp_common import DPResult
+from repro.core.dp_common import DPResult, empty_dp_result
 from repro.core.dp_vectorized import dp_vectorized
 from repro.core.instance import Instance
 from repro.core.rounding import RoundedInstance
@@ -74,7 +73,10 @@ class ProbeResult:
     ``machines_needed`` counts the machines the dual-approximation
     procedure used (possibly exceeding ``m``); ``schedule`` is present
     only when ``machines_needed <= m``.  ``dp_result`` is kept so
-    engines and tests can inspect the table that was filled.
+    engines and tests can inspect the table that was filled; models
+    needing several fills per probe (``unrelated-few-types``) append
+    the full tuple as ``dp_results`` (``dp_result`` is its first
+    entry).
     """
 
     target: int
@@ -82,6 +84,7 @@ class ProbeResult:
     dp_result: DPResult
     machines_needed: int
     schedule: Optional[Schedule]
+    dp_results: tuple = ()
 
     @property
     def accepted(self) -> bool:
@@ -148,7 +151,7 @@ def _add_short_jobs(
 def _emit_probe_trace(
     timer: PhaseTimer,
     rounded: RoundedInstance,
-    dp_result: DPResult,
+    num_configs: int,
     machines_needed: int,
     accepted: bool,
     cache: "ProbeCacheLike",
@@ -159,7 +162,7 @@ def _emit_probe_trace(
         return
     tracer.count("probe.count")
     tracer.count("probe.cells", rounded.table_size)
-    tracer.count("probe.configs", int(dp_result.configs.shape[0]))
+    tracer.count("probe.configs", num_configs)
     for name, seconds in timer.seconds.items():
         tracer.timer.add(f"probe.{name}", seconds)
     tracer.record_probe(
@@ -171,7 +174,7 @@ def _emit_probe_trace(
             dims=rounded.dims,
             n_long=rounded.n_long,
             table_size=rounded.table_size,
-            num_configs=int(dp_result.configs.shape[0]),
+            num_configs=num_configs,
             phase_seconds=timer.as_dict(),
             cache_events=dict(cache.last_events),
         )
@@ -187,6 +190,14 @@ def probe_target(
 ) -> ProbeResult:
     """Run one dual-approximation probe at makespan target ``target``.
 
+    The probe is model-driven: the instance's
+    :class:`~repro.models.base.MachineModel` declares which dense DP
+    fills the target needs (one for identical machines, one per type
+    for ``unrelated-few-types``), the generic driver below runs them
+    through the solver and cache, and the model assembles the tables
+    into machines.  The identical path is bit-identical to the
+    pre-model library (tested).
+
     ``cache`` (a :class:`~repro.core.probe_cache.ProbeCache`) reuses
     rounding, configuration enumeration, and DP-tables across probes;
     the probe's outcome is bit-identical with or without it (tested).
@@ -197,64 +208,52 @@ def probe_target(
     # A single code path regardless of caching: ``cache=None`` becomes a
     # pass-through NullProbeCache that performs every derivation fresh.
     from repro.core.probe_cache import as_cache
+    from repro.models import model_for
 
+    model = model_for(instance)
     cache = as_cache(cache)
-    # Decision-capable solvers (the clamped kernels) need the machine
-    # budget, which is not part of the DPSolver call signature; bind it
-    # here.  The bound copy carries a dp_cache_token so the probe cache
-    # never serves its budget-dependent tables to another budget.
-    bind = getattr(dp_solver, "bind_machines", None)
-    if bind is not None:
-        dp_solver = bind(instance.machines)
     timer = PhaseTimer()
     cache.begin_probe()
     with timer.phase("rounding"):
         rounded = cache.rounding(instance, target, eps)
+    fills = model.fills(rounded)
+    dp_results: list[DPResult] = []
     with timer.phase("dp"):
-        dp_result = cache.dp(rounded, dp_solver)
+        for spec in fills:
+            # Decision-capable solvers (the clamped kernels) need the
+            # machine budget, which is not part of the DPSolver call
+            # signature; bind it per fill.  The bound copy carries a
+            # dp_cache_token so the probe cache never serves its
+            # budget-dependent tables to another budget.  Fills whose
+            # tables compose across machines clamp nothing
+            # (machine_clamp=None) and run exact.
+            solver = dp_solver
+            bind = getattr(dp_solver, "bind_machines", None)
+            if bind is not None:
+                solver = bind(spec.machine_clamp)
+            dp_results.append(cache.dp(rounded, solver, fill=spec))
 
-    if not dp_result.feasible or dp_result.decided_infeasible:
-        # Either no packing fits within T at all (e.g. a single job
-        # larger than T), or a decision-mode fill proved OPT > m at
-        # this target without finishing the table.  Certify OPT > T
-        # either way.
-        _emit_probe_trace(
-            timer, rounded, dp_result, instance.machines + 1, False, cache
-        )
-        return ProbeResult(
-            target=target,
-            rounded=rounded,
-            dp_result=dp_result,
-            machines_needed=instance.machines + 1,
-            schedule=None,
-        )
+    outcome = model.assemble(rounded, fills, tuple(dp_results), timer)
+    num_configs = sum(int(r.configs.shape[0]) for r in dp_results)
 
-    with timer.phase("extract"):
-        machine_configs = extract_machine_configurations(dp_result)
-    with timer.phase("place_long"):
-        machine_jobs = _place_long_jobs(rounded, machine_configs)
-    with timer.phase("short_jobs"):
-        machine_jobs = _add_short_jobs(
-            instance, target, machine_jobs, rounded.short_indices
-        )
-
-    needed = len(machine_jobs)
     schedule: Optional[Schedule] = None
-    if needed <= instance.machines:
+    if outcome.machine_jobs is not None:
+        machine_jobs = outcome.machine_jobs
         # Pad to exactly m machines (empty machines are legal).
         schedule = Schedule.from_machine_lists(
-            instance, machine_jobs + [[] for _ in range(instance.machines - needed)]
+            instance,
+            machine_jobs + [[] for _ in range(instance.machines - len(machine_jobs))],
         )
-    machines_needed = max(needed, len(machine_configs))
     _emit_probe_trace(
-        timer, rounded, dp_result, machines_needed, schedule is not None, cache
+        timer, rounded, num_configs, outcome.machines_needed, schedule is not None, cache
     )
     return ProbeResult(
         target=target,
         rounded=rounded,
-        dp_result=dp_result,
-        machines_needed=machines_needed,
+        dp_result=dp_results[0] if dp_results else empty_dp_result(),
+        machines_needed=outcome.machines_needed,
         schedule=schedule,
+        dp_results=tuple(dp_results),
     )
 
 

@@ -52,15 +52,36 @@ class Schedule:
     # -- metrics -------------------------------------------------------------
 
     def loads(self) -> np.ndarray:
-        """Completion time of each machine (length ``m`` int64 array)."""
+        """Total processing time on each machine (length ``m`` int64 array).
+
+        For identical machines this *is* the completion time; models
+        with machine speeds divide it (see :meth:`completion_times`).
+        """
         loads = np.zeros(self.instance.machines, dtype=np.int64)
         np.add.at(loads, np.asarray(self.assignment), self.instance.times_array())
         return loads
 
+    def completion_times(self) -> np.ndarray:
+        """Completion time of each machine under the instance's model.
+
+        Identical (and time-restricted) machines complete at their
+        load; an ``unrelated-few-types`` machine of speed ``s``
+        completes load ``L`` at ``ceil(L / s)``.
+        """
+        loads = self.loads()
+        if self.instance.model == "identical":
+            return loads
+        # Lazy import: repro.models itself builds Schedules.
+        from repro.models import get_model
+
+        return get_model(self.instance.model).completion_times(self.instance, loads)
+
     @property
     def makespan(self) -> int:
-        """Maximum machine load — the objective of ``P || Cmax``."""
-        return int(self.loads().max())
+        """Maximum machine completion time — the scheduling objective."""
+        if self.instance.model == "identical":
+            return int(self.loads().max())
+        return int(self.completion_times().max())
 
     @property
     def machines_used(self) -> int:

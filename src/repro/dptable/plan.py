@@ -431,7 +431,10 @@ def total_build_ms() -> float:
 
 
 def plan_signature(
-    counts: Sequence[int], class_sizes: Sequence[int], target: int
+    counts: Sequence[int],
+    class_sizes: Sequence[int],
+    target: int,
+    model_token: Optional[tuple] = None,
 ) -> tuple:
     """Scale-invariant identity of a probe's plan.
 
@@ -445,20 +448,31 @@ def plan_signature(
     the normalized probe key of :mod:`repro.core.probe_cache`
     exploits, frequently hit by the quarter split's four same-round
     targets.
+
+    ``model_token`` discriminates machine models whose configuration
+    sets are *filtered* rather than budget-defined (the
+    ``time-restricted`` model's job-count cap): a filtered plan must
+    never alias the unfiltered plan for the same shape/budget.
+    ``None`` — every pre-model caller — leaves signatures bit-identical
+    to the historical four-element form.
     """
     counts = tuple(int(c) for c in counts)
     sizes = tuple(int(s) for s in class_sizes)
     if len(counts) != len(sizes):
         raise DPError("counts and class_sizes must have equal length")
     if not sizes:
-        return ("norm", counts, (), 0)
-    g = math.gcd(*sizes)
-    return (
-        "norm",
-        counts,
-        tuple(s // g for s in sizes),
-        int(target) // g,
-    )
+        base = ("norm", counts, (), 0)
+    else:
+        g = math.gcd(*sizes)
+        base = (
+            "norm",
+            counts,
+            tuple(s // g for s in sizes),
+            int(target) // g,
+        )
+    if model_token is None:
+        return base
+    return base + (tuple(model_token),)
 
 
 def configs_signature(geometry: TableGeometry, configs: np.ndarray) -> tuple:

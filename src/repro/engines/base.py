@@ -128,6 +128,7 @@ def resolve_plan(
     target: int,
     configs: np.ndarray | None,
     plan,
+    model_token: tuple | None = None,
 ):
     """The probe's :class:`~repro.dptable.plan.ProbePlan`, one way or another.
 
@@ -150,6 +151,7 @@ def resolve_plan(
         tuple(int(s) for s in class_sizes),
         int(target),
         configs,
+        model_token=model_token,
     )
 
 

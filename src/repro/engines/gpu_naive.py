@@ -72,6 +72,7 @@ class GpuNaiveEngine:
         target: int,
         configs: Optional[np.ndarray] = None,
         plan: Optional[ProbePlan] = None,
+        model_token: Optional[tuple] = None,
     ) -> EngineRun:
         """Execute one DP probe as one kernel per anti-diagonal level."""
         if len(counts) == 0:
@@ -79,7 +80,8 @@ class GpuNaiveEngine:
             self.runs.append(run)
             return run
         plan = resolve_plan(
-            self.plan_cache, counts, class_sizes, target, configs, plan
+            self.plan_cache, counts, class_sizes, target, configs, plan,
+            model_token=model_token,
         )
         geometry = plan.geometry
 
@@ -136,6 +138,9 @@ class GpuNaiveEngine:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        model_token: Optional[tuple] = None,
     ) -> DPResult:
         """DPSolver protocol for the PTAS drivers."""
-        return self.run(counts, class_sizes, target, configs).dp_result
+        return self.run(
+            counts, class_sizes, target, configs, model_token=model_token
+        ).dp_result

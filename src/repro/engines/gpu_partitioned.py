@@ -97,6 +97,7 @@ class GpuPartitionedEngine:
         target: int,
         configs: Optional[np.ndarray] = None,
         plan: Optional[ProbePlan] = None,
+        model_token: Optional[tuple] = None,
     ) -> EngineRun:
         """Execute one DP probe as the blocked two-level schedule."""
         if len(counts) == 0:
@@ -104,7 +105,8 @@ class GpuPartitionedEngine:
             self.runs.append(run)
             return run
         plan = resolve_plan(
-            self.plan_cache, counts, class_sizes, target, configs, plan
+            self.plan_cache, counts, class_sizes, target, configs, plan,
+            model_token=model_token,
         )
         geometry = plan.geometry
         blocked = plan.blocked(self.dim)
@@ -215,6 +217,9 @@ class GpuPartitionedEngine:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        model_token: Optional[tuple] = None,
     ) -> DPResult:
         """DPSolver protocol for the PTAS drivers."""
-        return self.run(counts, class_sizes, target, configs).dp_result
+        return self.run(
+            counts, class_sizes, target, configs, model_token=model_token
+        ).dp_result

@@ -134,6 +134,7 @@ class HybridEngine:
         target: int,
         configs: Optional[np.ndarray] = None,
         plan: Optional[ProbePlan] = None,
+        model_token: Optional[tuple] = None,
     ) -> EngineRun:
         """Route one probe to the predicted-cheaper engine and run it."""
         if len(counts) == 0:
@@ -141,7 +142,8 @@ class HybridEngine:
             self.runs.append(run)
             return run
         plan = resolve_plan(
-            self.plan_cache, counts, class_sizes, target, configs, plan
+            self.plan_cache, counts, class_sizes, target, configs, plan,
+            model_token=model_token,
         )
         cpu_pred = self.predict_cpu_s(plan)
         gpu_pred = self.predict_gpu_s(plan)
@@ -164,6 +166,9 @@ class HybridEngine:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        model_token: Optional[tuple] = None,
     ) -> DPResult:
         """DPSolver protocol for the PTAS drivers."""
-        return self.run(counts, class_sizes, target, configs).dp_result
+        return self.run(
+            counts, class_sizes, target, configs, model_token=model_token
+        ).dp_result

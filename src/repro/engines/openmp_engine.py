@@ -72,6 +72,7 @@ class OpenMPEngine:
         target: int,
         configs: Optional[np.ndarray] = None,
         plan: Optional[ProbePlan] = None,
+        model_token: Optional[tuple] = None,
     ) -> EngineRun:
         """Execute one DP probe level by level on the CPU model."""
         if len(counts) == 0:
@@ -79,7 +80,8 @@ class OpenMPEngine:
             self.runs.append(run)
             return run
         plan = resolve_plan(
-            self.plan_cache, counts, class_sizes, target, configs, plan
+            self.plan_cache, counts, class_sizes, target, configs, plan,
+            model_token=model_token,
         )
         geometry = plan.geometry
 
@@ -139,6 +141,9 @@ class OpenMPEngine:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        model_token: Optional[tuple] = None,
     ) -> DPResult:
         """DPSolver protocol for the PTAS drivers."""
-        return self.run(counts, class_sizes, target, configs).dp_result
+        return self.run(
+            counts, class_sizes, target, configs, model_token=model_token
+        ).dp_result

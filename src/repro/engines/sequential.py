@@ -67,6 +67,7 @@ class SequentialEngine:
         target: int,
         configs: Optional[np.ndarray] = None,
         plan: Optional[ProbePlan] = None,
+        model_token: Optional[tuple] = None,
     ) -> EngineRun:
         """Execute one DP probe; returns values plus simulated time."""
         if len(counts) == 0:
@@ -74,7 +75,8 @@ class SequentialEngine:
             self.runs.append(run)
             return run
         plan = resolve_plan(
-            self.plan_cache, counts, class_sizes, target, configs, plan
+            self.plan_cache, counts, class_sizes, target, configs, plan,
+            model_token=model_token,
         )
         geometry = plan.geometry
 
@@ -117,6 +119,9 @@ class SequentialEngine:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        model_token: Optional[tuple] = None,
     ) -> DPResult:
         """DPSolver protocol: used directly by the PTAS drivers."""
-        return self.run(counts, class_sizes, target, configs).dp_result
+        return self.run(
+            counts, class_sizes, target, configs, model_token=model_token
+        ).dp_result

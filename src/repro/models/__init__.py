@@ -1,0 +1,191 @@
+"""Machine-model registry: every scheduling model the pipeline serves.
+
+``get_model(name)`` / ``model_for(instance)`` resolve the singleton
+model objects; ``verify_schedule`` is the model-aware feasibility
+checker used by tests and the service layer.  The lift helpers embed an
+identical-machines instance into the richer models (the cross-model
+agreement suite proves the 1-type lift is bit-identical).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.instance import KNOWN_MODELS, Instance
+from repro.core.schedule import Schedule
+from repro.errors import InvalidInstanceError
+from repro.models.base import FillSpec, MachineModel, ProbeOutcome
+from repro.models.few_types import FewTypesModel, machine_speeds
+from repro.models.identical import IdenticalModel
+from repro.models.time_restricted import TimeRestrictedModel
+
+_MODELS: Dict[str, MachineModel] = {
+    model.name: model
+    for model in (IdenticalModel(), FewTypesModel(), TimeRestrictedModel())
+}
+
+
+def model_names() -> tuple:
+    """Registered model names, identical first."""
+    return tuple(_MODELS)
+
+
+def get_model(name: str) -> MachineModel:
+    """The singleton :class:`MachineModel` registered under ``name``."""
+    try:
+        return _MODELS[name]
+    except KeyError:
+        raise InvalidInstanceError(
+            f"unknown model {name!r}; known models: {', '.join(_MODELS)}"
+        ) from None
+
+
+def model_for(instance: Instance) -> MachineModel:
+    """The model an instance declares (``instance.model``)."""
+    return get_model(instance.model)
+
+
+def verify_schedule(schedule: Schedule, target: Optional[int] = None) -> None:
+    """Model-aware feasibility check; raises ``InvalidScheduleError``.
+
+    ``Schedule`` construction already guarantees the assignment is a
+    function of jobs onto valid machines; this adds the model's own
+    constraints (job-count caps, fleet shape) and — when ``target`` is
+    given — that every machine completes by ``target``.
+    """
+    model_for(schedule.instance).check_schedule(schedule)
+    if target is not None:
+        worst = int(schedule.completion_times().max()) if schedule.instance.n_jobs else 0
+        if worst > target:
+            from repro.errors import InvalidScheduleError
+
+            raise InvalidScheduleError(
+                f"schedule completes at {worst}, after the target {target}"
+            )
+
+
+def with_model(
+    instance: Instance,
+    model: str,
+    type_speeds=None,
+    machines_per_type=None,
+    max_jobs_per_machine=None,
+) -> Instance:
+    """Rebuild an identical-machines instance under ``model``.
+
+    The front-end construction path (CLI ``--model`` flags, the load
+    generator): takes the plain times/machines core of ``instance``
+    and attaches the model parameters, applying the friendly defaults
+    — a few-types fleet without explicit layout becomes the single
+    unit-speed type (the 1-type lift), a time-restricted instance
+    without a cap gets the non-binding ``n_jobs``.  All structural
+    validation is :class:`~repro.core.instance.Instance`'s.
+    """
+    get_model(model)  # reject unknown names before building anything
+    if model == "identical":
+        if type_speeds or machines_per_type or max_jobs_per_machine:
+            raise InvalidInstanceError(
+                "identical machines take no model parameters; drop "
+                "--type-speeds/--machines-per-type/--max-jobs-per-machine "
+                "or pick the matching --model"
+            )
+        return instance
+    if model == "unrelated-few-types":
+        speeds = tuple(int(s) for s in (type_speeds or (1,)))
+        if machines_per_type is None:
+            if len(speeds) != 1:
+                raise InvalidInstanceError(
+                    "--machines-per-type is required when more than one "
+                    "machine type is declared"
+                )
+            per_type = (instance.machines,)
+        else:
+            per_type = tuple(int(m) for m in machines_per_type)
+        if max_jobs_per_machine:
+            raise InvalidInstanceError(
+                "--max-jobs-per-machine belongs to the time-restricted "
+                "model, not unrelated-few-types"
+            )
+        return Instance(
+            times=instance.times,
+            machines=instance.machines,
+            name=instance.name,
+            model=model,
+            type_speeds=speeds,
+            machines_per_type=per_type,
+        )
+    # time-restricted
+    if type_speeds or machines_per_type:
+        raise InvalidInstanceError(
+            "--type-speeds/--machines-per-type belong to the "
+            "unrelated-few-types model, not time-restricted"
+        )
+    cap = (
+        int(max_jobs_per_machine)
+        if max_jobs_per_machine is not None
+        else instance.n_jobs
+    )
+    return Instance(
+        times=instance.times,
+        machines=instance.machines,
+        name=instance.name,
+        model=model,
+        max_jobs_per_machine=cap,
+    )
+
+
+# -- lifts -------------------------------------------------------------------
+
+
+def lift_to_few_types(instance: Instance, name: str = "") -> Instance:
+    """Embed an identical instance as a 1-type unit-speed fleet.
+
+    The lifted instance probes through the exact same DP fills (same
+    budgets, same configuration sets) as the original — the agreement
+    suite asserts bit-identical tables and equal makespans.
+    """
+    if instance.model != "identical":
+        raise InvalidInstanceError(f"can only lift identical instances, got {instance.model!r}")
+    return Instance(
+        times=instance.times,
+        machines=instance.machines,
+        name=name or instance.name,
+        model="unrelated-few-types",
+        type_speeds=(1,),
+        machines_per_type=(instance.machines,),
+    )
+
+
+def lift_to_time_restricted(
+    instance: Instance, max_jobs: Optional[int] = None, name: str = ""
+) -> Instance:
+    """Embed an identical instance with a (default: non-binding) job cap."""
+    if instance.model != "identical":
+        raise InvalidInstanceError(f"can only lift identical instances, got {instance.model!r}")
+    cap = int(max_jobs) if max_jobs is not None else instance.n_jobs
+    return Instance(
+        times=instance.times,
+        machines=instance.machines,
+        name=name or instance.name,
+        model="time-restricted",
+        max_jobs_per_machine=cap,
+    )
+
+
+__all__ = [
+    "KNOWN_MODELS",
+    "FillSpec",
+    "MachineModel",
+    "ProbeOutcome",
+    "IdenticalModel",
+    "FewTypesModel",
+    "TimeRestrictedModel",
+    "machine_speeds",
+    "model_names",
+    "get_model",
+    "model_for",
+    "verify_schedule",
+    "with_model",
+    "lift_to_few_types",
+    "lift_to_time_restricted",
+]

@@ -1,0 +1,85 @@
+"""``P || Cmax`` — the paper's model, rewritten behind :class:`MachineModel`.
+
+This module must stay *bit-identical* to the pre-model library: one
+clamped-capable DP fill at budget ``T``, greedy backtrack, per-class
+long-job placement, and heap-based short placement, emitting the same
+probe phases (``extract`` / ``place_long`` / ``short_jobs``) in the
+same order.  The cross-model agreement suite and the benchmark gate
+both assert this.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.core.backtrack import extract_machine_configurations
+from repro.core.bounds import MakespanBounds
+from repro.models.base import FillSpec, MachineModel, ProbeOutcome
+
+if TYPE_CHECKING:
+    from repro.core.dp_common import DPResult
+    from repro.core.instance import Instance
+    from repro.core.rounding import RoundedInstance
+    from repro.observability.timers import PhaseTimer
+
+
+class IdenticalModel(MachineModel):
+    """Identical machines, minimize makespan (Hochbaum–Shmoys PTAS)."""
+
+    name = "identical"
+
+    def bounds(self, instance: "Instance") -> MakespanBounds:
+        lb = max(instance.area_bound, instance.max_time)
+        ub = instance.area_bound + instance.max_time
+        return MakespanBounds(lower=lb, upper=ub)
+
+    def baseline(self, instance: "Instance") -> tuple:
+        # best_baseline owns the identical-machines LPT/MULTIFIT choice
+        # (and its a-priori ratios); lazy import — baselines build
+        # Schedules which consult models for non-identical instances.
+        from repro.core.baselines import best_baseline
+
+        return best_baseline(instance)
+
+    def fills(self, rounded: "RoundedInstance") -> Tuple[FillSpec, ...]:
+        return (
+            FillSpec(
+                counts=rounded.counts,
+                class_sizes=rounded.class_sizes,
+                budget=rounded.target,
+                machine_clamp=rounded.instance.machines,
+            ),
+        )
+
+    def assemble(
+        self,
+        rounded: "RoundedInstance",
+        fills: Tuple[FillSpec, ...],
+        dp_results: Tuple["DPResult", ...],
+        timer: "PhaseTimer",
+    ) -> ProbeOutcome:
+        from repro.core.ptas import _add_short_jobs, _place_long_jobs
+
+        instance = rounded.instance
+        dp_result = dp_results[0]
+        if not dp_result.feasible or dp_result.decided_infeasible:
+            # Either no packing fits within T at all (e.g. a single job
+            # larger than T), or a decision-mode fill proved OPT > m at
+            # this target without finishing the table.  Certify OPT > T
+            # either way.
+            return ProbeOutcome(machines_needed=instance.machines + 1)
+
+        with timer.phase("extract"):
+            machine_configs = extract_machine_configurations(dp_result)
+        with timer.phase("place_long"):
+            machine_jobs = _place_long_jobs(rounded, machine_configs)
+        with timer.phase("short_jobs"):
+            machine_jobs = _add_short_jobs(
+                instance, rounded.target, machine_jobs, rounded.short_indices
+            )
+
+        needed = len(machine_jobs)
+        machines_needed = max(needed, len(machine_configs))
+        if needed > instance.machines:
+            return ProbeOutcome(machines_needed=machines_needed)
+        return ProbeOutcome(machines_needed=machines_needed, machine_jobs=machine_jobs)

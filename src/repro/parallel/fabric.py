@@ -610,6 +610,7 @@ class HostParallelSolver:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        model_token: Optional[tuple] = None,
     ) -> DPResult:
         """DPSolver protocol: solve one probe on the fabric."""
         counts = tuple(int(c) for c in counts)
@@ -619,7 +620,10 @@ class HostParallelSolver:
             return empty_dp_result()
         from repro.engines.base import resolve_plan
 
-        plan = resolve_plan(self.plan_cache, counts, class_sizes, target, configs, None)
+        plan = resolve_plan(
+            self.plan_cache, counts, class_sizes, target, configs, None,
+            model_token=model_token,
+        )
         if configs is None:
             configs = plan.configs
         flat = self.fabric.fill(plan, min_parallel_cells=self.min_parallel_cells)

@@ -56,6 +56,7 @@ def parallel_wavefront_dp(
     plan: Optional[ProbePlan] = None,
     plan_cache=None,
     fill_fabric: Optional[BlockExecutor] = None,
+    model_token: Optional[tuple] = None,
 ) -> DPResult:
     """Solve the DP on ``workers`` processes; result identical to serial.
 
@@ -75,7 +76,10 @@ def parallel_wavefront_dp(
         return empty_dp_result()
     from repro.engines.base import resolve_plan
 
-    plan = resolve_plan(plan_cache, counts, class_sizes, target, configs, plan)
+    plan = resolve_plan(
+        plan_cache, counts, class_sizes, target, configs, plan,
+        model_token=model_token,
+    )
     if configs is None:
         configs = plan.configs
     fabric = fill_fabric if fill_fabric is not None else shared_fabric(workers)
@@ -120,6 +124,7 @@ class WavefrontSolver:
         class_sizes: Sequence[int],
         target: int,
         configs: Optional[np.ndarray] = None,
+        model_token: Optional[tuple] = None,
     ) -> DPResult:
         """DPSolver protocol: solve one probe on the host pool."""
         return parallel_wavefront_dp(
@@ -131,4 +136,5 @@ class WavefrontSolver:
             min_parallel_level=self.min_parallel_level,
             plan_cache=self.plan_cache,
             fill_fabric=self.fill_fabric,
+            model_token=model_token,
         )

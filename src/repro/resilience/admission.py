@@ -100,6 +100,49 @@ class AdmissionController:
         obs.count("admission.admitted")
         return estimate
 
+    def admit_probe(self, rounded, target: Optional[int] = None) -> int:
+        """Admit or refuse one probe across its model's DP fills.
+
+        ``rounded`` is a :class:`~repro.core.rounding.RoundedInstance`;
+        its instance's :class:`~repro.models.base.MachineModel` defines
+        the fills the probe will run.  A single-fill probe (identical,
+        time-restricted) admits through :meth:`admit` with that fill's
+        geometry — for the identical model this is exactly the
+        historical ``admit(rounded.counts, m + 1)`` gate.  Multi-fill
+        models (few-types) are charged the *sum* of their fills plus
+        the model's composition scratch
+        (:meth:`~repro.models.base.MachineModel.admission_extra_bytes`),
+        since every per-type table must be alive at composition time.
+        """
+        from repro.models import model_for
+
+        model = model_for(rounded.instance)
+        fills = model.fills(rounded)
+        if len(fills) <= 1:
+            fill = fills[0] if fills else None
+            counts = fill.counts if fill is not None else rounded.counts
+            value_bound = (
+                fill.value_bound
+                if fill is not None
+                else rounded.instance.machines + 1
+            )
+            return self.admit(counts, value_bound=value_bound, target=target)
+        total = sum(
+            self.estimate(f.counts, value_bound=f.value_bound) for f in fills
+        )
+        total += int(model.admission_extra_bytes(rounded))
+        if total > self.memory_budget_bytes:
+            obs.count("admission.rejected")
+            at = f" at T={target}" if target is not None else ""
+            raise MemoryBudgetExceeded(
+                f"probe{at} needs an estimated {total} bytes across "
+                f"{len(fills)} {model.name} fills but the memory budget is "
+                f"{self.memory_budget_bytes} bytes; raise the budget, loosen "
+                "eps, or let the batch service degrade this request"
+            )
+        obs.count("admission.admitted")
+        return total
+
     def admit_geometry(self, geometry: TableGeometry, value_bound: int) -> int:
         """:meth:`admit` from a :class:`~repro.dptable.table.TableGeometry`.
 

@@ -90,14 +90,18 @@ class FallbackChain:
         # bound views report outcomes back to the chain the caller holds.
         self._root: "FallbackChain" = self
 
-    def bind_machines(self, machines: int) -> "FallbackChain":
-        """A budget-bound view of this chain (members bind per fill)."""
+    def bind_machines(self, machines: Optional[int]) -> "FallbackChain":
+        """A budget-bound view of this chain (members bind per fill).
+
+        ``None`` *unbinds*: members are used exact, even on a view
+        derived from a previously bound chain.
+        """
         bound = FallbackChain.__new__(FallbackChain)
         bound.members = self.members
         bound._solvers = self._solvers
         bound.plan_cache = self.plan_cache
         bound.faults = self.faults
-        bound.machines = int(machines)
+        bound.machines = None if machines is None else int(machines)
         bound.last_served_by = None
         bound.fault_chain = ()
         bound._root = self._root
@@ -117,9 +121,10 @@ class FallbackChain:
             return None
         return ("decision", self.machines)
 
-    def __call__(self, counts, class_sizes, target, configs=None):
+    def __call__(self, counts, class_sizes, target, configs=None, model_token=None):
         chain_log: List[str] = []
         last: Optional[BaseException] = None
+        extra = {} if model_token is None else {"model_token": model_token}
         for name, solver in self._solvers:
             attempt = solver
             if self.machines is not None:
@@ -129,7 +134,7 @@ class FallbackChain:
             if self.faults is not None:
                 attempt = self.faults.wrap_solver(attempt, site=f"dp.{name}")
             try:
-                result = attempt(counts, class_sizes, target, configs=configs)
+                result = attempt(counts, class_sizes, target, configs=configs, **extra)
             except (MemoryError, ReproError) as exc:
                 if is_transient(exc):
                     # Transient failures belong to the retry layer: the

@@ -314,11 +314,11 @@ class _FaultWrappedSolver:
         self._site = site
         self._instance = instance
 
-    def __call__(self, counts, class_sizes, target, configs=None):
+    def __call__(self, counts, class_sizes, target, configs=None, **kwargs):
         self._injector.check(self._site, instance=self._instance, target=int(target))
-        return self._inner(counts, class_sizes, target, configs=configs)
+        return self._inner(counts, class_sizes, target, configs=configs, **kwargs)
 
-    def bind_machines(self, machines: int):
+    def bind_machines(self, machines: Optional[int]):
         bind = getattr(self._inner, "bind_machines", None)
         inner = bind(machines) if bind is not None else self._inner
         return _FaultWrappedSolver(inner, self._injector, self._site, self._instance)

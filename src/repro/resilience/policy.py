@@ -76,11 +76,10 @@ class ResiliencePolicy:
         if self.admission is not None:
             # Rounding is memoized (and re-used by the probe below), so
             # the admission estimate costs arithmetic only — and runs
-            # strictly before any table allocation.
+            # strictly before any table allocation.  admit_probe is
+            # model-aware: multi-fill models are charged every fill.
             rounded = as_cache(cache).rounding(instance, int(target), eps)
-            self.admission.admit(
-                rounded.counts, value_bound=instance.machines + 1, target=int(target)
-            )
+            self.admission.admit_probe(rounded, target=int(target))
 
         retry = self.retry if self.retry is not None else RetryPolicy(max_attempts=1)
         attempt = 0

@@ -97,7 +97,9 @@ class BatchRequestResult:
     fault_chain: tuple = ()
     #: the baseline schedule served instead of the PTAS one.
     degraded_schedule: Optional[Schedule] = None
-    #: which baseline produced it (``"lpt"`` or ``"multifit"``).
+    #: which baseline produced it (``"lpt"``/``"multifit"`` for
+    #: identical machines; model-specific heuristics otherwise, e.g.
+    #: ``"speed-list"`` or ``"capped-lpt"``).
     degraded_by: Optional[str] = None
     #: that baseline's proven approximation ratio vs. OPT.
     degraded_bound: Optional[float] = None

@@ -58,6 +58,13 @@ class LoadProfile:
     duplicate_fraction: float = 0.3
     tenants: Tuple[str, ...] = ("tenant-a", "tenant-b")
     priority_mix: Tuple[float, float, float] = (0.2, 0.6, 0.2)
+    #: machine model every generated instance declares; the model
+    #: parameters below follow :func:`repro.models.with_model`'s
+    #: defaults when left unset.
+    model: str = "identical"
+    type_speeds: Optional[Tuple[int, ...]] = None
+    machines_per_type: Optional[Tuple[int, ...]] = None
+    max_jobs_per_machine: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -114,6 +121,16 @@ def generate_arrivals(profile: LoadProfile) -> List[Arrival]:
                 high=profile.high,
                 seed=int(rng.integers(0, 2**31)),
             )
+            if profile.model != "identical":
+                from repro.models import with_model
+
+                instance = with_model(
+                    instance,
+                    profile.model,
+                    type_speeds=profile.type_speeds,
+                    machines_per_type=profile.machines_per_type,
+                    max_jobs_per_machine=profile.max_jobs_per_machine,
+                )
         arrivals.append(
             Arrival(
                 at_s=clock,

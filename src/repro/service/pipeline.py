@@ -161,6 +161,14 @@ class ProbePipeline:
 
         name = request.backend or self.backend
         spec = require_schedule_capable(name)
+        model = request.instance.model
+        if not spec.supports_model(model):
+            raise BackendError(
+                f"backend {spec.name!r} does not support the "
+                f"{model!r} machine model (supported: "
+                f"{', '.join(spec.models)}) — pick a backend whose spec "
+                "lists the model, e.g. 'auto' or 'vectorized'"
+            )
         kwargs: Dict[str, object] = {}
         if spec.plan_aware:
             kwargs["plan_cache"] = self.plan_cache
@@ -216,12 +224,17 @@ class ProbePipeline:
     ) -> "BatchRequestResult":
         """A bounded baseline answer for a request whose backends all failed.
 
+        For identical machines
         :func:`~repro.core.baselines.best_baseline` guarantees
         ``4/3 - 1/(3m)`` (LPT) or ``13/11`` (MULTIFIT) times the
-        optimal makespan; both are cheap enough to never fail on a
-        valid instance, so N requests still produce N results.  The
-        better of the two is served, tagged ``degraded=True`` with the
-        error (and any fallback chain log) that forced it.
+        optimal makespan.  Those ratios are identical-machines theorems
+        — for the other models ``best_baseline`` dispatches to the
+        model's own heuristic, whose reported bound is the a-posteriori
+        ratio against the model's makespan lower bound (always true,
+        usually looser).  Every model's baseline is cheap enough to
+        never fail on a valid instance, so N requests still produce N
+        results, tagged ``degraded=True`` with the error (and any
+        fallback chain log) that forced it.
         """
         from repro.service.batch import BatchRequestResult
 

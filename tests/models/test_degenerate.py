@@ -1,0 +1,169 @@
+"""Degenerate corners of the two new machine models.
+
+The abstraction earns its keep at the edges: probes whose rounding
+leaves *no* long jobs (a 0-dimensional DP), a single job class, the
+time-restricted cap at its extremes (``B = 1`` forces one job per
+machine; ``B >= n`` never binds), and genuinely heterogeneous
+few-types fleets where completion times are ``ceil(load / speed)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.ptas import ptas_schedule
+from repro.core.schedule import Schedule
+from repro.errors import InvalidInstanceError, InvalidScheduleError
+from repro.models import (
+    get_model,
+    lift_to_few_types,
+    lift_to_time_restricted,
+    verify_schedule,
+    with_model,
+)
+
+#: All-unit jobs: every probe rounds to zero long classes (0-d table).
+ALL_SHORT = Instance(times=(1,) * 8, machines=4)
+
+#: One long size repeated: the rounded probe has a single job class.
+SINGLE_CLASS = Instance(times=(10, 10), machines=2)
+
+
+class TestZeroDimensionalProbes:
+    @pytest.mark.parametrize("lift", [lift_to_few_types, lift_to_time_restricted])
+    def test_all_short_instance_solves_and_matches_identical(self, lift):
+        base = ptas_schedule(ALL_SHORT, eps=0.5)
+        lifted = ptas_schedule(lift(ALL_SHORT), eps=0.5)
+        assert lifted.makespan == base.makespan == 2
+        assert lifted.schedule.assignment == base.schedule.assignment
+        verify_schedule(lifted.schedule)
+
+    def test_all_short_multi_type_uses_the_fast_machines(self):
+        inst = Instance(
+            times=(1,) * 8,
+            machines=3,
+            model="unrelated-few-types",
+            type_speeds=(1, 4),
+            machines_per_type=(2, 1),
+        )
+        result = ptas_schedule(inst, eps=0.5)
+        verify_schedule(result.schedule)
+        # Volume 8 over capacity 6 means OPT >= 2, and greedy placement
+        # achieves it; the speed-4 machine absorbs load 4+ in time <= 2.
+        assert result.makespan == 2
+
+
+class TestSingleClass:
+    @pytest.mark.parametrize("lift", [lift_to_few_types, lift_to_time_restricted])
+    def test_single_class_lift_is_exact(self, lift):
+        base = ptas_schedule(SINGLE_CLASS, eps=0.4)
+        lifted = ptas_schedule(lift(SINGLE_CLASS), eps=0.4)
+        assert lifted.makespan == base.makespan == 10
+        assert lifted.schedule.assignment == base.schedule.assignment
+
+
+class TestTimeRestrictedCap:
+    def test_b_equal_one_forces_one_job_per_machine(self):
+        inst = Instance(
+            times=(7, 4, 3),
+            machines=3,
+            model="time-restricted",
+            max_jobs_per_machine=1,
+        )
+        result = ptas_schedule(inst, eps=0.3)
+        verify_schedule(result.schedule, target=result.makespan)
+        assert result.makespan == 7  # the single long job is the optimum
+        counts = np.bincount(
+            np.asarray(result.schedule.assignment), minlength=inst.machines
+        )
+        assert counts.max() <= 1
+
+    def test_binding_cap_is_respected_end_to_end(self):
+        inst = Instance(
+            times=(9, 8, 7, 6, 5, 4),
+            machines=2,
+            model="time-restricted",
+            max_jobs_per_machine=3,
+        )
+        result = ptas_schedule(inst, eps=0.3)
+        verify_schedule(result.schedule)
+        counts = np.bincount(
+            np.asarray(result.schedule.assignment), minlength=inst.machines
+        )
+        assert counts.max() <= 3
+
+    def test_check_schedule_rejects_cap_violation(self):
+        inst = Instance(
+            times=(2, 2, 2, 2),
+            machines=2,
+            model="time-restricted",
+            max_jobs_per_machine=3,
+        )
+        bad = Schedule.from_machine_lists(inst, [[0, 1, 2, 3], []])
+        with pytest.raises(InvalidScheduleError, match="caps at 3"):
+            verify_schedule(bad)
+
+    def test_infeasible_cap_rejected_at_construction(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance(
+                times=(1, 1, 1, 1, 1),
+                machines=2,
+                model="time-restricted",
+                max_jobs_per_machine=2,  # 5 jobs > 2 * 2 slots
+            )
+
+
+class TestFewTypesCompletions:
+    def test_completion_is_ceil_load_over_speed(self):
+        inst = Instance(
+            times=(12, 9, 7, 5, 4, 3),
+            machines=3,
+            model="unrelated-few-types",
+            type_speeds=(1, 3),
+            machines_per_type=(2, 1),
+        )
+        result = ptas_schedule(inst, eps=0.3)
+        verify_schedule(result.schedule, target=result.makespan)
+        loads = result.schedule.loads()
+        speeds = np.array([1, 1, 3])
+        expected = -(-loads.astype(np.int64) // speeds)
+        assert np.array_equal(result.schedule.completion_times(), expected)
+        assert result.makespan == int(expected.max())
+
+    def test_fleet_shape_must_cover_every_machine(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance(
+                times=(3, 2),
+                machines=3,
+                model="unrelated-few-types",
+                type_speeds=(1, 2),
+                machines_per_type=(1, 1),  # sums to 2, not 3
+            )
+
+
+class TestWithModelFrontEnd:
+    def test_identical_rejects_model_parameters(self):
+        inst = Instance(times=(3, 2, 1), machines=2)
+        with pytest.raises(InvalidInstanceError, match="no model parameters"):
+            with_model(inst, "identical", type_speeds=(1, 2))
+
+    def test_cross_model_parameters_rejected(self):
+        inst = Instance(times=(3, 2, 1), machines=2)
+        with pytest.raises(InvalidInstanceError, match="time-restricted"):
+            with_model(inst, "unrelated-few-types", max_jobs_per_machine=2)
+        with pytest.raises(InvalidInstanceError, match="unrelated-few-types"):
+            with_model(inst, "time-restricted", type_speeds=(1, 2))
+
+    def test_unknown_model_rejected(self):
+        inst = Instance(times=(3, 2, 1), machines=2)
+        with pytest.raises(InvalidInstanceError, match="unknown model"):
+            with_model(inst, "related-machines")
+
+    def test_defaults_give_the_non_binding_lifts(self):
+        inst = Instance(times=(5, 4, 3), machines=2)
+        few = with_model(inst, "unrelated-few-types")
+        assert few.type_speeds == (1,)
+        assert few.machines_per_type == (2,)
+        capped = with_model(inst, "time-restricted")
+        assert capped.max_jobs_per_machine == inst.n_jobs
+        assert get_model("identical").name == "identical"
