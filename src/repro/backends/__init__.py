@@ -144,6 +144,7 @@ def _register_defaults() -> None:
             description="clamped decision-mode DP (early exit at the machine budget)",
             aliases=("dp-decision",),
             plan_aware=True,
+            sparsify_aware=True,
         )
     )
     register(
@@ -155,6 +156,7 @@ def _register_defaults() -> None:
             description="plan-driven single-sweep DP (one pass per anti-diagonal level)",
             aliases=("levelsweep", "dp-sweep"),
             plan_aware=True,
+            sparsify_aware=True,
         )
     )
     register(
@@ -170,6 +172,7 @@ def _register_defaults() -> None:
             aliases=("kernel-auto",),
             plan_aware=True,
             fabric_aware=True,
+            sparsify_aware=True,
         )
     )
     register(
@@ -195,6 +198,7 @@ def _register_defaults() -> None:
             concurrency="none",
             description="serial PTAS on one simulated CPU core",
             plan_aware=True,
+            sparsify_aware=True,
         )
     )
     for threads in (16, 28):
@@ -210,6 +214,7 @@ def _register_defaults() -> None:
                 aliases=(f"openmp-{threads}",),
                 plan_aware=True,
                 fabric_aware=True,
+                sparsify_aware=True,
             )
         )
     register(
@@ -220,6 +225,7 @@ def _register_defaults() -> None:
             concurrency="device-streams",
             description="unpartitioned GPU port (the ~100x-slower strawman)",
             plan_aware=True,
+            sparsify_aware=True,
         )
     )
     for dim in (3, 6, 9):
@@ -232,6 +238,7 @@ def _register_defaults() -> None:
                 description=f"data-partitioned GPU engine, {dim} partitioned dims",
                 plan_aware=True,
                 fabric_aware=True,
+                sparsify_aware=True,
             )
         )
     register(
@@ -243,6 +250,7 @@ def _register_defaults() -> None:
             description="per-probe CPU/GPU dispatch by predicted cost",
             plan_aware=True,
             fabric_aware=True,
+            sparsify_aware=True,
         )
     )
     register(
@@ -267,6 +275,7 @@ def _register_defaults() -> None:
             ),
             plan_aware=True,
             fabric_aware=True,
+            sparsify_aware=True,
         )
     )
 
@@ -317,6 +326,7 @@ def _register_defaults() -> None:
             description=f"OpenMP baseline on {int(m.group(1))} simulated threads",
             plan_aware=True,
             fabric_aware=True,
+            sparsify_aware=True,
         ),
     )
     register_family(
@@ -331,6 +341,7 @@ def _register_defaults() -> None:
             description=f"data-partitioned GPU engine, {int(m.group(1))} partitioned dims",
             plan_aware=True,
             fabric_aware=True,
+            sparsify_aware=True,
         ),
     )
     register_family(
@@ -345,6 +356,7 @@ def _register_defaults() -> None:
             description="per-probe CPU/GPU dispatch by predicted cost",
             plan_aware=True,
             fabric_aware=True,
+            sparsify_aware=True,
         ),
     )
     register_family(
@@ -377,6 +389,7 @@ def _register_defaults() -> None:
             ),
             plan_aware=True,
             fabric_aware=True,
+            sparsify_aware=True,
         ),
     )
 

@@ -76,6 +76,12 @@ class BackendSpec:
     #: The service pipeline and the CLI use this to inject the
     #: ``--fill-workers`` pool; results stay bit-identical either way.
     fabric_aware: bool = False
+    #: True when the factory accepts a ``sparsify=`` keyword — the
+    #: backend can fill over the dominance-pruned configuration set
+    #: (:mod:`repro.core.sparsify`) with unchanged results.  The
+    #: service pipeline and the CLI use this to honour
+    #: ``--no-sparsify`` and the per-request knob.
+    sparsify_aware: bool = False
     #: machine-model names (see :mod:`repro.models`) this backend can
     #: serve.  Default: every registered model — a backend restricts
     #: this only when its solver cannot honour a model's fill contract

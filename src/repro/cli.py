@@ -100,6 +100,14 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
              "admission estimates automatically cover the fabric's "
              "segments and per-worker scratch",
     )
+    parser.add_argument(
+        "--no-sparsify", action="store_true",
+        help="disable configuration sparsification (dominance pruning) "
+             "and probe-cache warm starts on sparsify-aware backends; "
+             "the escape hatch that replays every DP fill dense and "
+             "cold, bit-identical to the pre-sparsify library "
+             "(docs/PERFORMANCE.md)",
+    )
 
 
 def _add_model_flags(parser: argparse.ArgumentParser) -> None:
@@ -414,6 +422,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
             fill_fabric = BlockExecutor(workers=args.fill_workers)
             resolve_kwargs["fill_fabric"] = fill_fabric
+        if args.no_sparsify and spec.sparsify_aware:
+            resolve_kwargs["sparsify"] = False
         solver = resolve(args.backend, **resolve_kwargs)
     except BackendError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -429,7 +439,9 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     if args.cache:
         from repro.core.probe_cache import ProbeCache
 
-        cache = ProbeCache()
+        # --no-sparsify promises the dense cold replay, so the cache
+        # must not seed warm tables either.
+        cache = ProbeCache(warm_start=not args.no_sparsify)
     if args.profile or args.trace_json:
         from repro.observability import Tracer
 
@@ -559,6 +571,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             memory_budget_bytes=args.memory_budget,
             degrade=not args.no_degrade,
             fill_workers=args.fill_workers,
+            sparsify=False if args.no_sparsify else None,
         )
     except (BackendError, InvalidInstanceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -646,6 +659,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             deadline_s=args.probe_deadline,
             memory_budget_bytes=args.memory_budget,
             fill_workers=args.fill_workers,
+            sparsify=False if args.no_sparsify else None,
         )
     except (BackendError, InvalidInstanceError) as exc:
         print(f"error: {exc}", file=sys.stderr)

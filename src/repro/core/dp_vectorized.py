@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.configs import enumerate_configurations
 from repro.core.dp_common import (
     DPResult,
+    UNREACHABLE,
     empty_dp_result,
     pick_table_dtype,
     unreachable_for,
@@ -66,6 +67,29 @@ def shift_selectors(
     )
 
 
+def closure_views(table: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Reversed-axis views of ``table`` for the downward-closure sweeps.
+
+    Because the configuration set is downward closed, the exact table
+    is coordinatewise monotone (a cover of ``v`` covers every ``u <=
+    v``), so ``table[u] <= table[u + e_i]`` at the fixpoint.  View
+    ``i`` reverses axis ``i``; a ``np.minimum.accumulate`` over it is
+    the suffix-min sweep that propagates each cell's value to all
+    dominated cells along that axis.
+    """
+    d = table.ndim
+    return tuple(
+        table[tuple(slice(None, None, -1) if a == i else slice(None) for a in range(d))]
+        for i in range(d)
+    )
+
+
+def run_closure_sweeps(views: tuple[np.ndarray, ...]) -> None:
+    """One downward-closure round: a suffix-min sweep along every axis."""
+    for axis, view in enumerate(views):
+        np.minimum.accumulate(view, axis=axis, out=view)
+
+
 def bind_passes(
     table: np.ndarray,
     shifts: tuple[tuple[tuple, tuple], ...],
@@ -91,6 +115,44 @@ def bind_passes(
     return bound
 
 
+def seed_warm_table(
+    table: np.ndarray, warm_table: np.ndarray, cap: int | None = None
+) -> np.ndarray:
+    """Min-fold a cached table into a freshly initialised fill table.
+
+    ``warm_table`` is a canonical int64 table from a *smaller or equal*
+    scaled budget of the same table family: its values are valid upper
+    bounds on this fill's fixpoint (fewer configurations can only need
+    more machines), so min-folding it preserves the
+    upper-bound-and-monotone-decrease invariant of every relaxation
+    kernel and Bellman–Ford still converges to the same unique
+    fixpoint.  Sentinels at or above :data:`UNREACHABLE` map to the
+    narrow dtype's own sentinel; ``cap`` (a decision clamp) bounds the
+    seed for clamped fills.  Returns a copy of the seeded table so the
+    caller can count ``warmstart.cells_reused`` at the end.
+    """
+    warm = np.asarray(warm_table)
+    if warm.shape != table.shape:
+        raise DPError(
+            f"warm table shape {warm.shape} does not match fill shape "
+            f"{table.shape}"
+        )
+    sentinel = unreachable_for(table.dtype)
+    seed = np.where(warm >= UNREACHABLE, sentinel, warm)
+    if cap is not None:
+        seed = np.minimum(seed, int(cap))
+    np.minimum(table, seed.astype(table.dtype), out=table)
+    return table.copy()
+
+
+def note_warm_convergence(table: np.ndarray, warm_init: np.ndarray) -> None:
+    """Emit the warm-start reuse counters after a warm fill converged."""
+    obs.count("warmstart.fills")
+    obs.count(
+        "warmstart.cells_reused", int(np.count_nonzero(table == warm_init))
+    )
+
+
 def dp_vectorized(
     counts: Sequence[int],
     class_sizes: Sequence[int],
@@ -100,6 +162,10 @@ def dp_vectorized(
     order: np.ndarray | None = None,
     shifts: tuple[tuple[tuple, tuple], ...] | None = None,
     model_token: tuple | None = None,
+    sparsify: bool = False,
+    sparse_configs: np.ndarray | None = None,
+    sparse_shifts: tuple | None = None,
+    warm_table: np.ndarray | None = None,
 ) -> DPResult:
     """Fill the DP-table by repeated vectorized relaxation.
 
@@ -115,6 +181,27 @@ def dp_vectorized(
     ``shifts`` are the matching precomputed slice selectors (a plan's
     :attr:`~repro.dptable.plan.ProbePlan.shift_slices`); they must be
     aligned with ``order`` and are rebuilt locally when omitted.
+
+    ``sparsify=True`` relaxes with the dominance-pruned maximal subset
+    only (:mod:`repro.core.sparsify`).  The cover recurrence
+    ``OPT[u] = min_c OPT[clip(u - c)] + 1`` is realised as plain *box*
+    passes over the maximal subset plus one downward-closure sweep per
+    axis per round: for any maximal ``c``, ``clip(u - c) = v - c``
+    where ``v = max(u, c)`` elementwise, so the clipped candidate at
+    ``u`` is the exact box candidate at ``v`` propagated down by
+    monotonicity (:func:`closure_views`).  Same unique fixpoint, so
+    the returned table is bit-identical to the dense fill's and
+    ``configs`` (the full set, which the backtrack walks) is returned
+    unchanged.  ``sparse_configs`` / ``sparse_shifts`` are the
+    plan-cached layers
+    (:attr:`~repro.dptable.plan.ProbePlan.sparse_configs` /
+    :attr:`~repro.dptable.plan.ProbePlan.sparse_shift_slices`);
+    either being supplied implies ``sparsify``.
+
+    ``warm_table`` seeds the fill from a cached table of the same
+    family at a smaller scaled budget (see :func:`seed_warm_table`);
+    the fixpoint — and therefore the result — is unchanged, only the
+    round count drops.
 
     The fill runs in the narrowest dtype that holds ``sum(counts)``
     (usually int16 — a 4x cut in memory traffic per relaxation pass)
@@ -132,6 +219,8 @@ def dp_vectorized(
         )
     if configs is None:
         configs = enumerate_configurations(class_sizes, counts, target)
+    if sparse_configs is not None or sparse_shifts is not None:
+        sparsify = True
 
     dtype = pick_table_dtype(sum(counts))
     unreach = unreachable_for(dtype)
@@ -144,8 +233,57 @@ def dp_vectorized(
         # reachable.
         return DPResult(table=widen_table(table), configs=configs)
 
+    warm_init = None
+    if warm_table is not None:
+        warm_init = seed_warm_table(table, warm_table)
+
     if max_rounds is None:
         max_rounds = sum(counts) + 1
+
+    if sparsify:
+        if sparse_shifts is None:
+            if sparse_configs is None:
+                from repro.core.sparsify import sparsify_configurations
+
+                sparse_configs, _ = sparsify_configurations(
+                    configs, counts, class_sizes, target
+                )
+            sparse_order = np.argsort(
+                -sparse_configs.sum(axis=1), kind="stable"
+            )
+            sparse_shifts = shift_selectors(
+                shape, sparse_configs, sparse_order
+            )
+        scratch = np.empty(table.size, dtype=dtype)
+        mask = np.empty(table.size, dtype=bool)
+        bound = bind_passes(table, sparse_shifts, scratch, mask)
+        views = closure_views(table)
+        before = np.empty(shape, dtype=dtype)
+        rounds = 0
+        passes = 0
+        for _ in range(max_rounds):
+            rounds += 1
+            changed = False
+            for dst, src, cand, improved in bound:
+                np.add(src, 1, out=cand)
+                np.less(cand, dst, out=improved)
+                if improved.any():
+                    np.copyto(dst, cand, where=improved)
+                    changed = True
+            np.copyto(before, table)
+            run_closure_sweeps(views)
+            passes += len(bound)
+            if not changed and np.array_equal(table, before):
+                obs.count("dp.vectorized.calls")
+                obs.count("dp.vectorized.rounds", rounds)
+                obs.count("dp.vectorized.config_passes", passes)
+                if warm_init is not None:
+                    note_warm_convergence(table, warm_init)
+                return DPResult(table=widen_table(table), configs=configs)
+        raise DPError(
+            f"sparse relaxation did not converge within {max_rounds} rounds "
+            f"(shape={shape}, |C_max|={len(sparse_shifts)})"
+        )
 
     if shifts is None:
         if order is None:
@@ -182,6 +320,8 @@ def dp_vectorized(
             obs.count("dp.vectorized.calls")
             obs.count("dp.vectorized.rounds", rounds)
             obs.count("dp.vectorized.config_passes", passes)
+            if warm_init is not None:
+                note_warm_convergence(table, warm_init)
             return DPResult(table=widen_table(table), configs=configs)
     raise DPError(
         f"relaxation did not converge within {max_rounds} rounds "

@@ -204,7 +204,21 @@ class AutoKernel:
         Optional :class:`~repro.parallel.fabric.BlockExecutor`; opens
         the ``hostpar`` route for large exact fills.  The service
         pipeline injects it when ``--fill-workers`` is set.
+    sparsify:
+        Dominance-prune the configuration set before filling (default
+        on — ``auto`` is a decision-mode front-end).  Every route
+        honours it: decision/vectorized via sparse box passes with
+        closure sweeps, the sweep and the fabric via clipped gathers.
+        Results stay
+        bit-identical either way (see :mod:`repro.core.sparsify`).
     """
+
+    #: the probe cache may seed this kernel's fills from nearby-budget
+    #: cached tables (decision/vectorized routes; other routes ignore
+    #: the seed and fill cold, which is always sound).
+    supports_warm_start = True
+    #: the probe driver may toggle dominance pruning per fill.
+    supports_sparsify = True
 
     def __init__(
         self,
@@ -212,11 +226,13 @@ class AutoKernel:
         machines: Optional[int] = None,
         memory_budget_bytes: Optional[int] = None,
         fill_fabric=None,
+        sparsify: bool = True,
     ) -> None:
         self.plan_cache = plan_cache
         self.machines = None if machines is None else int(machines)
         self.memory_budget_bytes = memory_budget_bytes
         self.fill_fabric = fill_fabric
+        self.sparsify = bool(sparsify)
 
     def bind_machines(self, machines: Optional[int]) -> "AutoKernel":
         """A copy of this kernel that knows the machine budget.
@@ -230,6 +246,7 @@ class AutoKernel:
             machines=machines,
             memory_budget_bytes=self.memory_budget_bytes,
             fill_fabric=self.fill_fabric,
+            sparsify=self.sparsify,
         )
 
     @property
@@ -267,6 +284,8 @@ class AutoKernel:
         target: int,
         configs: Optional[np.ndarray] = None,
         model_token: Optional[tuple] = None,
+        sparsify: Optional[bool] = None,
+        warm_table: Optional[np.ndarray] = None,
     ) -> DPResult:
         counts = tuple(int(c) for c in counts)
         if len(counts) != len(class_sizes):
@@ -279,6 +298,7 @@ class AutoKernel:
             )
         if configs is None:
             configs = enumerate_configurations(class_sizes, counts, target)
+        effective = self.sparsify if sparsify is None else bool(sparsify)
         choice = choose_kernel(
             counts,
             class_sizes,
@@ -295,14 +315,30 @@ class AutoKernel:
             counts, class_sizes, target, configs, model_token=model_token
         )
         if choice.kernel == "hostpar":
-            flat = self.fill_fabric.fill(plan)
+            # The fabric fills cold: a warm seed would have to ship
+            # through shared memory for no measured win, so it is
+            # simply ignored here — filling cold is always sound.
+            flat = self.fill_fabric.fill(plan, sparsify=effective)
             return DPResult(
                 table=flat.reshape(plan.geometry.shape), configs=configs
             )
         if choice.kernel == "sweep":
             return dp_levelsweep(
-                counts, class_sizes, target, configs=configs, plan=plan
+                counts,
+                class_sizes,
+                target,
+                configs=configs,
+                plan=plan,
+                sparsify=effective,
             )
+        sparse = sparse_sel = None
+        order = shifts = None
+        if effective:
+            sparse = plan.sparse_configs
+            sparse_sel = plan.sparse_shift_slices
+        else:
+            order = plan.relaxation_order
+            shifts = plan.shift_slices
         if choice.kernel == "decision":
             return dp_decision(
                 counts,
@@ -310,18 +346,26 @@ class AutoKernel:
                 target,
                 machines=self.machines,
                 configs=configs,
-                order=plan.relaxation_order,
-                shifts=plan.shift_slices,
+                order=order,
+                shifts=shifts,
+                sparsify=effective,
+                sparse_configs=sparse,
+                sparse_shifts=sparse_sel,
+                warm_table=warm_table,
             )
         return dp_vectorized(
             counts,
             class_sizes,
             target,
             configs=configs,
-            order=plan.relaxation_order,
-            shifts=plan.shift_slices,
+            order=order,
+            shifts=shifts,
+            sparsify=effective,
+            sparse_configs=sparse,
+            sparse_shifts=sparse_sel,
+            warm_table=warm_table,
         )
 
     def __repr__(self) -> str:
         bound = "unbound" if self.machines is None else f"m={self.machines}"
-        return f"AutoKernel({bound})"
+        return f"AutoKernel({bound}, sparsify={self.sparsify})"

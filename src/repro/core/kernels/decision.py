@@ -74,7 +74,15 @@ from repro.core.dp_common import (
     widen_table,
 )
 from repro.core.dp_frontier import dp_frontier
-from repro.core.dp_vectorized import bind_passes, dp_vectorized, shift_selectors
+from repro.core.dp_vectorized import (
+    bind_passes,
+    closure_views,
+    dp_vectorized,
+    note_warm_convergence,
+    run_closure_sweeps,
+    seed_warm_table,
+    shift_selectors,
+)
 from repro.errors import BackendError, DPError
 from repro.observability import context as obs
 
@@ -88,6 +96,10 @@ def dp_decision(
     order: Optional[np.ndarray] = None,
     max_rounds: Optional[int] = None,
     shifts: Optional[tuple] = None,
+    sparsify: bool = False,
+    sparse_configs: Optional[np.ndarray] = None,
+    sparse_shifts: Optional[tuple] = None,
+    warm_table: Optional[np.ndarray] = None,
 ) -> DPResult:
     """Clamped relaxation fill deciding ``OPT(N) <= machines``.
 
@@ -103,6 +115,26 @@ def dp_decision(
     plan's :attr:`~repro.dptable.plan.ProbePlan.relaxation_order`);
     ``shifts`` the matching precomputed slice selectors (a plan's
     :attr:`~repro.dptable.plan.ProbePlan.shift_slices`).
+
+    ``sparsify=True`` relaxes with the dominance-pruned maximal subset
+    (:mod:`repro.core.sparsify`), realised as box passes over the
+    maximal subset plus per-round downward-closure sweeps (see
+    :func:`~repro.core.dp_vectorized.dp_vectorized`): the cover
+    fixpoint equals the partition fixpoint at every cell, invariants
+    (1)–(3) survive (a stored value is still the length of a real
+    cover, and round ``r`` still finalises every cell with
+    ``OPT <= r`` because the sweeps run after the round's box passes),
+    and the backtrack still walks the returned *full* ``configs``.
+    ``sparse_configs`` / ``sparse_shifts`` are the plan-cached layers;
+    either implies ``sparsify``.
+
+    ``warm_table`` seeds the fill from a cached same-clamp table of a
+    smaller scaled budget (upper bounds on this fill's fixpoint, see
+    :func:`~repro.core.dp_vectorized.seed_warm_table`).  Warm fills run
+    to the no-change fixpoint — the early accept is skipped, because
+    invariant (2) ("stored value <= r after r rounds is exact") does
+    not cover seeded values — so a warm table *is* the exact clamped
+    fixpoint and backtracks like any accepted decision table.
     """
     counts = tuple(int(c) for c in counts)
     if len(counts) != len(class_sizes):
@@ -114,6 +146,8 @@ def dp_decision(
         return empty_dp_result()
     if configs is None:
         configs = enumerate_configurations(class_sizes, counts, target)
+    if sparse_configs is not None or sparse_shifts is not None:
+        sparsify = True
 
     clamp = machines + 1
     dtype = pick_table_dtype(clamp)
@@ -144,38 +178,70 @@ def dp_decision(
         obs.count("dp.decision.rejects")
         return DPResult(table=widen_table(table), configs=configs, clamp=clamp)
 
+    warm_init = None
+    if warm_table is not None:
+        warm_init = seed_warm_table(table, warm_table, cap=clamp)
+
     if max_rounds is None:
         # Fixpoint within clamp rounds (no finite value exceeds the
         # clamp, and round r finalises every cell with OPT <= r); +2
         # headroom for the no-change detection round.
         max_rounds = min(sum(counts), clamp) + 2
 
-    if shifts is None:
-        if order is None:
-            order = np.argsort(-configs.sum(axis=1), kind="stable")
-        shifts = shift_selectors(shape, configs, order)
+    if sparsify and sparse_shifts is None:
+        if sparse_configs is None:
+            from repro.core.sparsify import sparsify_configurations
 
-    scratch = np.empty(table.size, dtype=dtype)
-    mask = np.empty(table.size, dtype=bool)
-    bound = bind_passes(table, shifts, scratch, mask)
+            sparse_configs, _ = sparsify_configurations(
+                configs, counts, class_sizes, target
+            )
+        sparse_order = np.argsort(-sparse_configs.sum(axis=1), kind="stable")
+        sparse_shifts = shift_selectors(shape, sparse_configs, sparse_order)
+
+    if sparsify:
+        scratch = np.empty(table.size, dtype=dtype)
+        mask = np.empty(table.size, dtype=bool)
+        bound = bind_passes(table, sparse_shifts, scratch, mask)
+        views = closure_views(table)
+        before = np.empty(shape, dtype=dtype)
+        passes_per_round = len(bound)
+    else:
+        if shifts is None:
+            if order is None:
+                order = np.argsort(-configs.sum(axis=1), kind="stable")
+            shifts = shift_selectors(shape, configs, order)
+        scratch = np.empty(table.size, dtype=dtype)
+        mask = np.empty(table.size, dtype=bool)
+        bound = bind_passes(table, shifts, scratch, mask)
+        passes_per_round = len(bound)
 
     rounds = 0
     passes = 0
     for _ in range(max_rounds):
         rounds += 1
         changed = False
-        for dst, src, cand, improved in bound:
-            np.add(src, 1, out=cand)  # scratch copy; src may alias dst
-            np.less(cand, dst, out=improved)
+        for dst, src, cand_w, improved in bound:
+            np.add(src, 1, out=cand_w)  # scratch copy; src may alias dst
+            np.less(cand_w, dst, out=improved)
             if improved.any():
-                np.copyto(dst, cand, where=improved)
+                np.copyto(dst, cand_w, where=improved)
                 changed = True
-        passes += len(bound)
+        if sparsify:
+            np.copyto(before, table)
+            run_closure_sweeps(views)
+            changed = changed or not np.array_equal(table, before)
+        passes += passes_per_round
         corner_value = int(table[corner])
-        if corner_value <= machines and corner_value <= rounds:
+        if (
+            warm_init is None
+            and corner_value <= machines
+            and corner_value <= rounds
+        ):
             # Invariant (2): after `rounds` full rounds every stored
             # value <= rounds is exact, so the corner is final and the
             # whole backtrack chain below it is too — stop early.
+            # (Warm fills skip this: seeded values are upper bounds,
+            # not chain lengths, so they run to the no-change fixpoint.)
             obs.count("dp.decision.early_accept")
             break
         if not changed:
@@ -185,6 +251,9 @@ def dp_decision(
             f"clamped relaxation did not converge within {max_rounds} rounds "
             f"(shape={shape}, |C|={configs.shape[0]}, clamp={clamp})"
         )
+
+    if warm_init is not None:
+        note_warm_convergence(table, warm_init)
 
     obs.count("dp.decision.calls")
     obs.count("dp.decision.rounds", rounds)
@@ -209,11 +278,30 @@ class DecisionKernel:
     ``plan_cache`` (a :class:`~repro.core.probe_cache.PlanCache`)
     supplies the cached config processing order; plans are fetched
     lazily (``eager=False``) because the kernel needs no other layer.
+
+    ``sparsify`` (default on — the decision kernels are the intended
+    consumers of dominance pruning) relaxes with the plan's maximal
+    subset via box passes and closure sweeps; results stay
+    bit-identical to the dense
+    fill (see :mod:`repro.core.sparsify`).  ``--no-sparsify`` and the
+    service knobs thread ``sparsify=False`` through here.
     """
 
-    def __init__(self, machines: Optional[int] = None, plan_cache=None) -> None:
+    #: the probe cache may seed this kernel's fills from nearby-budget
+    #: cached tables (same ``dp_cache_token`` family).
+    supports_warm_start = True
+    #: the probe driver may toggle dominance pruning per fill.
+    supports_sparsify = True
+
+    def __init__(
+        self,
+        machines: Optional[int] = None,
+        plan_cache=None,
+        sparsify: bool = True,
+    ) -> None:
         self.machines = None if machines is None else int(machines)
         self.plan_cache = plan_cache
+        self.sparsify = bool(sparsify)
 
     def bind_machines(self, machines: Optional[int]) -> "DecisionKernel":
         """A copy of this kernel clamped at ``machines + 1``.
@@ -222,20 +310,25 @@ class DecisionKernel:
         multi-fill models compose tables across machine types) pass it
         to force the exact fallback even on a previously-bound kernel.
         """
-        return DecisionKernel(machines=machines, plan_cache=self.plan_cache)
+        return DecisionKernel(
+            machines=machines, plan_cache=self.plan_cache, sparsify=self.sparsify
+        )
 
     @property
     def dp_cache_token(self) -> Optional[tuple]:
-        """Probe-cache isolation key: clamped tables are per-budget."""
+        """Probe-cache isolation key: clamped tables are per-budget.
+
+        ``sparsify`` does not enter the token — sparse and dense fills
+        share one fixpoint, so their cached tables are interchangeable.
+        """
         if self.machines is None:
             return None
         return ("decision", self.machines)
 
-    def _plan_layers(self, counts, class_sizes, target, configs, model_token=None):
-        """Cached ``(relaxation_order, shift_slices)`` — or ``(None, None)``."""
+    def _plan(self, counts, class_sizes, target, configs, model_token=None):
         if self.plan_cache is None:
-            return None, None
-        plan = self.plan_cache.plan(
+            return None
+        return self.plan_cache.plan(
             tuple(int(c) for c in counts),
             tuple(int(s) for s in class_sizes),
             int(target),
@@ -243,7 +336,6 @@ class DecisionKernel:
             eager=False,
             model_token=model_token,
         )
-        return plan.relaxation_order, plan.shift_slices
 
     def __call__(
         self,
@@ -252,19 +344,38 @@ class DecisionKernel:
         target: int,
         configs: Optional[np.ndarray] = None,
         model_token: Optional[tuple] = None,
+        sparsify: Optional[bool] = None,
+        warm_table: Optional[np.ndarray] = None,
     ) -> DPResult:
         counts = tuple(int(c) for c in counts)
         if len(counts) == 0:
             return empty_dp_result()
         if configs is None:
             configs = enumerate_configurations(class_sizes, counts, target)
-        order, shifts = self._plan_layers(
+        effective = self.sparsify if sparsify is None else bool(sparsify)
+        plan = self._plan(
             counts, class_sizes, target, configs, model_token=model_token
         )
+        order = shifts = sparse = sparse_sel = None
+        if plan is not None:
+            if effective:
+                sparse = plan.sparse_configs
+                sparse_sel = plan.sparse_shift_slices
+            else:
+                order = plan.relaxation_order
+                shifts = plan.shift_slices
         if self.machines is None:
             return dp_vectorized(
-                counts, class_sizes, target, configs=configs, order=order,
+                counts,
+                class_sizes,
+                target,
+                configs=configs,
+                order=order,
                 shifts=shifts,
+                sparsify=effective,
+                sparse_configs=sparse,
+                sparse_shifts=sparse_sel,
+                warm_table=warm_table,
             )
         return dp_decision(
             counts,
@@ -274,6 +385,10 @@ class DecisionKernel:
             configs=configs,
             order=order,
             shifts=shifts,
+            sparsify=effective,
+            sparse_configs=sparse,
+            sparse_shifts=sparse_sel,
+            warm_table=warm_table,
         )
 
     def __repr__(self) -> str:

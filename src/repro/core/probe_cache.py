@@ -189,14 +189,19 @@ class NullProbeCache:
     ) -> DPResult:
         """Run ``solver`` directly (it enumerates configurations itself)."""
         if _is_default_fill(rounded, fill):
-            return solver(rounded.counts, rounded.class_sizes, rounded.target)
+            return solver(
+                rounded.counts,
+                rounded.class_sizes,
+                rounded.target,
+                **_solver_kwargs(fill, solver),
+            )
         configs = fill.enumerate()
         return solver(
             fill.counts,
             fill.class_sizes,
             fill.budget,
             configs=configs,
-            **_fill_kwargs(fill),
+            **_solver_kwargs(fill, solver),
         )
 
     def geometry(self, counts: Tuple[int, ...]) -> TableGeometry:
@@ -274,6 +279,47 @@ def _fill_kwargs(fill: "FillSpec") -> Dict[str, object]:
     return {} if fill.token is None else {"model_token": fill.token}
 
 
+def _solver_kwargs(
+    fill: Optional["FillSpec"], solver
+) -> Dict[str, object]:
+    """Solver kwargs for one fill, shaped to what ``solver`` accepts.
+
+    The plan token passes through whenever set.  A fill that opted out
+    of sparsification (``FillSpec.sparsify=False`` — a model whose
+    configuration set is not downward closed) forces ``sparsify=False``
+    onto solvers that advertise ``supports_sparsify``; solvers without
+    the attribute never prune, so they get the historical call shape
+    untouched.
+    """
+    if fill is None:
+        return {}
+    kwargs = _fill_kwargs(fill)
+    if not fill.sparsify and getattr(solver, "supports_sparsify", False):
+        kwargs["sparsify"] = False
+    return kwargs
+
+
+def _warm_family(base_key) -> tuple:
+    """The warm-start family of a DP key: everything but the budget.
+
+    Default-fill keys are ``(indices, counts, scaled_budget)``;
+    non-default fills append ``max_jobs``.  Two fills in one family
+    differ only in the scaled budget, so the smaller budget's
+    configuration set is a subset of the larger's and its table values
+    are pointwise upper bounds on the larger fill's fixpoint — exactly
+    the seeding precondition of
+    :func:`~repro.core.dp_vectorized.seed_warm_table`.
+    """
+    indices, counts = base_key[0], base_key[1]
+    max_jobs = base_key[3] if len(base_key) > 3 else None
+    return (indices, counts, max_jobs)
+
+
+def _warm_budget(base_key) -> int:
+    """The scaled budget component of a DP key."""
+    return int(base_key[2])
+
+
 def normalized_request_key(
     instance: Instance,
     eps: float,
@@ -328,15 +374,33 @@ class ProbeCache:
         long-lived batch service: DP entries hold full tables, so an
         unbounded cache fed adversarial probe mixes grows without
         limit.
+    warm_start:
+        When ``True`` (default), a DP miss whose solver advertises
+        ``supports_warm_start`` is seeded from the cached table of the
+        *nearest smaller scaled budget* in the same key family (same
+        class indices, counts, job cap, and solver token): that
+        table's values are pointwise upper bounds on the new fill's
+        fixpoint, so relaxing from them converges to the exact same
+        table as a cold fill while skipping the rounds that rebuilt
+        the shared structure.  Warm results are stored under a
+        ``("warm", token)`` key extension — a warm table is the full
+        no-change fixpoint while a cold decision fill may have
+        early-accepted with non-final interior cells, so the two must
+        never alias.  Lookups consult the cold key first, then the
+        warm key (a warm table answers strictly more).
     """
 
     def __init__(
-        self, share_dp: bool = True, capacity: Optional[int] = 4096
+        self,
+        share_dp: bool = True,
+        capacity: Optional[int] = 4096,
+        warm_start: bool = True,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("ProbeCache capacity must be >= 1 (or None)")
         self.share_dp = share_dp
         self.capacity = capacity
+        self.warm_start = bool(warm_start)
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._rounding: "OrderedDict[Tuple[Instance, int, int], RoundedInstance]" = (
@@ -345,6 +409,10 @@ class ProbeCache:
         self._configs: "OrderedDict[NormalizedKey, np.ndarray]" = OrderedDict()
         self._dp: "OrderedDict[Tuple[NormalizedKey, object], DPResult]" = OrderedDict()
         self._geometry: "OrderedDict[Tuple[int, ...], TableGeometry]" = OrderedDict()
+        #: warm-start index: (family, token) -> {scaled budget: dp key}.
+        #: Entries are validated against ``_dp`` lazily (evictions there
+        #: leave stale pointers here, pruned on the next lookup).
+        self._warm_index: Dict[tuple, Dict[int, tuple]] = {}
         #: cache outcomes of the most recent probe ("hit"/"miss" per
         #: kind) — consumed by the per-probe trace events.
         self.last_events: Dict[str, str] = {}
@@ -419,26 +487,51 @@ class ProbeCache:
             configs = self.configurations(rounded, fill=fill)
             if default:
                 return solver(
-                    rounded.counts, rounded.class_sizes, rounded.target, configs=configs
+                    rounded.counts,
+                    rounded.class_sizes,
+                    rounded.target,
+                    configs=configs,
+                    **_solver_kwargs(fill, solver),
                 )
             return solver(
                 fill.counts,
                 fill.class_sizes,
                 fill.budget,
                 configs=configs,
-                **_fill_kwargs(fill),
+                **_solver_kwargs(fill, solver),
             )
         base_key = (
             normalized_probe_key(rounded) if default else _fill_key(rounded, fill)
         )
-        key = (base_key, getattr(solver, "dp_cache_token", None))
+        token = getattr(solver, "dp_cache_token", None)
+        key = (base_key, token)
+        warm_key = (base_key, ("warm", token))
         value = self._lookup(self._dp, key)
+        if value is _MISS:
+            # A warm-started table is the full fixpoint — it answers
+            # anything a cold table would, so serve it when present.
+            value = self._lookup(self._dp, warm_key)
         hit = value is not _MISS
         if not hit:
             configs = self.configurations(rounded, fill=fill)
+            kwargs = _solver_kwargs(fill, solver)
+            warm_table = None
+            if (
+                self.warm_start
+                and getattr(solver, "supports_warm_start", False)
+                and kwargs.get("sparsify") is not False
+            ):
+                warm_table = self._warm_source(base_key, token)
+                self._note("warmstart", warm_table is not None)
+            if warm_table is not None:
+                kwargs["warm_table"] = warm_table
             if default:
                 result = solver(
-                    rounded.counts, rounded.class_sizes, rounded.target, configs=configs
+                    rounded.counts,
+                    rounded.class_sizes,
+                    rounded.target,
+                    configs=configs,
+                    **kwargs,
                 )
             else:
                 result = solver(
@@ -446,11 +539,54 @@ class ProbeCache:
                     fill.class_sizes,
                     fill.budget,
                     configs=configs,
-                    **_fill_kwargs(fill),
+                    **kwargs,
                 )
-            value = self._store("dp", self._dp, key, result)
+            store_key = warm_key if warm_table is not None else key
+            value = self._store("dp", self._dp, store_key, result)
+            self._register_warm(base_key, token, store_key, value)
         self._note("dp", hit)
         return value
+
+    def _warm_source(self, base_key, token) -> Optional[np.ndarray]:
+        """The cached table of the nearest smaller same-family budget.
+
+        Returns the table array (or ``None``).  Stale index entries —
+        pointers into evicted ``_dp`` slots — are pruned as they are
+        encountered.
+        """
+        family = (_warm_family(base_key), token)
+        budget = _warm_budget(base_key)
+        with self._lock:
+            budgets = self._warm_index.get(family)
+            if not budgets:
+                return None
+            best = None
+            for b in sorted(budgets, reverse=True):
+                dp_key = budgets[b]
+                if dp_key not in self._dp:
+                    del budgets[b]  # evicted since registration
+                    continue
+                if b < budget:
+                    best = self._dp[dp_key]
+                    break
+            if best is None:
+                return None
+        if not isinstance(best, DPResult):
+            return None  # decision-only results carry no table to seed from
+        table = best.table
+        if table is None or getattr(table, "ndim", 0) == 0:
+            return None
+        return table
+
+    def _register_warm(self, base_key, token, store_key, result) -> None:
+        """Index one stored DP result as a future warm-start source."""
+        if not isinstance(result, DPResult):
+            return  # decision-only results carry no table to seed from
+        family = (_warm_family(base_key), token)
+        with self._lock:
+            self._warm_index.setdefault(family, {})[
+                _warm_budget(base_key)
+            ] = store_key
 
     def geometry(self, counts: Tuple[int, ...]) -> TableGeometry:
         """Memoized :meth:`TableGeometry.from_counts` (strides reuse)."""
@@ -515,6 +651,7 @@ class ProbeCache:
         self._configs.clear()
         self._dp.clear()
         self._geometry.clear()
+        self._warm_index.clear()
 
     def __len__(self) -> int:
         """Total number of cached artifacts across all kinds."""
@@ -555,10 +692,13 @@ class NullPlanCache:
         configs: Optional[np.ndarray] = None,
         eager: bool = True,
         model_token: Optional[tuple] = None,
+        sparsify: bool = False,
     ) -> ProbePlan:
         """Uncached :func:`~repro.dptable.plan.build_probe_plan`."""
         _require_configs_for_token(model_token, configs)
-        return build_probe_plan(counts, class_sizes, target, configs, eager=eager)
+        return build_probe_plan(
+            counts, class_sizes, target, configs, eager=eager, sparsify=sparsify
+        )
 
     def clear(self) -> None:
         """Nothing cached, nothing to drop."""
@@ -612,6 +752,11 @@ class PlanCache:
         self._plans: "OrderedDict[tuple, ProbePlan]" = OrderedDict()
         #: normalized-signature aliases pointing into ``_plans`` keys.
         self._aliases: Dict[tuple, tuple] = {}
+        #: table shape -> key of a resident plan; the level schedule is
+        #: a pure function of the shape, so a brand-new plan over a
+        #: known shape inherits its mate's schedule instead of
+        #: rebuilding it (recorded as the ``warmstart`` stats kind).
+        self._by_shape: Dict[tuple, tuple] = {}
 
     def plan(
         self,
@@ -621,6 +766,7 @@ class PlanCache:
         configs: Optional[np.ndarray] = None,
         eager: bool = True,
         model_token: Optional[tuple] = None,
+        sparsify: bool = False,
     ) -> ProbePlan:
         """The memoized plan for one probe (built on the first miss).
 
@@ -638,6 +784,14 @@ class PlanCache:
         alias that a token-less lookup for the same shape would hit.
         Callers with a token must supply ``configs`` — the cache cannot
         enumerate a filtered set itself.
+
+        ``sparsify=True`` additionally wants the dominance-pruned
+        layers: with ``eager`` they are built (and shared) here, and
+        either way the lookup is tallied under the ``sparsify`` stats
+        kind (hit = the sparse layers were already materialised on the
+        plan).  A brand-new plan over an already-cached table *shape*
+        inherits that mate's level schedule — the schedule is a pure
+        function of the shape — tallied as the ``warmstart`` kind.
         """
         _require_configs_for_token(model_token, configs)
         norm_key = plan_signature(counts, class_sizes, target, model_token=model_token)
@@ -654,7 +808,10 @@ class PlanCache:
                 self._plans.move_to_end(key)
                 plan = self._plans[key]
         if not hit:
-            plan = build_probe_plan(counts, class_sizes, target, configs, eager=eager)
+            # Build lazily here even when ``eager``: the shape-mate
+            # schedule seed below must land before the first touch.
+            plan = build_probe_plan(counts, class_sizes, target, configs, eager=False)
+            warm_seeded = False
             with self._lock:
                 existing = self._aliases.get(lookup, lookup)
                 if existing in self._plans:
@@ -662,8 +819,38 @@ class PlanCache:
                     plan = self._plans[existing]
                     key = existing
                 else:
+                    mate_key = self._by_shape.get(plan.geometry.shape)
+                    mate = (
+                        self._plans.get(mate_key)
+                        if mate_key is not None
+                        else None
+                    )
+                    if mate is not None and "level_schedule" in mate.__dict__:
+                        plan.__dict__["level_schedule"] = mate.__dict__[
+                            "level_schedule"
+                        ]
+                        warm_seeded = True
                     self._plans[key] = plan
+                    self._by_shape[plan.geometry.shape] = key
+                    self.stats.record("warmstart", warm_seeded)
                     self._evict()
+            if warm_seeded:
+                obs.count("plan.cache.warm_seeded")
+            if eager:
+                plan.level_schedule
+                plan.candidates
+                if sparsify:
+                    plan.sparse_configs
+                    plan.sparse_valid
+                else:
+                    plan.valid
+        if sparsify:
+            sparse_ready = "sparse_configs" in plan.__dict__
+            with self._lock:
+                self.stats.record("sparsify", sparse_ready)
+            if eager and not sparse_ready:
+                plan.sparse_configs
+                plan.sparse_valid
         with self._lock:
             # Register both signatures so config-keyed and target-keyed
             # lookups for the same structure converge on one plan object.
@@ -682,6 +869,9 @@ class PlanCache:
             for alias, key in list(self._aliases.items()):
                 if key == stale_key:
                     del self._aliases[alias]
+            for shape, key in list(self._by_shape.items()):
+                if key == stale_key:
+                    del self._by_shape[shape]
 
     def _note(self, hit: bool) -> None:
         with self._lock:
@@ -693,6 +883,7 @@ class PlanCache:
         with self._lock:
             self._plans.clear()
             self._aliases.clear()
+            self._by_shape.clear()
 
     def __len__(self) -> int:
         return len(self._plans)

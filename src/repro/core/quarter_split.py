@@ -67,6 +67,12 @@ def segment_targets(lb: int, ub: int, segments: int = DEFAULT_SEGMENTS) -> list[
     duplicate targets (possible when the interval is narrower than the
     segment count) are dropped while preserving ascending order, so no
     DP probe is wasted on a repeated target.
+
+    The ascending order also matters for table-delta warm starts
+    (:class:`~repro.core.probe_cache.ProbeCache`): a sequential
+    executor runs the round smallest target first, so each later probe
+    of the round finds a cached table at a strictly smaller budget to
+    seed from when its rounding key matches.
     """
     pieces = MakespanBounds(lb, ub).quarter_points(segments)
     targets: list[int] = []

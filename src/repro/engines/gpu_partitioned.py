@@ -55,6 +55,8 @@ from repro.gpusim.spec import DeviceSpec, KEPLER_K40
 class GpuPartitionedEngine:
     """Algorithms 4+5 with partitioning along ``dim`` dimensions."""
 
+    supports_sparsify = True
+
     def __init__(
         self,
         dim: int = 6,
@@ -65,6 +67,7 @@ class GpuPartitionedEngine:
         block_residency: bool = False,
         plan_cache=None,
         fill_fabric=None,
+        sparsify: bool = False,
     ) -> None:
         self.dim = dim
         self.num_streams = num_streams
@@ -80,6 +83,7 @@ class GpuPartitionedEngine:
         # Optional repro.parallel.fabric.BlockExecutor: route the real
         # table fill through host processes (simulated costs unchanged).
         self.fill_fabric = fill_fabric
+        self.sparsify = bool(sparsify)
         self.total_simulated_s = 0.0
         self.runs: list[EngineRun] = []
 
@@ -98,12 +102,14 @@ class GpuPartitionedEngine:
         configs: Optional[np.ndarray] = None,
         plan: Optional[ProbePlan] = None,
         model_token: Optional[tuple] = None,
+        sparsify: Optional[bool] = None,
     ) -> EngineRun:
         """Execute one DP probe as the blocked two-level schedule."""
         if len(counts) == 0:
             run = degenerate_run(self.name)
             self.runs.append(run)
             return run
+        sparse = self.sparsify if sparsify is None else bool(sparsify)
         plan = resolve_plan(
             self.plan_cache, counts, class_sizes, target, configs, plan,
             model_token=model_token,
@@ -116,7 +122,9 @@ class GpuPartitionedEngine:
         # Real DP values in the engine's own order: the sequential path
         # verifies no dependency is violated by the blocked schedule;
         # the fabric path executes the same waves process-parallel.
-        table = fill_plan(plan, self.fill_fabric, blocked_dim=self.dim)
+        table = fill_plan(
+            plan, self.fill_fabric, blocked_dim=self.dim, sparsify=sparse
+        )
         dp_result = DPResult(
             table=table.reshape(geometry.shape), configs=plan.configs
         )
@@ -126,9 +134,11 @@ class GpuPartitionedEngine:
         # Locate scans stay inside the block: contiguous (coalesced)
         # storage of cells_per_block cells; also charge the scan's
         # compare ops as compute (the per-thread loop of Alg.5 l.26-28).
-        scan_elems_per_cell = plan.scan_elements(partition.cells_per_block)
+        scan_elems_per_cell = plan.scan_elements(
+            partition.cells_per_block, sparsify=sparse
+        )
         cell_compute = (
-            plan.thread_ops(self.costs)
+            plan.thread_ops(self.costs, sparsify=sparse)
             + scan_elems_per_cell * self.costs.gpu_scan_ops_per_element
         ) * op_time
 
@@ -194,8 +204,9 @@ class GpuPartitionedEngine:
                 "num_block_levels": partition.num_block_levels,
                 "num_streams": self.num_streams,
                 "total_candidates": plan.total_candidates,
-                "total_valid": plan.total_valid,
+                "total_valid": int(plan.work_valid(sparse).sum()),
                 "scan_scope": partition.cells_per_block,
+                "sparsify": sparse,
                 "strided_span_example": layout.strided_span(
                     (0,) * geometry.ndim
                 ),
@@ -218,8 +229,14 @@ class GpuPartitionedEngine:
         target: int,
         configs: Optional[np.ndarray] = None,
         model_token: Optional[tuple] = None,
+        sparsify: Optional[bool] = None,
     ) -> DPResult:
         """DPSolver protocol for the PTAS drivers."""
         return self.run(
-            counts, class_sizes, target, configs, model_token=model_token
+            counts,
+            class_sizes,
+            target,
+            configs,
+            model_token=model_token,
+            sparsify=sparsify,
         ).dp_result

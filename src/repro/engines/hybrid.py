@@ -40,6 +40,8 @@ from repro.gpusim.spec import DeviceSpec, KEPLER_K40
 class HybridEngine:
     """Dispatch probes between the OpenMP and partitioned-GPU engines."""
 
+    supports_sparsify = True
+
     def __init__(
         self,
         dim: int = 6,
@@ -49,16 +51,20 @@ class HybridEngine:
         costs: CostConstants = DEFAULT_COSTS,
         plan_cache=None,
         fill_fabric=None,
+        sparsify: bool = False,
     ) -> None:
         # The fabric (repro.parallel.fabric.BlockExecutor) threads down
         # to both sub-engines: whichever wins the prediction routes its
-        # real table fill through the same shared worker pool.
+        # real table fill through the same shared worker pool.  The
+        # sparsify knob threads down the same way so the winner fills
+        # (and charges) the dominance-pruned set.
         self.cpu_engine = OpenMPEngine(
             threads=threads,
             spec=cpu_spec,
             costs=costs,
             plan_cache=plan_cache,
             fill_fabric=fill_fabric,
+            sparsify=sparsify,
         )
         self.gpu_engine = GpuPartitionedEngine(
             dim=dim,
@@ -66,11 +72,13 @@ class HybridEngine:
             costs=costs,
             plan_cache=plan_cache,
             fill_fabric=fill_fabric,
+            sparsify=sparsify,
         )
         self.costs = costs
         self.dim = dim
         self.plan_cache = plan_cache
         self.fill_fabric = fill_fabric
+        self.sparsify = bool(sparsify)
         self.choices: list[str] = []
         self.runs: list[EngineRun] = []
 
@@ -135,6 +143,7 @@ class HybridEngine:
         configs: Optional[np.ndarray] = None,
         plan: Optional[ProbePlan] = None,
         model_token: Optional[tuple] = None,
+        sparsify: Optional[bool] = None,
     ) -> EngineRun:
         """Route one probe to the predicted-cheaper engine and run it."""
         if len(counts) == 0:
@@ -150,12 +159,14 @@ class HybridEngine:
         if cpu_pred <= gpu_pred:
             self.choices.append("cpu")
             run = self.cpu_engine.run(
-                counts, class_sizes, target, plan.configs, plan=plan
+                counts, class_sizes, target, plan.configs, plan=plan,
+                sparsify=sparsify,
             )
         else:
             self.choices.append("gpu")
             run = self.gpu_engine.run(
-                counts, class_sizes, target, plan.configs, plan=plan
+                counts, class_sizes, target, plan.configs, plan=plan,
+                sparsify=sparsify,
             )
         self.runs.append(run)
         return run
@@ -167,8 +178,14 @@ class HybridEngine:
         target: int,
         configs: Optional[np.ndarray] = None,
         model_token: Optional[tuple] = None,
+        sparsify: Optional[bool] = None,
     ) -> DPResult:
         """DPSolver protocol for the PTAS drivers."""
         return self.run(
-            counts, class_sizes, target, configs, model_token=model_token
+            counts,
+            class_sizes,
+            target,
+            configs,
+            model_token=model_token,
+            sparsify=sparsify,
         ).dp_result

@@ -40,6 +40,8 @@ from repro.engines.costmodel import CostConstants, DEFAULT_COSTS
 class OpenMPEngine:
     """Algorithm 2 on ``threads`` CPU threads (OMP16 / OMP28 in the paper)."""
 
+    supports_sparsify = True
+
     def __init__(
         self,
         threads: int = 28,
@@ -48,6 +50,7 @@ class OpenMPEngine:
         schedule: str = "static",
         plan_cache=None,
         fill_fabric=None,
+        sparsify: bool = False,
     ) -> None:
         self.threads = threads
         self.spec = spec
@@ -57,6 +60,7 @@ class OpenMPEngine:
         # Optional repro.parallel.fabric.BlockExecutor: route the real
         # table fill through host processes (simulated costs unchanged).
         self.fill_fabric = fill_fabric
+        self.sparsify = bool(sparsify)
         self.total_simulated_s = 0.0
         self.runs: list[EngineRun] = []
 
@@ -73,12 +77,14 @@ class OpenMPEngine:
         configs: Optional[np.ndarray] = None,
         plan: Optional[ProbePlan] = None,
         model_token: Optional[tuple] = None,
+        sparsify: Optional[bool] = None,
     ) -> EngineRun:
         """Execute one DP probe level by level on the CPU model."""
         if len(counts) == 0:
             run = degenerate_run(self.name)
             self.runs.append(run)
             return run
+        sparse = self.sparsify if sparsify is None else bool(sparsify)
         plan = resolve_plan(
             self.plan_cache, counts, class_sizes, target, configs, plan,
             model_token=model_token,
@@ -86,16 +92,16 @@ class OpenMPEngine:
         geometry = plan.geometry
 
         levels = plan.level_groups()
-        table = fill_plan(plan, self.fill_fabric)
+        table = fill_plan(plan, self.fill_fabric, sparsify=sparse)
         dp_result = DPResult(
             table=table.reshape(geometry.shape), configs=plan.configs
         )
 
         # Per-cell cost: candidate enumeration + SetOPT bookkeeping +
         # whole-table locate scans (cached, so discounted).
-        ops = plan.thread_ops(self.costs)
+        ops = plan.thread_ops(self.costs, sparsify=sparse)
         scan = (
-            plan.scan_elements(geometry.size)
+            plan.scan_elements(geometry.size, sparsify=sparse)
             * self.costs.scan_ops_per_element
             * self.costs.cpu_scan_elements_cached
         )
@@ -103,7 +109,7 @@ class OpenMPEngine:
         # Streamed traffic per cell: its scans touch valid * sigma/2
         # elements of 8 bytes; the shared-bandwidth ceiling caps how
         # fast 16 or 28 threads can co-scan.
-        cell_bytes = plan.scan_elements(geometry.size) * 8.0
+        cell_bytes = plan.scan_elements(geometry.size, sparsify=sparse) * 8.0
 
         model = OpenMPModel(self.spec, threads=self.threads)
         worst_imbalance = 1.0
@@ -126,8 +132,9 @@ class OpenMPEngine:
                 "regions": model.regions,
                 "worst_level_imbalance": worst_imbalance,
                 "total_candidates": plan.total_candidates,
-                "total_valid": plan.total_valid,
+                "total_valid": int(plan.work_valid(sparse).sum()),
                 "scan_scope": geometry.size,
+                "sparsify": sparse,
             },
         )
         self.total_simulated_s += run.simulated_s
@@ -142,8 +149,14 @@ class OpenMPEngine:
         target: int,
         configs: Optional[np.ndarray] = None,
         model_token: Optional[tuple] = None,
+        sparsify: Optional[bool] = None,
     ) -> DPResult:
         """DPSolver protocol for the PTAS drivers."""
         return self.run(
-            counts, class_sizes, target, configs, model_token=model_token
+            counts,
+            class_sizes,
+            target,
+            configs,
+            model_token=model_token,
+            sparsify=sparsify,
         ).dp_result

@@ -91,6 +91,7 @@ def _fill_range(
     shape: tuple[int, ...],
     strides: np.ndarray,
     unreach: int,
+    clipped: bool = False,
 ) -> int:
     """Fill one contiguous slice of a wave's cells; returns cells touched.
 
@@ -98,6 +99,13 @@ def _fill_range(
     one predecessor gather + min-reduce per configuration, writes
     ``best + 1`` for reachable cells.  The origin (flat index 0) is
     pre-final and skipped.
+
+    ``clipped=True`` runs the cover recurrence over a dominance-pruned
+    configuration set (see :mod:`repro.core.sparsify`): predecessors
+    are ``clip(u - c)`` and disjoint-support configurations — which
+    clip back to the cell itself — are skipped.  Clipped predecessors
+    sit at strictly lower wave levels, so wavefront safety holds
+    unchanged.
     """
     cells = cells[cells != 0]
     if cells.size == 0:
@@ -105,8 +113,12 @@ def _fill_range(
     coords = np.stack(np.unravel_index(cells, shape), axis=1)
     best = np.full(cells.size, unreach, dtype=table.dtype)
     for cfg in configs:
-        prev = coords - cfg
-        ok = (prev >= 0).all(axis=1)
+        if clipped:
+            prev = np.maximum(coords - cfg, 0)
+            ok = (prev != coords).any(axis=1)
+        else:
+            prev = coords - cfg
+            ok = (prev >= 0).all(axis=1)
         if not ok.any():
             continue
         vals = table[prev[ok] @ strides]
@@ -234,7 +246,10 @@ def _plan_key(plan: ProbePlan, kind: str, dim: int) -> tuple:
     kind fully determines the segment's bytes.  Gcd-normalized probes
     (:func:`~repro.dptable.plan.plan_signature` collisions) resolve to
     the same cached :class:`ProbePlan` and therefore the same digest —
-    the zero-copy reuse the plan cache already set up.
+    the zero-copy reuse the plan cache already set up.  Sparse
+    shipments (kinds ``levels-sparse`` / ``blocked-sparse``) carry the
+    dominance-pruned set, itself a pure function of ``configs``, so the
+    same digest-of-full-set scheme identifies them.
     """
     sig = configs_signature(plan.geometry, plan.configs)
     digest = hashlib.blake2b(digest_size=16)
@@ -300,7 +315,18 @@ def _attach_table(name: str, dtype_str: str, size: int) -> np.ndarray:
 
 def _fabric_work(task: tuple) -> int:
     """Fill ``order[lo:hi]`` of one wave (runs in a pool worker)."""
-    key, seg_name, shape, num_configs, table_name, dtype_str, size, lo, hi = task
+    (
+        key,
+        seg_name,
+        shape,
+        num_configs,
+        table_name,
+        dtype_str,
+        size,
+        lo,
+        hi,
+        clipped,
+    ) = task
     plan = _attach_plan(key, seg_name, tuple(shape), num_configs)
     table = _attach_table(table_name, dtype_str, size)
     return _fill_range(
@@ -310,6 +336,7 @@ def _fabric_work(task: tuple) -> int:
         plan["shape"],
         plan["strides"],
         unreachable_for(table.dtype),
+        clipped=bool(clipped),
     )
 
 
@@ -400,11 +427,15 @@ class BlockExecutor:
 
     # -- shipments -----------------------------------------------------------
 
-    def _shipment_for(self, plan: ProbePlan, blocked_dim: Optional[int]) -> _Shipment:
-        if blocked_dim is None:
-            key = _plan_key(plan, "levels", -1)
-        else:
-            key = _plan_key(plan, "blocked", blocked_dim)
+    def _shipment_for(
+        self,
+        plan: ProbePlan,
+        blocked_dim: Optional[int],
+        sparsify: bool = False,
+    ) -> _Shipment:
+        base_kind = "levels" if blocked_dim is None else "blocked"
+        kind = f"{base_kind}-sparse" if sparsify else base_kind
+        key = _plan_key(plan, kind, -1 if blocked_dim is None else blocked_dim)
         with self._lock:
             shipment = self._shipments.get(key)
             if shipment is not None:
@@ -427,7 +458,10 @@ class BlockExecutor:
             boundaries = np.concatenate(
                 [np.zeros(1, dtype=np.int64), np.cumsum(sizes, dtype=np.int64)]
             )
-        shipment = _Shipment(key, plan.geometry.shape, plan.configs, order, boundaries)
+        ship_configs = plan.sparse_configs if sparsify else plan.configs
+        shipment = _Shipment(
+            key, plan.geometry.shape, ship_configs, order, boundaries
+        )
         with self._lock:
             existing = self._shipments.get(key)
             if existing is not None:  # raced with another probe thread
@@ -452,6 +486,7 @@ class BlockExecutor:
         plan: ProbePlan,
         blocked_dim: Optional[int] = None,
         min_parallel_cells: Optional[int] = None,
+        sparsify: bool = False,
     ) -> np.ndarray:
         """Execute one plan's waves; returns the flat int64 table.
 
@@ -466,6 +501,11 @@ class BlockExecutor:
         is the barrier.  Bit-identical to
         :func:`~repro.engines.base.fill_by_groups` over the same
         groups.
+
+        ``sparsify=True`` ships the plan's dominance-pruned maximal
+        subset and fills with clipped gathers (same wave order, fewer
+        configuration passes per cell) — the resulting table is still
+        bit-identical to the dense fill.
         """
         geometry = plan.geometry
         if geometry.ndim == 0:
@@ -481,7 +521,7 @@ class BlockExecutor:
         unreach = unreachable_for(dtype)
         strides = np.asarray(geometry.strides, dtype=np.int64)
 
-        shipment = self._shipment_for(plan, blocked_dim)
+        shipment = self._shipment_for(plan, blocked_dim, sparsify=sparsify)
         boundaries = shipment.boundaries
         if int(boundaries[-1]) != size:
             raise DPError(
@@ -506,6 +546,7 @@ class BlockExecutor:
                         shape,
                         strides,
                         unreach,
+                        clipped=sparsify,
                     )
                     obs.count("fabric.waves.inline")
                     continue
@@ -522,6 +563,7 @@ class BlockExecutor:
                         size,
                         lo + a,
                         lo + b,
+                        sparsify,
                     )
                     for a, b in split_by_cost(wave_costs, self.workers)
                 ]
@@ -583,7 +625,11 @@ class HostParallelSolver:
     pass ``fill_fabric`` to pin a specific executor instead (the
     service pipeline does, so its lifecycle hooks own the pool).
     Pure wall-clock execution: no simulated time, no ``runs`` log.
+    ``sparsify`` fills with the dominance-pruned set via clipped
+    gathers (bit-identical tables, default off).
     """
+
+    supports_sparsify = True
 
     def __init__(
         self,
@@ -591,6 +637,7 @@ class HostParallelSolver:
         min_parallel_cells: int = DEFAULT_MIN_PARALLEL_CELLS,
         plan_cache=None,
         fill_fabric: Optional[BlockExecutor] = None,
+        sparsify: bool = False,
     ) -> None:
         if workers < 1:
             raise DPError(f"workers must be >= 1, got {workers}")
@@ -598,6 +645,7 @@ class HostParallelSolver:
         self.min_parallel_cells = int(min_parallel_cells)
         self.plan_cache = plan_cache
         self.fabric = fill_fabric if fill_fabric is not None else shared_fabric(workers)
+        self.sparsify = bool(sparsify)
 
     @property
     def name(self) -> str:
@@ -611,6 +659,7 @@ class HostParallelSolver:
         target: int,
         configs: Optional[np.ndarray] = None,
         model_token: Optional[tuple] = None,
+        sparsify: Optional[bool] = None,
     ) -> DPResult:
         """DPSolver protocol: solve one probe on the fabric."""
         counts = tuple(int(c) for c in counts)
@@ -620,11 +669,16 @@ class HostParallelSolver:
             return empty_dp_result()
         from repro.engines.base import resolve_plan
 
+        effective = self.sparsify if sparsify is None else bool(sparsify)
         plan = resolve_plan(
             self.plan_cache, counts, class_sizes, target, configs, None,
             model_token=model_token,
         )
         if configs is None:
             configs = plan.configs
-        flat = self.fabric.fill(plan, min_parallel_cells=self.min_parallel_cells)
+        flat = self.fabric.fill(
+            plan,
+            min_parallel_cells=self.min_parallel_cells,
+            sparsify=effective,
+        )
         return DPResult(table=flat.reshape(plan.geometry.shape), configs=configs)

@@ -207,6 +207,18 @@ class BatchReport:
             "total_iterations": self.total_iterations,
             "degraded_requests": self.degraded_count,
             "counters": dict(self.tracer.counters),
+            # The two headline perf-opt tallies, surfaced by name so
+            # dashboards need not know the counter namespace: configs
+            # dropped by dominance pruning and DP cells answered by a
+            # warm-started fill without recomputation.
+            "perf": {
+                "sparsify_dropped": int(
+                    self.tracer.counters.get("sparsify.dropped", 0)
+                ),
+                "warmstart_cells_reused": int(
+                    self.tracer.counters.get("warmstart.cells_reused", 0)
+                ),
+            },
             "cache": self.cache_stats.as_dict() if self.cache_stats else {},
             "plan_cache": (
                 self.plan_cache_stats.as_dict() if self.plan_cache_stats else {}
@@ -255,6 +267,13 @@ class BatchScheduler:
         scheduler as a context manager) to shut the pool down; the
         admission estimate automatically covers the fabric's shared
         segments.
+    sparsify:
+        Configuration-sparsification override (see
+        :mod:`repro.core.sparsify`): ``None`` (default) keeps each
+        backend's own default, ``True``/``False`` forces the knob on
+        every sparsify-aware solver the batch resolves.  ``False``
+        also disables the probe cache's warm starts so the batch
+        replays dense fills exactly (the CLI's ``--no-sparsify``).
 
     Example::
 
@@ -278,6 +297,7 @@ class BatchScheduler:
         memory_budget_bytes: Optional[int] = None,
         degrade: bool = True,
         fill_workers: Optional[int] = None,
+        sparsify: Optional[bool] = None,
     ) -> None:
         if workers < 1:
             raise InvalidInstanceError(f"workers must be >= 1, got {workers}")
@@ -303,6 +323,7 @@ class BatchScheduler:
             faults=faults,
             degrade=bool(degrade),
             fill_workers=fill_workers,
+            sparsify=sparsify,
         )
         self.search = search
         self.eps = eps

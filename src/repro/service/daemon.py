@@ -217,6 +217,11 @@ class SchedulingService:
         fabric-aware backends.  :meth:`shutdown` releases the pool on
         both the clean-drain and dirty-timeout paths, so no fabric
         worker ever outlives the service.
+    sparsify:
+        Configuration-sparsification override for sparsify-aware
+        backends (``None`` keeps backend defaults; ``False`` also
+        disables probe-cache warm starts) — identical semantics to
+        :class:`~repro.service.batch.BatchScheduler`.
     max_queue:
         Optional bound on the dispatch queue; at capacity, ``submit``
         back-pressures (awaits space) rather than rejecting.
@@ -236,6 +241,7 @@ class SchedulingService:
         memory_budget_bytes: Optional[int] = None,
         degrade: bool = True,
         fill_workers: Optional[int] = None,
+        sparsify: Optional[bool] = None,
         max_queue: Optional[int] = None,
     ) -> None:
         if workers < 1:
@@ -254,6 +260,7 @@ class SchedulingService:
             faults=faults,
             degrade=bool(degrade),
             fill_workers=fill_workers,
+            sparsify=sparsify,
         )
         self.backend = backend
         self.workers = int(workers)
@@ -580,6 +587,17 @@ class SchedulingService:
                 else {}
             ),
             "tracer_counters": dict(self.tracer.counters),
+            # Headline perf-opt tallies by name (the same pair the
+            # batch report surfaces): configs dropped by dominance
+            # pruning, DP cells a warm-started fill did not recompute.
+            "perf": {
+                "sparsify_dropped": int(
+                    self.tracer.counters.get("sparsify.dropped", 0)
+                ),
+                "warmstart_cells_reused": int(
+                    self.tracer.counters.get("warmstart.cells_reused", 0)
+                ),
+            },
         }
 
     async def join(self) -> None:

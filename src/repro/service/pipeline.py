@@ -116,6 +116,14 @@ class ProbePipeline:
     owns the pool's lifecycle: the front-ends call :meth:`close` on
     drain (and with ``force=True`` on dirty shutdown) so no worker
     outlives the service.
+
+    ``sparsify`` controls configuration sparsification
+    (:mod:`repro.core.sparsify`) on sparsify-aware backends: ``None``
+    keeps each backend's own default (decision-mode kernels prune,
+    engines don't), ``True``/``False`` forces the knob on every
+    resolved solver.  ``False`` additionally disables the probe
+    cache's table-delta warm starts so a ``--no-sparsify`` run replays
+    the dense fills bit-for-bit.
     """
 
     backend: str = "auto"
@@ -125,10 +133,15 @@ class ProbePipeline:
     faults: Optional[FaultInjector] = None
     degrade: bool = True
     fill_workers: Optional[int] = None
+    sparsify: Optional[bool] = None
     fill_fabric: Optional[object] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         require_schedule_capable(self.backend)  # fail fast, before any work
+        if self.sparsify is False and self.cache is not None:
+            # Warm tables are seeded from prior fills; a no-sparsify
+            # run promises the exact dense replay, so cold fills only.
+            self.cache.warm_start = False
         if self.fill_workers is not None:
             if int(self.fill_workers) < 1:
                 raise BackendError(
@@ -174,6 +187,8 @@ class ProbePipeline:
             kwargs["plan_cache"] = self.plan_cache
         if spec.fabric_aware and self.fill_fabric is not None:
             kwargs["fill_fabric"] = self.fill_fabric
+        if spec.sparsify_aware and self.sparsify is not None:
+            kwargs["sparsify"] = bool(self.sparsify)
         if self.faults is not None and (
             name == "fallback" or name.startswith("fallback:")
         ):
