@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands:
+Six commands:
 
 * ``schedule`` — run the PTAS (and the classical baselines) on an
   instance given inline or generated at random;
@@ -15,7 +15,11 @@ Five commands:
 * ``engines`` — fill one DP probe on every simulated engine and print
   the simulated-time comparison (a miniature Fig. 3 row);
 * ``experiment`` — regenerate a paper exhibit at reduced scale and
-  print its report (the benchmarks run the full versions).
+  print its report (the benchmarks run the full versions);
+* ``health`` — fill-fabric hygiene: sweep orphaned ``/dev/shm``
+  segments left by crashed runs, report the pinned start method, and
+  (``--self-test``) run a real supervised parallel fill and check it
+  against the single-process reference (``docs/RELIABILITY.md``).
 
 Exit codes (``docs/RELIABILITY.md``): 0 success, 2 usage error
 (bad flags, unknown backend), 3 invalid instance, 4 backend failure,
@@ -99,6 +103,12 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
              "shared-memory fill fabric (fabric-aware backends only); "
              "admission estimates automatically cover the fabric's "
              "segments and per-worker scratch",
+    )
+    parser.add_argument(
+        "--fill-min-cells", type=int, default=None, metavar="CELLS",
+        help="fabric dispatch threshold: waves smaller than CELLS run "
+             "inline in the parent (default 256).  The chaos CI smoke "
+             "sets 1 so every wave crosses the process boundary",
     )
     parser.add_argument(
         "--no-sparsify", action="store_true",
@@ -358,6 +368,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "exhibit",
         choices=["fig1", "fig2", "fig3", "fig4", "tables", "table7", "ablations", "census"],
     )
+
+    p_health = sub.add_parser(
+        "health",
+        help="fill-fabric hygiene: reap orphaned shared-memory segments "
+             "and optionally self-test the supervised parallel fill",
+    )
+    p_health.add_argument(
+        "--no-reap", action="store_true",
+        help="report without sweeping orphaned /dev/shm fabric segments",
+    )
+    p_health.add_argument(
+        "--self-test", action="store_true",
+        help="run a real process-parallel DP fill on a 2-worker fabric "
+             "and verify it bit-identical to the single-process "
+             "reference (includes the table-integrity pass)",
+    )
+    p_health.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the health payload (start method, reaped segments, "
+             "self-test snapshot) to PATH as JSON",
+    )
     return parser
 
 
@@ -398,6 +429,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         ReproError,
     )
 
+    try:
+        resilience, faults = _resilience_from_args(args)
+    except InvalidInstanceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
     fill_fabric = None
     try:
         spec = get_spec(args.backend)
@@ -420,18 +457,19 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         ):
             from repro.parallel.fabric import BlockExecutor
 
-            fill_fabric = BlockExecutor(workers=args.fill_workers)
+            # The fabric shares the chaos injector so its
+            # "fabric.worker" site can SIGKILL real pool workers.
+            fabric_kwargs = {}
+            if args.fill_min_cells is not None:
+                fabric_kwargs["min_parallel_cells"] = args.fill_min_cells
+            fill_fabric = BlockExecutor(
+                workers=args.fill_workers, faults=faults, **fabric_kwargs
+            )
             resolve_kwargs["fill_fabric"] = fill_fabric
         if args.no_sparsify and spec.sparsify_aware:
             resolve_kwargs["sparsify"] = False
         solver = resolve(args.backend, **resolve_kwargs)
     except BackendError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return EXIT_USAGE
-
-    try:
-        resilience, _ = _resilience_from_args(args)
-    except InvalidInstanceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
@@ -571,6 +609,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             memory_budget_bytes=args.memory_budget,
             degrade=not args.no_degrade,
             fill_workers=args.fill_workers,
+            fill_min_cells=args.fill_min_cells,
             sparsify=False if args.no_sparsify else None,
         )
     except (BackendError, InvalidInstanceError) as exc:
@@ -610,6 +649,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
     if faults is not None and faults.events:
         print(f"faults injected: {len(faults.events)}")
+    fabric = report.fabric or {}
+    recovery = {
+        k: fabric[k]
+        for k in (
+            "pool_restarts",
+            "waves_reexecuted",
+            "workers_killed",
+            "inline_fallbacks",
+            "segments_reaped",
+        )
+        if k in fabric
+    }
+    if recovery:
+        print(
+            "fabric recovery: "
+            + ", ".join(f"{k}={v}" for k, v in recovery.items())
+        )
     return EXIT_DEGRADED if report.degraded_count else EXIT_OK
 
 
@@ -659,6 +715,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             deadline_s=args.probe_deadline,
             memory_budget_bytes=args.memory_budget,
             fill_workers=args.fill_workers,
+            fill_min_cells=args.fill_min_cells,
             sparsify=False if args.no_sparsify else None,
         )
     except (BackendError, InvalidInstanceError) as exc:
@@ -806,6 +863,83 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.parallel.fabric import (
+        BlockExecutor,
+        fabric_start_method,
+        reap_orphans,
+    )
+
+    payload: dict = {"start_method": fabric_start_method()}
+    print(f"start method: {payload['start_method']}")
+    if args.no_reap:
+        payload["reaped_segments"] = []
+        print("orphan reaper: skipped (--no-reap)")
+    else:
+        reaped = reap_orphans()
+        payload["reaped_segments"] = list(reaped)
+        print(f"orphan reaper: {len(reaped)} segment(s) reclaimed")
+        for name in reaped:
+            print(f"  reaped {name}")
+
+    code = EXIT_OK
+    if args.self_test:
+        import numpy as np
+
+        from repro.dptable.plan import build_probe_plan
+        from repro.errors import ReproError
+
+        try:
+            # Big enough that every wave actually dispatches to the
+            # pool (min_parallel_cells=1), small enough to stay a
+            # sub-second smoke even on one core.
+            plan = build_probe_plan((6, 5, 4), (3, 5, 7), 30)
+            with BlockExecutor(workers=2) as fabric:
+                got = fabric.fill(plan, min_parallel_cells=1)
+                snapshot = fabric.health().as_dict()
+            with BlockExecutor(workers=1) as reference:
+                ref = reference.fill(plan)
+            identical = bool(np.array_equal(ref, got))
+        except (ReproError, OSError) as exc:
+            print(
+                f"error: self-test failed: {type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            payload["self_test"] = {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+            code = EXIT_BACKEND_FAILURE
+        else:
+            payload["self_test"] = {"ok": identical, **snapshot}
+            checked = snapshot.get("integrity_cells_checked", 0)
+            if identical:
+                print(
+                    f"self-test: parallel fill bit-identical to the "
+                    f"reference ({checked} cells integrity-checked, "
+                    f"pool generation {snapshot['generation']})"
+                )
+            else:
+                print(
+                    "error: self-test fill DIVERGED from the "
+                    "single-process reference",
+                    file=sys.stderr,
+                )
+                code = EXIT_BACKEND_FAILURE
+
+    if args.json:
+        import json
+
+        try:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+        except OSError as exc:
+            print(f"error: cannot write health file: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        print(f"health written to {args.json}")
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -817,6 +951,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "engines":
         return _cmd_engines(args)
+    if args.command == "health":
+        return _cmd_health(args)
     return _cmd_experiment(args)
 
 

@@ -96,11 +96,27 @@ class TransientDPError(DPError, TransientError):
     """
 
 
+class TableIntegrityError(TransientDPError):
+    """A filled DP table failed its post-fill integrity verification.
+
+    Raised by :meth:`repro.parallel.fabric.SharedTableArena.verify`
+    when the sentinel pass finds values no correct fill can produce —
+    torn writes from a worker killed mid-store, a clobbered origin, or
+    spurious zero cells.  Transient by design: every fill rebuilds its
+    table from scratch in a fresh arena, so a retry starts clean.
+    """
+
+
 class WorkerCrashError(TransientError):
     """A probe worker died before producing a result.
 
     Models a crashed thread/process in the probe fan-out; transient by
     definition — the work itself was never attempted to completion.
+    Since PR 10 this is also raised for *real* process deaths: the fill
+    fabric (:mod:`repro.parallel.fabric`) surfaces it when a SIGKILLed
+    or wedged pool worker exhausts the in-fabric recovery budget, and
+    when an explicit ``close(force=True)`` lands mid-fill — both safe
+    to retry on a fresh pool.
     """
 
 

@@ -16,10 +16,12 @@ identity is property-tested):
   :func:`repro.core.dp_common.pick_table_dtype` picks for the level
   bound and is widened to the canonical int64 table only at the
   boundary, instead of the historical always-int64 segments;
-* the worker pool is **persistent** — pools are no longer spawned and
-  torn down per probe, and a probe's plan (wave order + configs) is
-  shipped to each worker at most once, zero-copy, keyed on the exact
-  plan signature.
+* the worker pool is **persistent and supervised** — pools are no
+  longer spawned and torn down per probe, a probe's plan (wave order +
+  configs) is shipped to each worker at most once, zero-copy, keyed on
+  the exact plan signature, and the fabric pins a spawn-safe start
+  method and recovers from real worker deaths by re-executing only the
+  lost wave (see the fabric module docstring).
 
 The level order, boundaries, and per-cell cost estimates still come
 from the probe's :class:`~repro.dptable.plan.ProbePlan` — the *same*

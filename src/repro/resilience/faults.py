@@ -44,6 +44,12 @@ Hook sites (strings; an injector only acts on sites listed in its
 * ``"dp.<backend>"`` — per-member checks inside a
   :class:`~repro.resilience.FallbackChain`, so a chain can be driven
   to step down from one named backend to the next.
+* ``"fabric.worker"`` — consulted (via :meth:`FaultInjector.decide`,
+  the non-raising entry point) by the fill fabric once per dispatched
+  parallel wave; a hit **SIGKILLs a live pool worker** instead of
+  raising, so the supervision/respawn machinery of
+  :class:`~repro.parallel.fabric.BlockExecutor` is exercised against a
+  genuinely dead process, not a simulated one.
 """
 
 from __future__ import annotations
@@ -223,6 +229,55 @@ class FaultInjector:
             return None
         return self.kinds[int.from_bytes(digest[8:], "big") % len(self.kinds)]
 
+    def decide(
+        self,
+        site: str,
+        instance: Optional[Instance] = None,
+        target: int = 0,
+    ) -> Optional[str]:
+        """Draw one injection decision at ``site`` without acting on it.
+
+        Returns the fault kind to realise, or ``None`` when the site is
+        not armed, the ``match`` predicate rejects, the per-key failure
+        cap is spent, or the seeded draw passes.  A returned kind is
+        *recorded* (event log, counter, per-key cap) exactly like a
+        :meth:`check` hit — the caller owns realising it.  This is the
+        hook for fault sites that cannot be expressed as a raise: the
+        fill fabric's ``"fabric.worker"`` site turns any returned kind
+        into a real ``SIGKILL`` of a live pool worker.
+        """
+        decision = self._decide(site, instance, target)
+        if decision is None:
+            return None
+        return decision[0]
+
+    def _decide(
+        self,
+        site: str,
+        instance: Optional[Instance],
+        target: int,
+    ) -> Optional[Tuple[str, int]]:
+        """The shared decision core: ``(kind, attempt)`` or ``None``."""
+        if site not in self.sites:
+            return None
+        if instance is None:
+            instance = _AMBIENT_INSTANCE.get()
+        if self.match is not None and not self.match(site, instance, target):
+            return None
+        sig = self._instance_sig(instance)
+        key = (site, sig, int(target))
+        with self._lock:
+            fired = self._fired.get(key, 0)
+            if fired >= self.max_failures:
+                return None
+            kind = self._draw(site, sig, int(target), fired)
+            if kind is None:
+                return None
+            self._fired[key] = fired + 1
+            self.events.append(FaultEvent(site, kind, int(target), fired))
+        obs.count(f"faults.injected.{kind}")
+        return kind, fired
+
     def check(
         self,
         site: str,
@@ -236,24 +291,10 @@ class FaultInjector:
         passes.  ``instance=None`` resolves the ambient
         :func:`fault_scope` instance (if any) first.
         """
-        if site not in self.sites:
+        decision = self._decide(site, instance, target)
+        if decision is None:
             return
-        if instance is None:
-            instance = _AMBIENT_INSTANCE.get()
-        if self.match is not None and not self.match(site, instance, target):
-            return
-        sig = self._instance_sig(instance)
-        key = (site, sig, int(target))
-        with self._lock:
-            fired = self._fired.get(key, 0)
-            if fired >= self.max_failures:
-                return
-            kind = self._draw(site, sig, int(target), fired)
-            if kind is None:
-                return
-            self._fired[key] = fired + 1
-            self.events.append(FaultEvent(site, kind, int(target), fired))
-        obs.count(f"faults.injected.{kind}")
+        kind, fired = decision
         if kind == "slow":
             time.sleep(self.slow_s)
             return

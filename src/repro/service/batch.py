@@ -139,6 +139,12 @@ class BatchReport:
     #: tallies of the batch's shared plan cache (``None`` when the
     #: batch's backend is not plan-aware).
     plan_cache_stats: Optional[CacheStats] = None
+    #: the fill fabric's :class:`~repro.parallel.fabric.FabricHealth`
+    #: snapshot after the batch (``None`` without ``fill_workers``).
+    #: Zero recovery tallies are already omitted inside the dict, so a
+    #: healthy batch reports only the pool shape — the ``CacheStats``
+    #: zero-noise convention.
+    fabric: Optional[Dict[str, object]] = None
     wall_s: float = 0.0
 
     @property
@@ -223,6 +229,7 @@ class BatchReport:
             "plan_cache": (
                 self.plan_cache_stats.as_dict() if self.plan_cache_stats else {}
             ),
+            **({"fabric": self.fabric} if self.fabric is not None else {}),
             "wall_s": self.wall_s,
         }
 
@@ -266,7 +273,9 @@ class BatchScheduler:
         fills run host-parallel.  Call :meth:`close` (or use the
         scheduler as a context manager) to shut the pool down; the
         admission estimate automatically covers the fabric's shared
-        segments.
+        segments.  ``fill_min_cells`` overrides the fabric's dispatch
+        threshold (waves below it run inline) — chaos tests set it to 1
+        so every wave really crosses the process boundary.
     sparsify:
         Configuration-sparsification override (see
         :mod:`repro.core.sparsify`): ``None`` (default) keeps each
@@ -297,6 +306,7 @@ class BatchScheduler:
         memory_budget_bytes: Optional[int] = None,
         degrade: bool = True,
         fill_workers: Optional[int] = None,
+        fill_min_cells: Optional[int] = None,
         sparsify: Optional[bool] = None,
     ) -> None:
         if workers < 1:
@@ -323,6 +333,7 @@ class BatchScheduler:
             faults=faults,
             degrade=bool(degrade),
             fill_workers=fill_workers,
+            fill_min_cells=fill_min_cells,
             sparsify=sparsify,
         )
         self.search = search
@@ -432,5 +443,6 @@ class BatchScheduler:
         for item_result, tracer in outcomes:
             report.results.append(item_result)
             report.tracer.merge(tracer)
+        report.fabric = self.pipeline.fabric_health()
         report.wall_s = time.perf_counter() - start
         return report

@@ -241,6 +241,7 @@ class SchedulingService:
         memory_budget_bytes: Optional[int] = None,
         degrade: bool = True,
         fill_workers: Optional[int] = None,
+        fill_min_cells: Optional[int] = None,
         sparsify: Optional[bool] = None,
         max_queue: Optional[int] = None,
     ) -> None:
@@ -260,6 +261,7 @@ class SchedulingService:
             faults=faults,
             degrade=bool(degrade),
             fill_workers=fill_workers,
+            fill_min_cells=fill_min_cells,
             sparsify=sparsify,
         )
         self.backend = backend
@@ -560,8 +562,10 @@ class SchedulingService:
 
         Contains the service metrics (counters + latency percentiles),
         queue depth and in-flight/coalescing state, per-tenant quota
-        occupancy, the shared probe/plan cache tallies, and the merged
-        tracer counters of every completed request.
+        occupancy, the shared probe/plan cache tallies, the merged
+        tracer counters of every completed request, and the fill
+        fabric's health snapshot (``"fabric"``, ``{}`` when the daemon
+        runs without ``fill_workers``).
         """
         snapshot = self.metrics.snapshot()
         coalescing_rate = self.metrics.ratio("coalesced", "submitted")
@@ -598,6 +602,10 @@ class SchedulingService:
                     self.tracer.counters.get("warmstart.cells_reused", 0)
                 ),
             },
+            # Fill-fabric supervision snapshot (worker pids, restarts,
+            # re-executed waves, reaped segments); {} without a fabric
+            # so the key is always present for dashboards.
+            "fabric": self.pipeline.fabric_health() or {},
         }
 
     async def join(self) -> None:

@@ -133,6 +133,10 @@ class ProbePipeline:
     faults: Optional[FaultInjector] = None
     degrade: bool = True
     fill_workers: Optional[int] = None
+    #: fabric dispatch threshold (cells); ``None`` keeps the fabric's
+    #: default.  Chaos tests and the CI kill-smoke set it to 1 so every
+    #: wave really crosses the process boundary.
+    fill_min_cells: Optional[int] = None
     sparsify: Optional[bool] = None
     fill_fabric: Optional[object] = field(default=None, init=False, repr=False)
 
@@ -150,7 +154,25 @@ class ProbePipeline:
             if int(self.fill_workers) > 1:
                 from repro.parallel.fabric import BlockExecutor
 
-                self.fill_fabric = BlockExecutor(workers=int(self.fill_workers))
+                # The fabric shares the pipeline's fault injector: its
+                # "fabric.worker" site turns chaos decisions into real
+                # worker SIGKILLs, so service-level chaos tests exercise
+                # genuine crash recovery, not simulated exceptions.
+                kwargs: Dict[str, object] = {}
+                if self.fill_min_cells is not None:
+                    kwargs["min_parallel_cells"] = int(self.fill_min_cells)
+                self.fill_fabric = BlockExecutor(
+                    workers=int(self.fill_workers),
+                    faults=self.faults,
+                    **kwargs,
+                )
+
+    def fabric_health(self) -> Optional[dict]:
+        """The fill fabric's :class:`~repro.parallel.fabric.FabricHealth`
+        snapshot as a JSON-ready dict, or ``None`` without a fabric."""
+        if self.fill_fabric is None:
+            return None
+        return self.fill_fabric.health().as_dict()
 
     def close(self, force: bool = False) -> None:
         """Release the pipeline's fill fabric (idempotent, safe without one).

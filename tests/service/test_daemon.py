@@ -271,7 +271,10 @@ class TestLifecycle:
             fabric = svc.pipeline.fill_fabric
             assert fabric is not None
             await svc.start()
-            pool_procs = list(fabric._ensure_pool()._pool)
+            pool = fabric._ensure_pool()
+            assert pool.submit(abs, -3).result() == 3  # force a worker up
+            pool_procs = list(fabric._worker_processes(pool))
+            assert pool_procs
             handle = await svc.submit(fleet[0])
             clean = await svc.shutdown(drain=True)
             handle.refined.result()  # drained work still completed
@@ -365,6 +368,26 @@ class TestStats:
             assert summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
         # Per-request tracers merged into the service-wide aggregate.
         assert stats["tracer_counters"].get("probe.count", 0) > 0
+
+    def test_fabric_stats_empty_without_fill_workers(self, fleet):
+        async def scenario():
+            async with SchedulingService(workers=1) as svc:
+                await (await svc.submit(fleet[0])).result()
+                return svc.stats()
+
+        assert asyncio.run(scenario())["fabric"] == {}
+
+    def test_fabric_stats_surface_health_snapshot(self, fleet):
+        async def scenario():
+            async with SchedulingService(workers=1, fill_workers=2) as svc:
+                await (await svc.submit(fleet[0])).result()
+                return svc.stats()
+
+        fabric = asyncio.run(scenario())["fabric"]
+        assert fabric["workers"] == 2
+        assert fabric["start_method"] in ("forkserver", "spawn")
+        # Zero-noise: a run with no crashes reports no recovery tallies.
+        assert "pool_restarts" not in fabric
 
     def test_accepting_flag_tracks_lifecycle(self, fleet):
         async def scenario():

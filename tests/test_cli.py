@@ -314,6 +314,54 @@ class TestBatchCommand:
     def test_bad_request_count_is_usage_error(self, capsys):
         assert main(["batch", "--requests", "0"]) == 2
 
+    def test_fabric_chaos_recovers_with_identical_makespans(self, capsys):
+        # The CI kill-smoke in miniature: the same batch twice, the
+        # second with real worker SIGKILLs, must print the same
+        # makespans and exit 0 both times.
+        base = ["batch", "--requests", "2", "--jobs", "12", "--machines",
+                "3", "--seed", "5", "--backend", "hostpar-2",
+                "--fill-workers", "2", "--fill-min-cells", "1"]
+        assert main(base) == 0
+        clean = capsys.readouterr().out
+        assert main(base + [
+            "--inject-faults",
+            "seed=7,rate=0.4,kinds=crash,sites=fabric.worker,max=2",
+        ]) == 0
+        chaotic = capsys.readouterr().out
+
+        def makespans(out):
+            return [line for line in out.splitlines() if "makespan" in line]
+
+        assert makespans(chaotic) == makespans(clean)
+        assert "0 degraded" in chaotic
+        assert "fabric recovery:" in chaotic
+        assert "fabric recovery:" not in clean  # zero-noise when quiet
+
+
+class TestHealthCommand:
+    def test_reports_start_method_and_reaper(self, capsys):
+        assert main(["health"]) == 0
+        out = capsys.readouterr().out
+        assert "start method:" in out
+        assert "orphan reaper:" in out
+
+    def test_no_reap_skips_the_sweep(self, capsys):
+        assert main(["health", "--no-reap"]) == 0
+        assert "skipped (--no-reap)" in capsys.readouterr().out
+
+    def test_self_test_proves_bit_identity(self, capsys):
+        assert main(["health", "--self-test"]) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_json_payload(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "health.json"
+        assert main(["health", "--no-reap", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["start_method"] in ("forkserver", "spawn")
+        assert payload["reaped_segments"] == []
+
 
 class TestServeCommand:
     #: a small, fast workload: 8 requests arriving (nominally) at 200/s,
